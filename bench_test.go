@@ -1,0 +1,310 @@
+// Package hierpart's root benchmark harness: one testing.B target per
+// experiment table (E1–E10, F1, F2 — see EXPERIMENTS.md), plus
+// micro-benchmarks of the pipeline phases. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench regenerates its table at Quick scale per
+// iteration; cmd/hgpbench prints the full-scale tables.
+package hierpart
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/baseline"
+	"hierpart/internal/experiments"
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hgpt"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/treedecomp"
+)
+
+func benchCfg() experiments.Config { return experiments.Config{Seed: 1, Quick: true} }
+
+func BenchmarkE1TreeDPOptimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E1TreeDPOptimality(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE2CostForms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E2CostForms(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE3ViolationBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E3ViolationBound(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE4ApproxRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E4ApproxRatio(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE5VsBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E5VsBaselines(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE6StreamThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E6StreamThroughput(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE7TreeDistortion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E7TreeDistortion(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE8DPScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E8DPScaling(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE9CMSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E9CMSweep(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE10KBGPConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E10KBGPConsistency(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE11AblationDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E11AblationDP(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE12AblationTrees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E12AblationTrees(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE13AblationRefinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E13AblationRefinement(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE14EmbeddingCongestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E14EmbeddingCongestion(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE15DESStability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E15DESStability(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE16AblationFlowRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E16AblationFlowRefine(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE17AblationStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E17AblationStrategy(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE18DynamicRepartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E18DynamicRepartition(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE19EpsSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E19EpsSweep(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE20AblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E20AblationPruning(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE21AtScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.E21AtScale(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkF1BadSetSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.F1BadSetSplit(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkF2ActiveSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.F2ActiveSets(benchCfg()); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---- micro-benchmarks of the pipeline phases ----
+
+func benchGraph(n int) *hierarchyGraph {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.Community(rng, 4, n/4, 0.5, 0.02, 10, 1)
+	gen.EqualDemands(g, 0.6*16.0/float64(n))
+	return &hierarchyGraph{g: g, h: hierarchy.NUMASockets(4, 4)}
+}
+
+type hierarchyGraph struct {
+	g *graph.Graph
+	h *hierarchy.Hierarchy
+}
+
+func BenchmarkPhaseDecomposition(b *testing.B) {
+	bg := benchGraph(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		treedecomp.Build(bg.g, treedecomp.Options{Trees: 1, Seed: int64(i)})
+	}
+}
+
+func BenchmarkPhaseSignatureDP(b *testing.B) {
+	bg := benchGraph(64)
+	dec := treedecomp.Build(bg.g, treedecomp.Options{Trees: 1, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (hgpt.Solver{Eps: 0.5}).Solve(dec.Trees[0].T, bg.h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhaseEndToEnd(b *testing.B) {
+	bg := benchGraph(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (hgp.Solver{Eps: 0.5, Trees: 2, Seed: int64(i)}).Solve(bg.g, bg.h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhaseCostLCA(b *testing.B) {
+	bg := benchGraph(256)
+	a := baseline.GreedyBFS(bg.g, bg.h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.CostLCA(bg.g, bg.h, a)
+	}
+}
+
+func BenchmarkPhaseCostMirror(b *testing.B) {
+	bg := benchGraph(256)
+	a := baseline.GreedyBFS(bg.g, bg.h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.CostMirror(bg.g, bg.h, a)
+	}
+}
+
+func BenchmarkPhaseRefineLocal(b *testing.B) {
+	bg := benchGraph(128)
+	rng := rand.New(rand.NewSource(2))
+	start := baseline.Random(rng, bg.g, bg.h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.RefineLocal(bg.g, bg.h, start, 1.2, 1)
+	}
+}
+
+func BenchmarkPhaseEndToEndWorkers1(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkPhaseEndToEndWorkers2(b *testing.B) { benchWorkers(b, 2) }
+func BenchmarkPhaseEndToEndWorkers4(b *testing.B) { benchWorkers(b, 4) }
+
+// benchWorkers measures the per-tree parallelism of the pipeline (the
+// tree DPs are independent; results are deterministic regardless).
+func benchWorkers(b *testing.B, workers int) {
+	bg := benchGraph(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (hgp.Solver{Eps: 0.5, Trees: 4, Seed: 1, Workers: workers}).Solve(bg.g, bg.h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhaseMultilevel(b *testing.B) {
+	bg := benchGraph(256)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		baseline.Multilevel(rng, bg.g, bg.h)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/hierarchy"
+)
+
+func TestSolveDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyi(rng, 12, 0.3, 4)
+	gen.EqualDemands(g, 0.3)
+	h := hierarchy.NUMASockets(2, 2)
+	for _, algo := range []string{"hgp", "dual", "multilevel", "kbgp", "greedy", "random"} {
+		a, err := solve(algo, g, h, 0.5, 2, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := a.Validate(g, h); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if _, err := solve("nope", g, h, 0.5, 2, 1); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}

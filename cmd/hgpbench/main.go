@@ -1,0 +1,84 @@
+// Command hgpbench runs the reproduction's experiment suite (E1–E10,
+// F1–F2; see EXPERIMENTS.md) and prints the result tables.
+//
+// Usage:
+//
+//	hgpbench [-quick] [-seed N] [-only E5,E6] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hierpart/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E5,F1); empty = all")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func(experiments.Config) *experiments.Table
+	}{
+		{"E1", experiments.E1TreeDPOptimality},
+		{"E2", experiments.E2CostForms},
+		{"E3", experiments.E3ViolationBound},
+		{"E4", experiments.E4ApproxRatio},
+		{"E5", experiments.E5VsBaselines},
+		{"E6", experiments.E6StreamThroughput},
+		{"E7", experiments.E7TreeDistortion},
+		{"E8", experiments.E8DPScaling},
+		{"E9", experiments.E9CMSweep},
+		{"E10", experiments.E10KBGPConsistency},
+		{"E11", experiments.E11AblationDP},
+		{"E12", experiments.E12AblationTrees},
+		{"E13", experiments.E13AblationRefinement},
+		{"E14", experiments.E14EmbeddingCongestion},
+		{"E15", experiments.E15DESStability},
+		{"E16", experiments.E16AblationFlowRefine},
+		{"E17", experiments.E17AblationStrategy},
+		{"E18", experiments.E18DynamicRepartition},
+		{"E19", experiments.E19EpsSweep},
+		{"E20", experiments.E20AblationPruning},
+		{"E21", experiments.E21AtScale},
+		{"F1", experiments.F1BadSetSplit},
+		{"F2", experiments.F2ActiveSets},
+	}
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		tab := r.run(cfg)
+		if *csvOut {
+			if err := tab.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "hgpbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(tab.Format())
+			fmt.Printf("   (%s in %s)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "hgpbench: no experiments matched -only filter")
+		os.Exit(2)
+	}
+}

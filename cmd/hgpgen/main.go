@@ -1,0 +1,119 @@
+// Command hgpgen generates problem instances for cmd/hgp and the
+// benchmark harness, bundling a synthetic task graph with a resource
+// hierarchy into the JSON instance format.
+//
+// Usage:
+//
+//	hgpgen -family community -n 32 -hier numa -seed 1 > instance.json
+//
+// Families: grid, torus, er, ba, community, tree, wordcount, fanin,
+// pipeline, diamond, jointree.
+// Hierarchies: flat8, numa (4 sockets × 4 cores), server (4×8×2),
+// datacenter (4 racks × 4 hosts × 4 cores).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/instio"
+	"hierpart/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hgpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "community", "graph family (grid, torus, er, ba, community, tree, wordcount, fanin, pipeline, diamond, jointree)")
+	n := flag.Int("n", 32, "approximate vertex/operator count")
+	hier := flag.String("hier", "numa", "hierarchy preset (flat8, numa, server, datacenter)")
+	seed := flag.Int64("seed", 1, "random seed")
+	demand := flag.Float64("demand", 0, "uniform demand per vertex; 0 = auto (60% of capacity)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	h, err := pickHierarchy(*hier)
+	if err != nil {
+		return err
+	}
+	g, err := pickGraph(rng, *family, *n)
+	if err != nil {
+		return err
+	}
+	if g.TotalDemand() == 0 {
+		d := *demand
+		if d == 0 {
+			d = 0.6 * float64(h.Leaves()) / float64(g.N())
+			if d > 1 {
+				d = 1
+			}
+		}
+		gen.EqualDemands(g, d)
+	}
+	return instio.WriteInstance(os.Stdout, g, h)
+}
+
+func pickHierarchy(name string) (*hierarchy.Hierarchy, error) {
+	switch name {
+	case "flat8":
+		return hierarchy.FlatKWay(8), nil
+	case "numa":
+		return hierarchy.NUMASockets(4, 4), nil
+	case "server":
+		return hierarchy.NUMAServer(), nil
+	case "datacenter":
+		return hierarchy.Datacenter(4, 4, 4), nil
+	default:
+		return nil, fmt.Errorf("unknown hierarchy preset %q", name)
+	}
+}
+
+func pickGraph(rng *rand.Rand, family string, n int) (*graph.Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("need -n ≥ 4")
+	}
+	switch family {
+	case "grid":
+		return gen.Grid(n/4, 4, 1), nil
+	case "torus":
+		return gen.Torus(n/4, 4, 1), nil
+	case "er":
+		return gen.ErdosRenyi(rng, n, 0.15, 5), nil
+	case "ba":
+		return gen.BarabasiAlbert(rng, n, 2, 5), nil
+	case "community":
+		return gen.Community(rng, 4, n/4, 0.5, 0.02, 10, 1), nil
+	case "tree":
+		t := gen.RandomTree(rng, n, 5, 0, 0)
+		g := graph.New(t.N())
+		for v := 1; v < t.N(); v++ {
+			g.AddEdge(v, t.Parent(v), t.EdgeWeight(v))
+		}
+		return g, nil
+	case "wordcount":
+		return stream.WordCount(rng, n/3, n/2, 0.2, 0.5, 50).CommGraph(), nil
+	case "fanin":
+		return stream.FanInAggregation(rng, n/3, n/6, 0.2, 0.5, 40).CommGraph(), nil
+	case "pipeline":
+		return stream.Pipeline(rng, 4, n/4, 0.2, 0.5, 40).CommGraph(), nil
+	case "diamond":
+		return stream.Diamond(rng, n/4, 0.2, 0.5, 40).CommGraph(), nil
+	case "jointree":
+		p := 2
+		for p*2 <= n/2 {
+			p *= 2
+		}
+		return stream.JoinTree(rng, p, 0.2, 0.5, 40).CommGraph(), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPickHierarchy(t *testing.T) {
+	for name, leaves := range map[string]int{
+		"flat8": 8, "numa": 16, "server": 64, "datacenter": 64,
+	} {
+		h, err := pickHierarchy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.Leaves() != leaves {
+			t.Fatalf("%s: %d leaves, want %d", name, h.Leaves(), leaves)
+		}
+	}
+	if _, err := pickHierarchy("bogus"); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestPickGraphFamilies(t *testing.T) {
+	families := []string{"grid", "torus", "er", "ba", "community", "tree",
+		"wordcount", "fanin", "pipeline", "diamond", "jointree"}
+	for _, fam := range families {
+		rng := rand.New(rand.NewSource(3))
+		g, err := pickGraph(rng, fam, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N() < 4 {
+			t.Fatalf("%s: only %d vertices", fam, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := pickGraph(rng, "bogus", 24); err == nil {
+		t.Fatal("unknown family must error")
+	}
+	if _, err := pickGraph(rng, "grid", 2); err == nil {
+		t.Fatal("tiny n must error")
+	}
+}

@@ -1,0 +1,234 @@
+// Command hgpviz renders an instance (and optionally its placement) as
+// Graphviz DOT: either the task graph with vertices clustered by the
+// hierarchy node they are placed under, or one of the decomposition
+// trees the embedding produces.
+//
+// Usage:
+//
+//	hgpviz -in instance.json [-mode graph|tree|mirror] [-level 1]
+//	       [-assign placement.json] [-set 0,1,2] [-seed 1] > out.dot
+//
+// Mode mirror reproduces the concept of the paper's Figures 1–2: it
+// builds a decomposition tree, computes the canonical mirror set N(S)
+// and minimum cut CUT_T(S) of the vertex set given by -set, and renders
+// the tree with the mirror shaded and the cut edges dashed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/instio"
+	"hierpart/internal/metrics"
+	"hierpart/internal/treedecomp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hgpviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "instance JSON file; '-' for stdin")
+	mode := flag.String("mode", "graph", "what to render: graph (placement clusters), tree (decomposition tree), or mirror (a set's mirror and cut, as in the paper's figures)")
+	level := flag.Int("level", 1, "hierarchy level used to cluster vertices in graph mode")
+	assignFile := flag.String("assign", "", "placement JSON (from cmd/hgp); empty = solve here")
+	setSpec := flag.String("set", "", "comma-separated graph vertices forming the set S for mirror mode")
+	seed := flag.Int64("seed", 1, "seed for solving / tree building")
+	flag.Parse()
+
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, h, err := instio.ReadInstance(r)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "graph":
+		a, err := loadOrSolve(g, h, *assignFile, *seed)
+		if err != nil {
+			return err
+		}
+		if *level < 0 || *level > h.Height() {
+			return fmt.Errorf("level %d out of [0,%d]", *level, h.Height())
+		}
+		return writePlacementDOT(os.Stdout, g, h, a, *level)
+	case "tree":
+		dec := treedecomp.Build(g, treedecomp.Options{Trees: 1, Seed: *seed})
+		return writeTreeDOT(os.Stdout, dec.Trees[0])
+	case "mirror":
+		set, err := parseSet(*setSpec, g.N())
+		if err != nil {
+			return err
+		}
+		dec := treedecomp.Build(g, treedecomp.Options{Trees: 1, Seed: *seed})
+		return writeMirrorDOT(os.Stdout, dec.Trees[0], set)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func loadOrSolve(g *graph.Graph, h *hierarchy.Hierarchy, assignFile string, seed int64) (metrics.Assignment, error) {
+	if assignFile == "" {
+		res, err := hgp.Solver{Seed: seed}.Solve(g, h)
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	f, err := os.Open(assignFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc struct {
+		Assignment metrics.Assignment `json:"assignment"`
+	}
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if err := doc.Assignment.Validate(g, h); err != nil {
+		return nil, err
+	}
+	return doc.Assignment, nil
+}
+
+// writePlacementDOT clusters vertices by their Level-(level) hierarchy
+// node; cross-cluster edges are drawn bold with their cost multiplier.
+func writePlacementDOT(w *os.File, g *graph.Graph, h *hierarchy.Hierarchy, a metrics.Assignment, level int) error {
+	fmt.Fprintln(w, "graph placement {")
+	fmt.Fprintln(w, "  node [shape=circle];")
+	groups := map[int][]int{}
+	for v := 0; v < g.N(); v++ {
+		node := h.AncestorAt(a[v], level)
+		groups[node] = append(groups[node], v)
+	}
+	for node := 0; node < h.NumNodes(level); node++ {
+		vs := groups[node]
+		if len(vs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=\"L%d node %d\";\n", node, level, node)
+		for _, v := range vs {
+			fmt.Fprintf(w, "    %d [label=\"%d\\nd=%.2g\\ncore %d\"];\n", v, v, g.Demand(v), a[v])
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for _, e := range g.Edges() {
+		cm := h.CM(h.LCALevel(a[e.U], a[e.V]))
+		style := ""
+		if h.AncestorAt(a[e.U], level) != h.AncestorAt(a[e.V], level) {
+			style = ", style=bold, color=red"
+		}
+		fmt.Fprintf(w, "  %d -- %d [label=\"w=%.3g cm=%.3g\"%s];\n", e.U, e.V, e.Weight, cm, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// writeTreeDOT renders a decomposition tree; leaves carry the graph
+// vertex they map to and edges their boundary weight.
+func writeTreeDOT(w *os.File, dt *treedecomp.DecompTree) error {
+	fmt.Fprintln(w, "digraph decomposition {")
+	fmt.Fprintln(w, "  node [shape=box];")
+	for v := 0; v < dt.T.N(); v++ {
+		if dt.T.IsLeaf(v) {
+			fmt.Fprintf(w, "  t%d [label=\"v%d\\nd=%.2g\", shape=ellipse];\n", v, dt.T.Label(v), dt.T.Demand(v))
+		} else {
+			fmt.Fprintf(w, "  t%d [label=\"cluster\"];\n", v)
+		}
+		if v != dt.T.Root() {
+			wgt := dt.T.EdgeWeight(v)
+			lbl := fmt.Sprintf("%.3g", wgt)
+			if math.IsInf(wgt, 1) {
+				lbl = "inf"
+			}
+			fmt.Fprintf(w, "  t%d -> t%d [label=\"%s\"];\n", dt.T.Parent(v), v, lbl)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// parseSet parses "0,3,7" into a vertex set, validating the range.
+func parseSet(spec string, n int) (map[int]bool, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("mirror mode needs -set (comma-separated vertices)")
+	}
+	out := map[int]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("bad vertex %q in -set (graph has %d vertices)", part, n)
+		}
+		out[v] = true
+	}
+	return out, nil
+}
+
+// writeMirrorDOT renders a decomposition tree with the canonical mirror
+// N(S) shaded (the paper's Figure 2 structure) and CUT_T(S) dashed.
+func writeMirrorDOT(w *os.File, dt *treedecomp.DecompTree, set map[int]bool) error {
+	leafSet := map[int]bool{}
+	for v := range set {
+		leafSet[dt.LeafOf[v]] = true
+	}
+	res := dt.T.CutLeafSetOf(leafSet)
+	cut := map[int]bool{}
+	for _, c := range res.CutEdges {
+		cut[c] = true
+	}
+	fmt.Fprintln(w, "digraph mirror {")
+	fmt.Fprintf(w, "  label=\"w(CUT_T(S)) = %.4g, |N(S)| = %d\";\n", res.Weight, res.MirrorSize)
+	fmt.Fprintln(w, "  node [shape=box];")
+	for v := 0; v < dt.T.N(); v++ {
+		attrs := ""
+		if res.InMirror[v] {
+			attrs = ", style=filled, fillcolor=lightblue"
+		}
+		if dt.T.IsLeaf(v) {
+			member := ""
+			if leafSet[v] {
+				member = " ∈ S"
+			}
+			fmt.Fprintf(w, "  t%d [label=\"v%d%s\", shape=ellipse%s];\n", v, dt.T.Label(v), member, attrs)
+		} else {
+			fmt.Fprintf(w, "  t%d [label=\"\"%s];\n", v, attrs)
+		}
+		if v != dt.T.Root() {
+			style := ""
+			if cut[v] {
+				style = ", style=dashed, color=red"
+			}
+			wgt := dt.T.EdgeWeight(v)
+			lbl := fmt.Sprintf("%.3g", wgt)
+			if math.IsInf(wgt, 1) {
+				lbl = "inf"
+			}
+			fmt.Fprintf(w, "  t%d -> t%d [label=\"%s\"%s];\n", dt.T.Parent(v), v, lbl, style)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

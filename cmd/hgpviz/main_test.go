@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/treedecomp"
+)
+
+// captureTo writes through a temp file because the DOT writers take
+// *os.File (they stream straight to stdout in the CLI).
+func captureTo(t *testing.T, fn func(f *os.File) error) string {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestWritePlacementDOT(t *testing.T) {
+	g := graph.New(4)
+	gen.EqualDemands(g, 0.5)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(1, 2, 1)
+	h := hierarchy.NUMASockets(2, 2)
+	a := metrics.Assignment{0, 1, 2, 3}
+	out := captureTo(t, func(f *os.File) error {
+		return writePlacementDOT(f, g, h, a, 1)
+	})
+	for _, frag := range []string{"cluster_0", "cluster_1", "style=bold", "cm=20"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("placement DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteTreeDOT(t *testing.T) {
+	g := gen.Grid(2, 3, 1)
+	dec := treedecomp.Build(g, treedecomp.Options{Trees: 1, Seed: 1})
+	out := captureTo(t, func(f *os.File) error {
+		return writeTreeDOT(f, dec.Trees[0])
+	})
+	for _, frag := range []string{"digraph decomposition", "v0", "cluster"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("tree DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLoadOrSolve(t *testing.T) {
+	g := gen.Grid(2, 2, 1)
+	gen.EqualDemands(g, 0.5)
+	h := hierarchy.FlatKWay(4)
+	a, err := loadOrSolve(g, h, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+	// From file.
+	p := filepath.Join(t.TempDir(), "a.json")
+	if err := os.WriteFile(p, []byte(`{"assignment":[0,1,2,3],"cost":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := loadOrSolve(g, h, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2[3] != 3 {
+		t.Fatalf("a2 = %v", a2)
+	}
+	// Invalid file contents.
+	if err := os.WriteFile(p, []byte(`{"assignment":[9,9,9,9]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrSolve(g, h, p, 1); err == nil {
+		t.Fatal("out-of-range placement must fail validation")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	s, err := parseSet("0, 2,3", 5)
+	if err != nil || len(s) != 3 || !s[2] {
+		t.Fatalf("parseSet: %v %v", s, err)
+	}
+	for _, bad := range []string{"", "x", "9", "-1"} {
+		if _, err := parseSet(bad, 5); err == nil {
+			t.Fatalf("parseSet(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteMirrorDOT(t *testing.T) {
+	g := gen.Grid(2, 3, 1)
+	dec := treedecomp.Build(g, treedecomp.Options{Trees: 1, Seed: 2})
+	out := captureTo(t, func(f *os.File) error {
+		return writeMirrorDOT(f, dec.Trees[0], map[int]bool{0: true, 1: true})
+	})
+	for _, frag := range []string{"digraph mirror", "CUT_T(S)", "∈ S", "lightblue", "dashed"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("mirror DOT missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hierpart
+
+go 1.22

@@ -1,0 +1,221 @@
+// Package dynamic re-places drifting workloads — the operational reality
+// behind the paper's stream-processing motivation: rates and CPU demands
+// change, the placement must follow, but every migrated task costs state
+// transfer and a processing hiccup.
+//
+// Replace solves the drifted instance from scratch and then relabels the
+// hierarchy leaves of the fresh solution to maximize demand overlap with
+// the old placement. Relabeling permutes sibling subtrees only —
+// automorphisms of the regular hierarchy — so the HGP cost of the fresh
+// solution is preserved exactly while migration drops; the optimal
+// relabeling is computed bottom-up with a Hungarian matching at every
+// internal node. An optional migration-aware local search then trades
+// residual cost against further migration under an explicit exchange
+// rate.
+package dynamic
+
+import (
+	"fmt"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/hungarian"
+	"hierpart/internal/metrics"
+)
+
+// Options configures Replace.
+type Options struct {
+	// Solver runs the fresh solve of the drifted instance.
+	Solver hgp.Solver
+	// MigrationWeight is the refinement exchange rate: moving a task of
+	// demand d away from its old leaf is charged MigrationWeight·d
+	// against any communication-cost gain. Zero disables the refinement
+	// pass (matching still runs).
+	MigrationWeight float64
+	// RefinePasses bounds the migration-aware refinement sweeps.
+	// Zero means 2.
+	RefinePasses int
+	// MaxLoad is the per-leaf load budget during refinement.
+	// Zero means 1.2.
+	MaxLoad float64
+}
+
+// Result reports the re-placement.
+type Result struct {
+	// Assignment is the new placement.
+	Assignment metrics.Assignment
+	// Cost is its Equation (1) communication cost.
+	Cost float64
+	// MovedDemand is the total demand of tasks whose leaf changed
+	// relative to the old placement; MovedTasks counts them.
+	MovedDemand float64
+	MovedTasks  int
+	// ScratchCost is the fresh solve's cost before any migration-aware
+	// adjustment (identical to Cost when MigrationWeight is 0, since
+	// relabeling preserves cost).
+	ScratchCost float64
+}
+
+// Replace computes a placement for g (the drifted workload) that is
+// communication-efficient yet close to old. old must be a valid
+// placement for g on H (same vertex count).
+func Replace(g *graph.Graph, H *hierarchy.Hierarchy, old metrics.Assignment, opt Options) (*Result, error) {
+	if err := old.Validate(g, H); err != nil {
+		return nil, fmt.Errorf("dynamic: old placement invalid: %w", err)
+	}
+	fresh, err := opt.Solver.Solve(g, H)
+	if err != nil {
+		return nil, err
+	}
+	assign := Relabel(g, H, fresh.Assignment, old)
+	scratch := metrics.CostLCA(g, H, assign)
+
+	if opt.MigrationWeight > 0 {
+		passes := opt.RefinePasses
+		if passes == 0 {
+			passes = 2
+		}
+		maxLoad := opt.MaxLoad
+		if maxLoad == 0 {
+			maxLoad = 1.2
+		}
+		assign = refineMigration(g, H, assign, old, opt.MigrationWeight, maxLoad, passes)
+	}
+
+	res := &Result{
+		Assignment:  assign,
+		Cost:        metrics.CostLCA(g, H, assign),
+		ScratchCost: scratch,
+	}
+	for v, l := range assign {
+		if l != old[v] {
+			res.MovedDemand += g.Demand(v)
+			res.MovedTasks++
+		}
+	}
+	return res, nil
+}
+
+// Relabel permutes sibling subtrees of the hierarchy in the placement
+// `fresh` to maximize the total demand that stays on its leaf from
+// `old`. The returned placement has exactly the Equation (1) cost of
+// fresh (subtree permutations are hierarchy automorphisms).
+func Relabel(g *graph.Graph, H *hierarchy.Hierarchy, fresh, old metrics.Assignment) metrics.Assignment {
+	h := H.Height()
+	// overlap[c][s] at the leaf level: demand assigned by fresh to leaf
+	// c that old kept on leaf s.
+	k := H.Leaves()
+	leafOverlap := make([][]float64, k)
+	for c := range leafOverlap {
+		leafOverlap[c] = make([]float64, k)
+	}
+	for v := 0; v < g.N(); v++ {
+		leafOverlap[fresh[v]][old[v]] += g.Demand(v)
+	}
+
+	// value[j] holds, for each (newNode, slot) pair at level j, the best
+	// achievable overlap and the child permutation realizing it.
+	type cell struct {
+		val  float64
+		perm []int
+	}
+	values := make([]map[[2]int]cell, h+1)
+	values[h] = map[[2]int]cell{}
+	for c := 0; c < k; c++ {
+		for s := 0; s < k; s++ {
+			values[h][[2]int{c, s}] = cell{val: leafOverlap[c][s]}
+		}
+	}
+	for j := h - 1; j >= 0; j-- {
+		values[j] = map[[2]int]cell{}
+		deg := H.Deg(j)
+		for c := 0; c < H.NumNodes(j); c++ {
+			for s := 0; s < H.NumNodes(j); s++ {
+				m := make([][]float64, deg)
+				for a := 0; a < deg; a++ {
+					m[a] = make([]float64, deg)
+					for b := 0; b < deg; b++ {
+						m[a][b] = values[j+1][[2]int{c*deg + a, s*deg + b}].val
+					}
+				}
+				perm, val := hungarian.Maximize(m)
+				values[j][[2]int{c, s}] = cell{val: val, perm: perm}
+			}
+		}
+	}
+
+	// Reconstruct the leaf relabeling top-down: root maps to root.
+	leafSlot := make([]int, k)
+	var walk func(j, c, s int)
+	walk = func(j, c, s int) {
+		if j == h {
+			leafSlot[c] = s
+			return
+		}
+		perm := values[j][[2]int{c, s}].perm
+		deg := H.Deg(j)
+		for a := 0; a < deg; a++ {
+			walk(j+1, c*deg+a, s*deg+perm[a])
+		}
+	}
+	walk(0, 0, 0)
+
+	out := metrics.NewAssignment(len(fresh))
+	for v, l := range fresh {
+		out[v] = leafSlot[l]
+	}
+	return out
+}
+
+// refineMigration is a move-based local search on the combined objective
+// cost + w·migration: a task may return toward its old leaf when the
+// communication penalty is smaller than the migration charge, or move
+// further when communication gains dominate.
+func refineMigration(g *graph.Graph, H *hierarchy.Hierarchy, assign, old metrics.Assignment, w, maxLoad float64, passes int) metrics.Assignment {
+	out := assign.Clone()
+	k := H.Leaves()
+	loads := make([]float64, k)
+	for v, l := range out {
+		loads[l] += g.Demand(v)
+	}
+	commAt := func(v, leaf int) float64 {
+		var c float64
+		g.Neighbors(v, func(u int, ew float64) {
+			c += ew * H.CM(H.LCALevel(leaf, out[u]))
+		})
+		return c
+	}
+	migAt := func(v, leaf int) float64 {
+		if leaf != old[v] {
+			return w * g.Demand(v)
+		}
+		return 0
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for v := 0; v < g.N(); v++ {
+			cur := out[v]
+			bestLeaf := cur
+			bestObj := commAt(v, cur) + migAt(v, cur)
+			for l := 0; l < k; l++ {
+				if l == cur || loads[l]+g.Demand(v) > maxLoad+1e-9 {
+					continue
+				}
+				if obj := commAt(v, l) + migAt(v, l); obj < bestObj-1e-12 {
+					bestLeaf, bestObj = l, obj
+				}
+			}
+			if bestLeaf != cur {
+				loads[cur] -= g.Demand(v)
+				loads[bestLeaf] += g.Demand(v)
+				out[v] = bestLeaf
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hgpt"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/tree"
+)
+
+func TestHGPBruteTwoVertices(t *testing.T) {
+	g := graph.New(2)
+	g.SetDemand(0, 1)
+	g.SetDemand(1, 1)
+	g.AddEdge(0, 1, 7)
+	h := hierarchy.FlatKWay(2)
+	cost, a := HGPBrute(g, h)
+	if cost != 7 {
+		t.Fatalf("cost = %v, want 7 (forced separation)", cost)
+	}
+	if a[0] == a[1] {
+		t.Fatalf("assignment = %v", a)
+	}
+	// With capacity 1 and demands 0.5 each: co-location wins.
+	g.SetDemand(0, 0.5)
+	g.SetDemand(1, 0.5)
+	cost, a = HGPBrute(g, h)
+	if cost != 0 || a[0] != a[1] {
+		t.Fatalf("cost = %v, a = %v", cost, a)
+	}
+}
+
+func TestHGPBruteInfeasible(t *testing.T) {
+	g := graph.New(3)
+	for v := 0; v < 3; v++ {
+		g.SetDemand(v, 1)
+	}
+	h := hierarchy.FlatKWay(2)
+	cost, a := HGPBrute(g, h)
+	if !math.IsInf(cost, 1) || a != nil {
+		t.Fatalf("expected infeasible, got %v %v", cost, a)
+	}
+}
+
+func TestHGPBruteHierarchyPreference(t *testing.T) {
+	// Heavy edge pair + light edge pair on a 2×2 hierarchy: heavy pair
+	// should share a socket.
+	g := graph.New(4)
+	for v := 0; v < 4; v++ {
+		g.SetDemand(v, 1)
+	}
+	g.AddEdge(0, 1, 100) // heavy
+	g.AddEdge(2, 3, 100) // heavy
+	g.AddEdge(0, 2, 1)   // light
+	g.AddEdge(1, 3, 1)
+	h := hierarchy.MustNew([]int{2, 2}, []float64{10, 1, 0})
+	cost, a := HGPBrute(g, h)
+	// Optimal: {0,1} on one socket, {2,3} on the other:
+	// heavy edges cost cm(1)=1 each, light edges cm(0)=10 each:
+	// 100+100+10+10 = 220. Wrong grouping would cost 100·10+... more.
+	if cost != 220 {
+		t.Fatalf("cost = %v, want 220 (assignment %v)", cost, a)
+	}
+	if h.AncestorAt(a[0], 1) != h.AncestorAt(a[1], 1) {
+		t.Fatal("heavy pair split across sockets")
+	}
+}
+
+func TestHGPTBruteMatchesHandExample(t *testing.T) {
+	tr := tree.New()
+	l1 := tr.AddChild(0, 3)
+	l2 := tr.AddChild(0, 5)
+	tr.SetDemand(l1, 1)
+	tr.SetDemand(l2, 1)
+	h := hierarchy.FlatKWay(2)
+	cost, assign := HGPTBrute(tr, h)
+	if math.Abs(cost-3) > 1e-9 {
+		t.Fatalf("cost = %v, want 3 (both mirror cuts on the cheap edge)", cost)
+	}
+	if assign[l1] == assign[l2] {
+		t.Fatal("must separate")
+	}
+}
+
+// exactScaleTree builds a random tree whose leaf demands are exact
+// multiples of 1/(2n) so the DP's ε = 0.5 scaling is lossless.
+func exactScaleTree(rng *rand.Rand, nLeaves int) *tree.Tree {
+	for {
+		tr := gen.RandomTree(rng, 2+rng.Intn(2*nLeaves), 9, 0.1, 0.9)
+		leaves := tr.Leaves()
+		if len(leaves) < 2 || len(leaves) > nLeaves {
+			continue
+		}
+		q := 2 * len(leaves)
+		for _, l := range leaves {
+			tr.SetDemand(l, float64(1+rng.Intn(q))/float64(q))
+		}
+		return tr
+	}
+}
+
+// TestDPMatchesRelaxedBrute is the central optimality check (Theorem 4):
+// with lossless scaling, the DP cost must equal the brute-force optimal
+// relaxed cost.
+func TestDPMatchesRelaxedBrute(t *testing.T) {
+	hs := []*hierarchy.Hierarchy{
+		hierarchy.FlatKWay(2),
+		hierarchy.FlatKWay(3),
+		hierarchy.MustNew([]int{2, 2}, []float64{6, 2, 0}),
+		hierarchy.MustNew([]int{2, 2}, []float64{5, 5, 0}), // tied levels
+		hierarchy.MustNew([]int{3, 2}, []float64{4, 1, 0}),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		tr := exactScaleTree(rng, 5)
+		h := hs[trial%len(hs)]
+		sol, err := hgpt.Solver{Eps: 0.5}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := RHGPTBrute(tr, h)
+		if math.Abs(sol.DPCost-want) > 1e-6 {
+			t.Fatalf("trial %d (h=%v): DP cost %v != relaxed brute %v\nleaves=%v",
+				trial, h, sol.DPCost, want, tr.Leaves())
+		}
+	}
+}
+
+// TestDPCostBelowStrictOptimal: Theorem 2 — the DP cost (and the final
+// repacked solution's cost) never exceeds the strict HGPT optimum.
+func TestDPCostBelowStrictOptimal(t *testing.T) {
+	hs := []*hierarchy.Hierarchy{
+		hierarchy.FlatKWay(2),
+		hierarchy.MustNew([]int{2, 2}, []float64{6, 2, 0}),
+	}
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 30; trial++ {
+		tr := exactScaleTree(rng, 5)
+		h := hs[trial%len(hs)]
+		strictOpt, _ := HGPTBrute(tr, h)
+		if math.IsInf(strictOpt, 1) {
+			continue // no capacity-respecting solution exists
+		}
+		checked++
+		sol, err := hgpt.Solver{Eps: 0.5}.Solve(tr, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.DPCost > strictOpt+1e-6 {
+			t.Fatalf("DP cost %v exceeds strict optimum %v", sol.DPCost, strictOpt)
+		}
+		if sol.Cost > strictOpt+1e-6 {
+			t.Fatalf("final cost %v exceeds strict optimum %v", sol.Cost, strictOpt)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d feasible instances checked", checked)
+	}
+}
+
+// TestRelaxedBelowStrict: the relaxed optimum is a lower bound on the
+// strict optimum by construction.
+func TestRelaxedBelowStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := hierarchy.MustNew([]int{2, 2}, []float64{8, 3, 0})
+	for trial := 0; trial < 20; trial++ {
+		tr := exactScaleTree(rng, 5)
+		relaxed := RHGPTBrute(tr, h)
+		strict, _ := HGPTBrute(tr, h)
+		if relaxed > strict+1e-9 {
+			t.Fatalf("relaxed %v > strict %v", relaxed, strict)
+		}
+	}
+}
+
+// TestViolationBound: Theorem 2/5 — per-level violation of the final
+// solution stays within (1+ε)(1+j)·CP(j), even on overloaded instances.
+func TestViolationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	hs := []*hierarchy.Hierarchy{
+		hierarchy.FlatKWay(3),
+		hierarchy.MustNew([]int{2, 2}, []float64{6, 2, 0}),
+		hierarchy.MustNew([]int{2, 2, 2}, []float64{9, 5, 2, 0}),
+	}
+	eps := 0.5
+	for trial := 0; trial < 40; trial++ {
+		h := hs[trial%len(hs)]
+		var tr *tree.Tree
+		for {
+			tr = exactScaleTree(rng, 6)
+			if tr.TotalDemand() <= h.Cap(0) {
+				break // Theorem 5 presumes the instance fits the machine
+			}
+		}
+		sol, err := hgpt.Solver{Eps: eps}.Solve(tr, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-level loads of the strict family.
+		for j := 0; j <= h.Height(); j++ {
+			bound := (1 + eps) * float64(1+j) * h.Cap(j)
+			for _, s := range sol.Strict.Levels[j] {
+				if s.Demand > bound+1e-9 {
+					t.Fatalf("trial %d level %d: set demand %v > bound %v", trial, j, s.Demand, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestHGPBruteConsistentWithMirrorCost: Lemma 2 — the brute-force
+// optimum computed with CostLCA agrees with CostMirror evaluation.
+func TestHGPBruteConsistentWithMirrorCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := hierarchy.MustNew([]int{2, 2}, []float64{5, 2, 0})
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(rng, 4, 0.5, 3)
+		gen.EqualDemands(g, 1)
+		cost, a := HGPBrute(g, h)
+		if math.IsInf(cost, 1) {
+			continue
+		}
+		if m := metrics.CostMirror(g, h, a); math.Abs(m-cost) > 1e-9 {
+			t.Fatalf("mirror cost %v != LCA cost %v", m, cost)
+		}
+	}
+}

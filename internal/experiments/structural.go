@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"hierpart/internal/hgpt"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/tree"
+)
+
+// F1BadSetSplit validates Observation 1 / Figure 1: when a leaf set S
+// has mirror components both inside and outside SUB(v) while v itself is
+// outside the mirror, splitting S into U₁ = S ∩ SUB(v) and
+// U₂ = S ∖ SUB(v) keeps the total cut weight unchanged — the structural
+// fact behind Theorem 3 (bad sets can be split at no cost).
+func F1BadSetSplit(cfg Config) *Table {
+	t := &Table{
+		ID:      "F1",
+		Title:   "Bad-set split preserves cut weight (Observation 1 / Fig. 1)",
+		Columns: []string{"trials", "split cases found", "cost preserved", "max rel diff"},
+		Notes:   "expected: every found case preserved (w(CUT(S)) = w(CUT(U1)) + w(CUT(U2)))",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 10))
+	trials := cfg.pick(200, 2000)
+	found, preserved := 0, 0
+	var worst float64
+	for i := 0; i < trials; i++ {
+		tr := randomWeightedTree(rng, 4+rng.Intn(12))
+		leaves := tr.Leaves()
+		if len(leaves) < 3 {
+			continue
+		}
+		inS := map[int]bool{}
+		for _, l := range leaves {
+			if rng.Float64() < 0.5 {
+				inS[l] = true
+			}
+		}
+		if len(inS) == 0 || len(inS) == len(leaves) {
+			continue
+		}
+		res := tr.CutLeafSetOf(inS)
+		// Find an internal node v outside the mirror whose subtree holds
+		// part (not all) of the mirror.
+		for v := 1; v < tr.N(); v++ {
+			if tr.IsLeaf(v) || res.InMirror[v] {
+				continue
+			}
+			insideMirror, insideS, outsideS := false, map[int]bool{}, map[int]bool{}
+			inSub := subtreeSet(tr, v)
+			for node := range inSub {
+				if res.InMirror[node] {
+					insideMirror = true
+				}
+			}
+			for l := range inS {
+				if inSub[l] {
+					insideS[l] = true
+				} else {
+					outsideS[l] = true
+				}
+			}
+			if !insideMirror || len(insideS) == 0 || len(outsideS) == 0 {
+				continue
+			}
+			found++
+			w1 := tr.CutLeafSetOf(insideS).Weight
+			w2 := tr.CutLeafSetOf(outsideS).Weight
+			d := math.Abs(w1 + w2 - res.Weight)
+			rel := d / (1 + res.Weight)
+			if rel > worst {
+				worst = rel
+			}
+			if rel < 1e-9 {
+				preserved++
+			}
+			break // one case per trial keeps the table honest
+		}
+	}
+	t.AddRow(trials, found, frac(preserved, found), worst)
+	return t
+}
+
+func subtreeSet(tr *tree.Tree, v int) map[int]bool {
+	out := map[int]bool{}
+	var rec func(u int)
+	rec = func(u int) {
+		out[u] = true
+		for _, c := range tr.Children(u) {
+			rec(c)
+		}
+	}
+	rec(v)
+	return out
+}
+
+// F2ActiveSets validates Lemmas 4 and 5 / Figure 2 on actual solver
+// output: within each level of a relaxed solution family the canonical
+// mirror sets are pairwise disjoint, and mirrors of nested sets nest.
+func F2ActiveSets(cfg Config) *Table {
+	t := &Table{
+		ID:      "F2",
+		Title:   "Mirror disjointness and nesting (Lemmas 4, 5 / Fig. 2)",
+		Columns: []string{"hierarchy", "solutions", "disjoint ok", "nesting ok"},
+		Notes:   "expected: all ok (mirror structure of nice solutions)",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	sols := cfg.pick(6, 30)
+	for _, hc := range theoryHierarchies {
+		disjointOK, nestOK := 0, 0
+		for i := 0; i < sols; i++ {
+			tr := exactScaleTree(rng, 6)
+			sol, err := hgpt.Solver{Eps: 0.5}.Solve(tr, hc.h)
+			if err != nil {
+				continue
+			}
+			if checkDisjoint(tr, sol) {
+				disjointOK++
+			}
+			if checkNesting(tr, hc.h, sol) {
+				nestOK++
+			}
+		}
+		t.AddRow(hc.name, sols, frac(disjointOK, sols), frac(nestOK, sols))
+	}
+	return t
+}
+
+func mirrorOf(tr *tree.Tree, leaves []int) []bool {
+	in := map[int]bool{}
+	for _, l := range leaves {
+		in[l] = true
+	}
+	return tr.CutLeafSetOf(in).InMirror
+}
+
+func checkDisjoint(tr *tree.Tree, sol *hgpt.Solution) bool {
+	for j := 1; j < len(sol.Relaxed.Levels); j++ {
+		var mirrors [][]bool
+		for _, s := range sol.Relaxed.Levels[j] {
+			mirrors = append(mirrors, mirrorOf(tr, s.Leaves))
+		}
+		for a := 0; a < len(mirrors); a++ {
+			for b := a + 1; b < len(mirrors); b++ {
+				for v := 0; v < tr.N(); v++ {
+					if mirrors[a][v] && mirrors[b][v] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func checkNesting(tr *tree.Tree, h *hierarchy.Hierarchy, sol *hgpt.Solution) bool {
+	// For each pair of adjacent levels, the set containing a leaf at
+	// level j+1 is contained in the one at level j; Lemma 5 says its
+	// canonical mirror is contained too.
+	for j := 1; j < h.Height(); j++ {
+		for _, child := range sol.Relaxed.Levels[j+1] {
+			// Find the parent set: the level-j set containing child's
+			// first leaf.
+			var parent []int
+			for _, p := range sol.Relaxed.Levels[j] {
+				if p.Contains(child.Leaves[0]) {
+					parent = p.Leaves
+					break
+				}
+			}
+			if parent == nil {
+				return false
+			}
+			mc := mirrorOf(tr, child.Leaves)
+			mp := mirrorOf(tr, parent)
+			for v := 0; v < tr.N(); v++ {
+				if mc[v] && !mp[v] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// randomWeightedTree builds a random weighted tree locally (avoids importing
+// gen just for this shape, whose leaf demands are irrelevant to F1).
+func randomWeightedTree(rng *rand.Rand, n int) *tree.Tree {
+	tr := tree.New()
+	for tr.N() < n {
+		tr.AddChild(rng.Intn(tr.N()), 1+rng.Float64()*9)
+	}
+	return tr
+}

@@ -1,0 +1,91 @@
+// Package experiments implements the evaluation suite of this
+// reproduction. The paper (SPAA 2014) is theoretical and reports no
+// measurements, so each experiment here validates the *shape* of one of
+// its claims — optimality and violation bounds (Theorems 2, 4, 5),
+// structural lemmas (Lemmas 2, 4, 5, Observation 1), the embedding
+// property (Proposition 1), end-to-end approximation (Theorem 1) — or
+// benchmarks the algorithm against the related-work heuristics (§1.1)
+// and the stream-placement application (§1). EXPERIMENTS.md records the
+// outputs; cmd/hgpbench prints them; bench_test.go wraps each in a
+// testing.B target.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes explains the expectation the numbers should meet.
+	Notes string
+}
+
+// AddRow appends a row, formatting each value with %v (floats get %.4g).
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "-- %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Config controls experiment sizes.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	Seed int64
+	// Quick shrinks instance sizes and trial counts for tests and CI.
+	Quick bool
+}
+
+func (c Config) pick(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// WriteCSV emits the table as CSV with an `experiment` column prepended,
+// so multiple tables concatenate into one machine-readable stream.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment"}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, r...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hierpart/internal/exact"
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hgpt"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/tree"
+)
+
+// exactScaleTree draws a random tree with at most maxLeaves leaves whose
+// demands are exact multiples of 1/(2·leaves), so the ε = 0.5 scaling of
+// the DP is lossless and optimality comparisons are exact.
+func exactScaleTree(rng *rand.Rand, maxLeaves int) *tree.Tree {
+	for {
+		tr := gen.RandomTree(rng, 2+rng.Intn(2*maxLeaves), 9, 0.1, 0.9)
+		leaves := tr.Leaves()
+		if len(leaves) < 2 || len(leaves) > maxLeaves {
+			continue
+		}
+		q := 2 * len(leaves)
+		for _, l := range leaves {
+			tr.SetDemand(l, float64(1+rng.Intn(q))/float64(q))
+		}
+		return tr
+	}
+}
+
+var theoryHierarchies = []struct {
+	name string
+	h    *hierarchy.Hierarchy
+}{
+	{"flat k=2", hierarchy.FlatKWay(2)},
+	{"flat k=3", hierarchy.FlatKWay(3)},
+	{"2x2", hierarchy.MustNew([]int{2, 2}, []float64{6, 2, 0})},
+	{"3x2", hierarchy.MustNew([]int{3, 2}, []float64{4, 1, 0})},
+	{"2x2x2", hierarchy.MustNew([]int{2, 2, 2}, []float64{9, 5, 2, 0})},
+}
+
+// E1TreeDPOptimality compares the signature DP against the brute-force
+// relaxed optimum (Theorem 4: the DP must be exactly optimal).
+func E1TreeDPOptimality(cfg Config) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Tree DP vs brute-force relaxed optimum (Theorem 4)",
+		Columns: []string{"hierarchy", "trials", "mean ratio", "max ratio", "exact"},
+		Notes:   "expected: every ratio 1.0 (DP optimal for RHGPT)",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := cfg.pick(8, 40)
+	for _, hc := range theoryHierarchies {
+		var sum, max float64
+		exactCnt := 0
+		for i := 0; i < trials; i++ {
+			tr := exactScaleTree(rng, 5)
+			sol, err := hgpt.Solver{Eps: 0.5}.Solve(tr, hc.h)
+			if err != nil {
+				continue
+			}
+			want := exact.RHGPTBrute(tr, hc.h)
+			r := metrics.Ratio(sol.DPCost, want)
+			if want == 0 && sol.DPCost == 0 {
+				r = 1
+			}
+			sum += r
+			if r > max {
+				max = r
+			}
+			if math.Abs(sol.DPCost-want) < 1e-6 {
+				exactCnt++
+			}
+		}
+		t.AddRow(hc.name, trials, sum/float64(trials), max, frac(exactCnt, trials))
+	}
+	return t
+}
+
+// frac renders "a/b" counts for table cells.
+func frac(a, b int) string { return fmt.Sprintf("%d/%d", a, b) }
+
+// E2CostForms checks Lemma 2: the LCA form (Equation 1) and the mirror
+// form (Equation 3) of the objective agree on random placements.
+func E2CostForms(cfg Config) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Equation (1) vs Equation (3) cost forms (Lemma 2)",
+		Columns: []string{"family", "trials", "max rel diff"},
+		Notes:   "expected: differences at floating-point noise level",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	trials := cfg.pick(20, 200)
+	h := hierarchy.NUMAServer()
+	run := func(name string, mk func(r *rand.Rand) *graph.Graph) {
+		var worst float64
+		for i := 0; i < trials; i++ {
+			g := mk(rng)
+			a := make(metrics.Assignment, g.N())
+			for v := range a {
+				a[v] = rng.Intn(h.Leaves())
+			}
+			lca := metrics.CostLCA(g, h, a)
+			mir := metrics.CostMirror(g, h, a)
+			d := math.Abs(lca-mir) / (1 + math.Abs(lca))
+			if d > worst {
+				worst = d
+			}
+		}
+		t.AddRow(name, trials, worst)
+	}
+	run("erdos-renyi", func(r *rand.Rand) *graph.Graph { return gen.ErdosRenyi(r, 24, 0.2, 5) })
+	run("grid 6x4", func(r *rand.Rand) *graph.Graph { return gen.Grid(6, 4, 2) })
+	run("power-law", func(r *rand.Rand) *graph.Graph { return gen.BarabasiAlbert(r, 24, 2, 5) })
+	return t
+}
+
+// E3ViolationBound measures the worst per-level capacity violation of
+// the full tree solver on feasible instances (Theorems 2 and 5).
+func E3ViolationBound(cfg Config) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Per-level capacity violation vs (1+ε)(1+j) bound (Theorem 5)",
+		Columns: []string{"hierarchy", "level", "CP(j)", "worst observed", "bound", "ok"},
+		Notes:   "expected: observed ≤ bound at every level (ε = 0.5)",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	trials := cfg.pick(6, 30)
+	eps := 0.5
+	for _, hc := range theoryHierarchies {
+		worst := make([]float64, hc.h.Height()+1)
+		for i := 0; i < trials; i++ {
+			var tr *tree.Tree
+			for {
+				tr = exactScaleTree(rng, cfg.pick(6, 10))
+				if tr.TotalDemand() <= hc.h.Cap(0) {
+					break
+				}
+			}
+			sol, err := hgpt.Solver{Eps: eps}.Solve(tr, hc.h)
+			if err != nil {
+				continue
+			}
+			for j := 0; j <= hc.h.Height(); j++ {
+				for _, s := range sol.Strict.Levels[j] {
+					if r := s.Demand / hc.h.Cap(j); r > worst[j] {
+						worst[j] = r
+					}
+				}
+			}
+		}
+		for j := 0; j <= hc.h.Height(); j++ {
+			bound := (1 + eps) * float64(1+j)
+			t.AddRow(hc.name, j, hc.h.Cap(j), worst[j], bound, worst[j] <= bound+1e-9)
+		}
+	}
+	return t
+}
+
+// E4ApproxRatio measures the end-to-end pipeline against the true HGP
+// optimum on tiny graphs (the empirical face of Theorem 1).
+func E4ApproxRatio(cfg Config) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "End-to-end cost vs brute-force optimum (Theorem 1 shape)",
+		Columns: []string{"family", "hierarchy", "feasible trials", "mean ratio", "max ratio"},
+		Notes:   "bicriteria: the pipeline may trade small capacity violations for cost, so ratios can dip below 1",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	trials := cfg.pick(6, 25)
+	hs := []struct {
+		name string
+		h    *hierarchy.Hierarchy
+	}{
+		{"flat k=4", hierarchy.FlatKWay(4)},
+		{"2x2", hierarchy.MustNew([]int{2, 2}, []float64{5, 2, 0})},
+	}
+	fams := []struct {
+		name string
+		mk   func(r *rand.Rand) *graph.Graph
+	}{
+		{"erdos-renyi", func(r *rand.Rand) *graph.Graph { return gen.ErdosRenyi(r, 6, 0.4, 4) }},
+		{"grid 2x3", func(r *rand.Rand) *graph.Graph { return gen.Grid(2, 3, 1) }},
+	}
+	for _, fc := range fams {
+		for _, hc := range hs {
+			var sum, max float64
+			okTrials := 0
+			for i := 0; i < trials; i++ {
+				g := fc.mk(rng)
+				gen.UniformDemands(rng, g, 0.2, 0.6)
+				opt, optA := exact.HGPBrute(g, hc.h)
+				if optA == nil || opt == 0 {
+					continue
+				}
+				res, err := hgp.Solver{Eps: 0.25, Trees: 4, Seed: rng.Int63()}.Solve(g, hc.h)
+				if err != nil {
+					continue
+				}
+				okTrials++
+				r := res.Cost / opt
+				sum += r
+				if r > max {
+					max = r
+				}
+			}
+			if okTrials == 0 {
+				t.AddRow(fc.name, hc.name, 0, "-", "-")
+				continue
+			}
+			t.AddRow(fc.name, hc.name, okTrials, sum/float64(okTrials), max)
+		}
+	}
+	return t
+}

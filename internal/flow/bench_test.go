@@ -1,0 +1,32 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMaxFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	type arc struct {
+		u, v int
+		c    float64
+	}
+	var arcs []arc
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.05 {
+				arcs = append(arcs, arc{u, v, 1 + rng.Float64()*9})
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := NewNetwork(n)
+		for _, a := range arcs {
+			net.AddEdge(a.u, a.v, a.c)
+		}
+		net.MaxFlow(0, n-1)
+	}
+}

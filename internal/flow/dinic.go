@@ -1,0 +1,153 @@
+// Package flow implements Dinic's maximum-flow algorithm on weighted
+// directed networks. It is the combinatorial substrate behind the
+// balanced-cut heuristics of the decomposition-tree builder and the
+// verification paths of the test suite; the paper needs no LP solver —
+// all of its machinery is combinatorial.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a flow network over vertices 0..N-1. Arcs are stored with
+// explicit residual twins. The zero value is unusable; use NewNetwork.
+type Network struct {
+	n     int
+	head  []int // head[v] = first arc index of v, -1 if none
+	next  []int // next[a] = next arc of the same tail
+	to    []int
+	cap   []float64
+	level []int
+	iter  []int
+}
+
+// NewNetwork returns an empty network with n vertices.
+func NewNetwork(n int) *Network {
+	head := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Network{n: n, head: head}
+}
+
+// N returns the number of vertices.
+func (f *Network) N() int { return f.n }
+
+// AddArc adds a directed arc u→v with the given capacity (and a zero
+// capacity residual twin). It panics on invalid input.
+func (f *Network) AddArc(u, v int, c float64) {
+	if u < 0 || u >= f.n || v < 0 || v >= f.n || u == v {
+		panic(fmt.Sprintf("flow: bad arc %d→%d (n=%d)", u, v, f.n))
+	}
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("flow: bad capacity %v", c))
+	}
+	f.push(u, v, c)
+	f.push(v, u, 0)
+}
+
+// AddEdge adds an undirected edge {u, v} with the given capacity in both
+// directions (the standard reduction for undirected min cut).
+func (f *Network) AddEdge(u, v int, c float64) {
+	if u < 0 || u >= f.n || v < 0 || v >= f.n || u == v {
+		panic(fmt.Sprintf("flow: bad edge %d-%d (n=%d)", u, v, f.n))
+	}
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("flow: bad capacity %v", c))
+	}
+	f.push(u, v, c)
+	f.push(v, u, c)
+}
+
+func (f *Network) push(u, v int, c float64) {
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, c)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = len(f.to) - 1
+}
+
+// MaxFlow pushes the maximum flow from s to t and returns its value.
+// Residual capacities are left in place so MinCutSide can read the cut;
+// calling MaxFlow twice on the same network returns 0 the second time.
+func (f *Network) MaxFlow(s, t int) float64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	var total float64
+	f.level = make([]int, f.n)
+	f.iter = make([]int, f.n)
+	for f.bfs(s, t) {
+		copy(f.iter, f.head)
+		for {
+			df := f.dfs(s, t, math.Inf(1))
+			if df == 0 {
+				break
+			}
+			total += df
+		}
+	}
+	return total
+}
+
+func (f *Network) bfs(s, t int) bool {
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	queue := make([]int, 0, f.n)
+	queue = append(queue, s)
+	f.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for a := f.head[v]; a != -1; a = f.next[a] {
+			if f.cap[a] > eps && f.level[f.to[a]] < 0 {
+				f.level[f.to[a]] = f.level[v] + 1
+				queue = append(queue, f.to[a])
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+const eps = 1e-12
+
+func (f *Network) dfs(v, t int, limit float64) float64 {
+	if v == t {
+		return limit
+	}
+	for ; f.iter[v] != -1; f.iter[v] = f.next[f.iter[v]] {
+		a := f.iter[v]
+		u := f.to[a]
+		if f.cap[a] <= eps || f.level[u] != f.level[v]+1 {
+			continue
+		}
+		d := f.dfs(u, t, math.Min(limit, f.cap[a]))
+		if d > 0 {
+			f.cap[a] -= d
+			f.cap[a^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+// MinCutSide returns, after MaxFlow(s, t), the set of vertices reachable
+// from s in the residual network — the s-side of a minimum s-t cut — as
+// a boolean slice indexed by vertex.
+func (f *Network) MinCutSide(s int) []bool {
+	side := make([]bool, f.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for a := f.head[v]; a != -1; a = f.next[a] {
+			if f.cap[a] > eps && !side[f.to[a]] {
+				side[f.to[a]] = true
+				stack = append(stack, f.to[a])
+			}
+		}
+	}
+	return side
+}

@@ -1,0 +1,176 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierpart/internal/graph"
+)
+
+func TestSingleArc(t *testing.T) {
+	f := NewNetwork(2)
+	f.AddArc(0, 1, 3.5)
+	if got := f.MaxFlow(0, 1); got != 3.5 {
+		t.Fatalf("flow = %v, want 3.5", got)
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 5)
+	if got := f.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("flow = %v, want 0", got)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example: max flow 23.
+	f := NewNetwork(6)
+	f.AddArc(0, 1, 16)
+	f.AddArc(0, 2, 13)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 1, 4)
+	f.AddArc(1, 3, 12)
+	f.AddArc(3, 2, 9)
+	f.AddArc(2, 4, 14)
+	f.AddArc(4, 3, 7)
+	f.AddArc(3, 5, 20)
+	f.AddArc(4, 5, 4)
+	if got := f.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("flow = %v, want 23", got)
+	}
+}
+
+func TestUndirectedEdgeBothDirections(t *testing.T) {
+	f := NewNetwork(2)
+	f.AddEdge(0, 1, 2)
+	if got := f.MaxFlow(1, 0); got != 2 {
+		t.Fatalf("reverse flow = %v, want 2", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	// Dumbbell: 0-1 heavy, 1-2 light, 2-3 heavy. Min cut = {1-2}.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 10)
+	f.AddEdge(1, 2, 1)
+	f.AddEdge(2, 3, 10)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("flow = %v, want 1", got)
+	}
+	side := f.MinCutSide(0)
+	want := []bool{true, true, false, false}
+	for v := range want {
+		if side[v] != want[v] {
+			t.Fatalf("side = %v, want %v", side, want)
+		}
+	}
+}
+
+func TestAddArcPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"self":     func() { NewNetwork(2).AddArc(0, 0, 1) },
+		"range":    func() { NewNetwork(2).AddArc(0, 2, 1) },
+		"negative": func() { NewNetwork(2).AddArc(0, 1, -1) },
+		"nan":      func() { NewNetwork(2).AddEdge(0, 1, math.NaN()) },
+		"s==t":     func() { NewNetwork(2).MaxFlow(1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// bruteMinCut enumerates all s-t cuts of a small undirected graph.
+func bruteMinCut(g *graph.Graph, s, t int) float64 {
+	n := g.N()
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		if mask&(1<<uint(s)) == 0 || mask&(1<<uint(t)) != 0 {
+			continue
+		}
+		c := g.CutWeight(func(v int) bool { return mask&(1<<uint(v)) != 0 })
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Property (max-flow min-cut): Dinic's value equals the brute-force
+// minimum s-t cut on random small undirected graphs.
+func TestMaxFlowEqualsBruteMinCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(u, v, float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		s, tt := 0, n-1
+		net := NewNetwork(n)
+		for _, e := range g.Edges() {
+			net.AddEdge(e.U, e.V, e.Weight)
+		}
+		got := net.MaxFlow(s, tt)
+		want := bruteMinCut(g, s, tt)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cut read from MinCutSide has weight equal to the flow
+// value (strong duality realized by the residual reachability set).
+func TestCutSideWeightMatchesFlow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(u, v, 1+rng.Float64()*9)
+				}
+			}
+		}
+		net := NewNetwork(n)
+		for _, e := range g.Edges() {
+			net.AddEdge(e.U, e.V, e.Weight)
+		}
+		val := net.MaxFlow(0, n-1)
+		side := net.MinCutSide(0)
+		if side[n-1] {
+			return false
+		}
+		cut := g.CutWeight(func(v int) bool { return side[v] })
+		return math.Abs(val-cut) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondMaxFlowIsZero(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 2)
+	f.AddArc(1, 2, 2)
+	if got := f.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("first flow = %v", got)
+	}
+	if got := f.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("second flow = %v, want 0 (saturated residual)", got)
+	}
+}

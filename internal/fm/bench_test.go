@@ -1,0 +1,31 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+)
+
+func BenchmarkRefine(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.Community(rng, 4, 64, 0.1, 0.01, 10, 1)
+	cluster := make([]int, g.N())
+	for v := range cluster {
+		cluster[v] = v
+	}
+	start := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		start[v] = rng.Float64() < 0.5
+	}
+	w := func(int) float64 { return 1 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		side := make(map[int]bool, len(start))
+		for k, v := range start {
+			side[k] = v
+		}
+		Refine(g, cluster, side, w, Config{})
+	}
+}

@@ -1,0 +1,45 @@
+package fm_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/fm"
+	"hierpart/internal/graph"
+)
+
+// The barbell trap: two heavy cliques joined by a weight-1 edge, started
+// from a straddling split. Greedy single moves are all negative-gain,
+// but FM's tentative-move pass with best-prefix rollback finds the
+// bottleneck.
+func ExampleRefine() {
+	g := graph.New(12)
+	for s := 0; s < 2; s++ {
+		base := s * 6
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				g.AddEdge(base+i, base+j, 10)
+			}
+		}
+	}
+	g.AddEdge(5, 6, 1)
+
+	cluster := make([]int, 12)
+	for v := range cluster {
+		cluster[v] = v
+	}
+	side := map[int]bool{0: true, 1: true, 2: true, 6: true, 7: true, 8: true}
+	unit := func(int) float64 { return 1 }
+
+	improved := fm.Refine(g, cluster, side, unit, fm.Config{MinFrac: 0.4, MaxFrac: 0.6})
+	var cut float64
+	for _, e := range g.Edges() {
+		if side[e.U] != side[e.V] {
+			cut += e.Weight
+		}
+	}
+	fmt.Println("improved:", improved)
+	fmt.Println("final cut:", cut)
+	// Output:
+	// improved: true
+	// final cut: 1
+}

@@ -1,0 +1,213 @@
+// Package fm implements the Fiduccia–Mattheyses bisection refinement
+// heuristic in its classic form: per pass, every vertex may move once;
+// moves are chosen best-gain-first from priority queues even when the
+// gain is negative (that is what lets FM climb out of local minima the
+// greedy sweeps of simpler refiners cannot leave); at the end of the
+// pass the best prefix of the move sequence is kept. Balance is enforced
+// as a window on the weight of the "true" side.
+//
+// The embedding builder (internal/treedecomp) and the partitioning
+// baselines use this engine; its own tests pit it against exhaustive
+// search on small clusters.
+package fm
+
+import (
+	"container/heap"
+	"sort"
+
+	"hierpart/internal/graph"
+)
+
+// Config controls Refine.
+type Config struct {
+	// MinFrac and MaxFrac bound the true-side weight as a fraction of
+	// the cluster weight. Zeroes mean [0.25, 0.75].
+	MinFrac, MaxFrac float64
+	// Passes caps the number of FM passes. Zero means 8.
+	Passes int
+}
+
+// Refine improves the bisection `side` (vertex → true/false) of the
+// given cluster of g in place, minimizing the weight of edges whose
+// endpoints disagree, subject to the balance window. Vertices outside
+// the cluster are ignored entirely. weight gives each vertex's balance
+// contribution. It reports whether the cut weight strictly improved.
+func Refine(g *graph.Graph, cluster []int, side map[int]bool, weight func(v int) float64, cfg Config) bool {
+	minFrac, maxFrac := cfg.MinFrac, cfg.MaxFrac
+	if minFrac == 0 && maxFrac == 0 {
+		minFrac, maxFrac = 0.25, 0.75
+	}
+	passes := cfg.Passes
+	if passes == 0 {
+		passes = 8
+	}
+	if len(cluster) < 2 {
+		return false
+	}
+
+	inCluster := make(map[int]bool, len(cluster))
+	var totalW float64
+	for _, v := range cluster {
+		inCluster[v] = true
+		totalW += weight(v)
+	}
+	if totalW == 0 {
+		return false
+	}
+	lo, hi := totalW*minFrac, totalW*maxFrac
+
+	order := append([]int(nil), cluster...)
+	sort.Ints(order)
+
+	cutWeight := func() float64 {
+		var c float64
+		for _, v := range order {
+			g.Neighbors(v, func(u int, w float64) {
+				if inCluster[u] && v < u && side[u] != side[v] {
+					c += w
+				}
+			})
+		}
+		return c
+	}
+
+	improvedEver := false
+	for pass := 0; pass < passes; pass++ {
+		if !onePass(g, order, inCluster, side, weight, lo, hi, cutWeight) {
+			break
+		}
+		improvedEver = true
+	}
+	return improvedEver
+}
+
+// gainItem is a queue entry; stale entries (version mismatch) are
+// skipped on pop.
+type gainItem struct {
+	gain    float64
+	v       int
+	version int
+}
+
+type gainQueue []gainItem
+
+func (q gainQueue) Len() int { return len(q) }
+func (q gainQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain // max-heap on gain
+	}
+	return q[i].v < q[j].v // deterministic tie-break
+}
+func (q gainQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *gainQueue) Push(x interface{}) { *q = append(*q, x.(gainItem)) }
+func (q *gainQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// onePass performs one FM pass and reports whether it strictly lowered
+// the cut. side is updated to the best prefix (or left unchanged).
+func onePass(g *graph.Graph, order []int, inCluster map[int]bool, side map[int]bool,
+	weight func(v int) float64, lo, hi float64, cutWeight func() float64) bool {
+
+	gain := map[int]float64{}
+	version := map[int]int{}
+	locked := map[int]bool{}
+	var q gainQueue
+
+	computeGain := func(v int) float64 {
+		var toOwn, toOther float64
+		g.Neighbors(v, func(u int, w float64) {
+			if !inCluster[u] {
+				return
+			}
+			if side[u] == side[v] {
+				toOwn += w
+			} else {
+				toOther += w
+			}
+		})
+		return toOther - toOwn
+	}
+	push := func(v int) {
+		gain[v] = computeGain(v)
+		version[v]++
+		heap.Push(&q, gainItem{gain: gain[v], v: v, version: version[v]})
+	}
+
+	var trueW float64
+	for _, v := range order {
+		if side[v] {
+			trueW += weight(v)
+		}
+	}
+	for _, v := range order {
+		push(v)
+	}
+
+	startCut := cutWeight()
+	curCut := startCut
+	bestCut := startCut
+	bestPrefix := 0
+	var moves []int
+
+	for q.Len() > 0 {
+		// Pop the best unlocked, balance-feasible vertex. Infeasible
+		// entries are re-collected and reinserted after the move.
+		var deferred []gainItem
+		picked := -1
+		for q.Len() > 0 {
+			it := heap.Pop(&q).(gainItem)
+			if locked[it.v] || it.version != version[it.v] {
+				continue
+			}
+			var newTrueW float64
+			if side[it.v] {
+				newTrueW = trueW - weight(it.v)
+			} else {
+				newTrueW = trueW + weight(it.v)
+			}
+			if newTrueW < lo || newTrueW > hi {
+				deferred = append(deferred, it)
+				continue
+			}
+			picked = it.v
+			break
+		}
+		for _, it := range deferred {
+			heap.Push(&q, it)
+		}
+		if picked == -1 {
+			break
+		}
+
+		// Tentatively move picked.
+		curCut -= gain[picked]
+		if side[picked] {
+			trueW -= weight(picked)
+		} else {
+			trueW += weight(picked)
+		}
+		side[picked] = !side[picked]
+		locked[picked] = true
+		moves = append(moves, picked)
+		if curCut < bestCut-1e-12 {
+			bestCut = curCut
+			bestPrefix = len(moves)
+		}
+		g.Neighbors(picked, func(u int, _ float64) {
+			if inCluster[u] && !locked[u] {
+				push(u)
+			}
+		})
+	}
+
+	// Roll back to the best prefix.
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		side[moves[i]] = !side[moves[i]]
+	}
+	return bestCut < startCut-1e-12
+}

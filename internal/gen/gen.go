@@ -1,0 +1,224 @@
+// Package gen generates the synthetic instances used by the examples,
+// tests, and benchmark harness: classic graph families (grids, random
+// graphs, power-law graphs, planted communities), random trees for the
+// HGPT solver, and stream-processing operator DAGs modeled on the
+// workloads that motivate the paper (§1).
+//
+// Every generator takes an explicit *rand.Rand so experiments are
+// reproducible from a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/tree"
+)
+
+// Grid returns the rows×cols grid graph with all edge weights w.
+// Vertex (r, c) has ID r*cols + c.
+func Grid(rows, cols int, w float64) *graph.Graph {
+	g := graph.New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(v, v+1, w)
+			}
+			if r+1 < rows {
+				g.AddEdge(v, v+cols, w)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols torus (grid with wraparound) with all edge
+// weights w. Requires rows, cols ≥ 3 so wrap edges are distinct.
+func Torus(rows, cols int, w float64) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("gen: torus needs dims ≥ 3, got %d×%d", rows, cols))
+	}
+	g := graph.New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			g.AddEdge(v, r*cols+(c+1)%cols, w)
+			g.AddEdge(v, ((r+1)%rows)*cols+c, w)
+		}
+	}
+	return g
+}
+
+// ErdosRenyi returns G(n, p) with uniform random edge weights in
+// [1, maxW]. A spanning cycle is added first so the graph is always
+// connected (weight 1 edges), which partitioning experiments require.
+func ErdosRenyi(rng *rand.Rand, n int, p, maxW float64) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n, 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if (v-u != 1) && !(u == 0 && v == n-1) && rng.Float64() < p {
+				g.AddEdge(u, v, 1+rng.Float64()*(maxW-1))
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a power-law graph grown by preferential
+// attachment: each new vertex attaches to m existing vertices chosen
+// proportionally to degree. Edge weights are uniform in [1, maxW].
+func BarabasiAlbert(rng *rand.Rand, n, m int, maxW float64) *graph.Graph {
+	if n < m+1 || m < 1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert needs n > m ≥ 1, got n=%d m=%d", n, m))
+	}
+	g := graph.New(n)
+	// Seed clique of m+1 vertices.
+	var targets []int
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			g.AddEdge(u, v, 1+rng.Float64()*(maxW-1))
+			targets = append(targets, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			chosen[targets[rng.Intn(len(targets))]] = true
+		}
+		for u := range chosen {
+			g.AddEdge(v, u, 1+rng.Float64()*(maxW-1))
+			targets = append(targets, u, v)
+		}
+	}
+	return g
+}
+
+// Community returns a planted-partition graph: parts blocks of size
+// blockSize; intra-block edges appear with probability pIn and weight
+// wIn, inter-block edges with probability pOut and weight wOut. A cycle
+// through each block and a cycle over block representatives keep the
+// graph connected.
+func Community(rng *rand.Rand, parts, blockSize int, pIn, pOut, wIn, wOut float64) *graph.Graph {
+	n := parts * blockSize
+	g := graph.New(n)
+	for b := 0; b < parts; b++ {
+		base := b * blockSize
+		for i := 0; i < blockSize; i++ {
+			if blockSize > 1 {
+				g.AddEdge(base+i, base+(i+1)%blockSize, wIn)
+			}
+			for j := i + 1; j < blockSize; j++ {
+				if !adjacentInCycle(i, j, blockSize) && rng.Float64() < pIn {
+					g.AddEdge(base+i, base+j, wIn)
+				}
+			}
+		}
+	}
+	for b := 0; b < parts; b++ {
+		if parts > 1 {
+			g.AddEdge(b*blockSize, ((b+1)%parts)*blockSize, wOut)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if u/blockSize != v/blockSize && rng.Float64() < pOut && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, wOut)
+			}
+		}
+	}
+	return g
+}
+
+func adjacentInCycle(i, j, n int) bool {
+	if n <= 1 {
+		return false
+	}
+	d := j - i
+	if d < 0 {
+		d = -d
+	}
+	return d == 1 || d == n-1
+}
+
+// UniformDemands assigns each vertex a demand drawn uniformly from
+// [lo, hi].
+func UniformDemands(rng *rand.Rand, g *graph.Graph, lo, hi float64) {
+	for v := 0; v < g.N(); v++ {
+		g.SetDemand(v, lo+rng.Float64()*(hi-lo))
+	}
+}
+
+// EqualDemands assigns every vertex demand d.
+func EqualDemands(g *graph.Graph, d float64) {
+	for v := 0; v < g.N(); v++ {
+		g.SetDemand(v, d)
+	}
+}
+
+// RandomTree returns a random rooted tree with n nodes: each new node
+// attaches to a uniformly random existing node. Edge weights are uniform
+// in [1, maxW]; every leaf receives a uniform demand in [dLo, dHi].
+func RandomTree(rng *rand.Rand, n int, maxW, dLo, dHi float64) *tree.Tree {
+	if n < 1 {
+		panic("gen: RandomTree needs n ≥ 1")
+	}
+	t := tree.New()
+	for t.N() < n {
+		p := rng.Intn(t.N())
+		t.AddChild(p, 1+rng.Float64()*(maxW-1))
+	}
+	for _, l := range t.Leaves() {
+		t.SetDemand(l, dLo+rng.Float64()*(dHi-dLo))
+	}
+	return t
+}
+
+// Caterpillar returns a caterpillar tree: a spine of the given length
+// with legs leaf children per spine node. Spine edges have weight
+// spineW, leg edges weight legW, and every leaf demand d.
+func Caterpillar(spine, legs int, spineW, legW, d float64) *tree.Tree {
+	if spine < 1 || legs < 1 {
+		panic("gen: Caterpillar needs spine ≥ 1 and legs ≥ 1")
+	}
+	t := tree.New()
+	cur := t.Root()
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			leaf := t.AddChild(cur, legW)
+			t.SetDemand(leaf, d)
+		}
+		if s+1 < spine {
+			cur = t.AddChild(cur, spineW)
+		}
+	}
+	return t
+}
+
+// BalancedTree returns a complete tree of the given height where every
+// internal node has fanout children; leaves all carry demand d and all
+// edges weight w.
+func BalancedTree(height, fanout int, w, d float64) *tree.Tree {
+	if height < 1 || fanout < 1 {
+		panic("gen: BalancedTree needs height ≥ 1 and fanout ≥ 1")
+	}
+	t := tree.New()
+	level := []int{t.Root()}
+	for h := 0; h < height; h++ {
+		var next []int
+		for _, v := range level {
+			for f := 0; f < fanout; f++ {
+				next = append(next, t.AddChild(v, w))
+			}
+		}
+		level = next
+	}
+	for _, l := range level {
+		t.SetDemand(l, d)
+	}
+	return t
+}

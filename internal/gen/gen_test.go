@@ -1,0 +1,210 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, 2)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Fatalf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("grid must be connected")
+	}
+	if g.Weight(0, 1) != 2 || g.Weight(0, 4) != 2 {
+		t.Fatal("edge weights wrong")
+	}
+	if g.HasEdge(3, 4) {
+		t.Fatal("grid should not wrap rows")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(3, 3, 1)
+	if g.N() != 9 || g.M() != 18 {
+		t.Fatalf("N=%d M=%d, want 9, 18", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree = %d, want 4", v, g.Degree(v))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tiny torus")
+		}
+	}()
+	Torus(2, 3, 1)
+}
+
+func TestErdosRenyiConnectedAndSeeded(t *testing.T) {
+	g1 := ErdosRenyi(rand.New(rand.NewSource(5)), 30, 0.1, 4)
+	g2 := ErdosRenyi(rand.New(rand.NewSource(5)), 30, 0.1, 4)
+	if !g1.Connected() {
+		t.Fatal("ER graph must be connected (cycle backbone)")
+	}
+	// Compare the sorted edge lists exactly (summing weights would
+	// depend on map iteration order in the last float bits).
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("same seed must give identical graphs")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed differs at edge %d: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	g3 := ErdosRenyi(rand.New(rand.NewSource(6)), 30, 0.1, 4)
+	same := g1.M() == g3.M()
+	if same {
+		e3 := g3.Edges()
+		for i := range e1 {
+			if e1[i] != e3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ (overwhelmingly)")
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := BarabasiAlbert(rng, 50, 2, 3)
+	if g.N() != 50 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph must be connected")
+	}
+	// Seed clique (3 choose 2) + 2 per new vertex.
+	wantM := 3 + 2*(50-3)
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	// Power-law-ish: max degree should far exceed m.
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 5 {
+		t.Fatalf("max degree = %d, expected a hub", maxDeg)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= m")
+		}
+	}()
+	BarabasiAlbert(rng, 2, 2, 1)
+}
+
+func TestCommunity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Community(rng, 4, 8, 0.6, 0.02, 10, 1)
+	if g.N() != 32 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("community graph must be connected")
+	}
+	// Intra-block weight should dominate: cutting one block out should
+	// be much cheaper relative to its internal weight.
+	block0 := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		block0[i] = true
+	}
+	cut := g.CutWeightSet(block0)
+	var internal float64
+	for _, e := range g.Edges() {
+		if block0[e.U] && block0[e.V] {
+			internal += e.Weight
+		}
+	}
+	if internal <= cut {
+		t.Fatalf("planted structure too weak: internal %v <= cut %v", internal, cut)
+	}
+}
+
+func TestDemandHelpers(t *testing.T) {
+	g := Grid(2, 2, 1)
+	EqualDemands(g, 0.25)
+	if g.TotalDemand() != 1 {
+		t.Fatalf("total = %v", g.TotalDemand())
+	}
+	UniformDemands(rand.New(rand.NewSource(1)), g, 0.1, 0.2)
+	for v := 0; v < g.N(); v++ {
+		if d := g.Demand(v); d < 0.1 || d > 0.2 {
+			t.Fatalf("demand %v out of range", d)
+		}
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		tr := RandomTree(rng, n, 5, 0.1, 0.9)
+		if tr.N() != n || tr.Validate() != nil {
+			return false
+		}
+		for _, l := range tr.Leaves() {
+			d := tr.Demand(l)
+			if d < 0.1 || d > 0.9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	tr := Caterpillar(3, 2, 5, 1, 0.5)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Leaves()); got != 6 {
+		t.Fatalf("leaves = %d, want 6", got)
+	}
+	if tr.TotalDemand() != 3 {
+		t.Fatalf("demand = %v, want 3", tr.TotalDemand())
+	}
+	// Spine length 3 → 2 spine edges + 6 leg edges + root = 9 nodes.
+	if tr.N() != 9 {
+		t.Fatalf("N = %d, want 9", tr.N())
+	}
+}
+
+func TestBalancedTree(t *testing.T) {
+	tr := BalancedTree(2, 3, 1, 0.25)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Leaves()); got != 9 {
+		t.Fatalf("leaves = %d, want 9", got)
+	}
+	if tr.N() != 1+3+9 {
+		t.Fatalf("N = %d, want 13", tr.N())
+	}
+	for _, l := range tr.Leaves() {
+		if tr.Demand(l) != 0.25 {
+			t.Fatal("leaf demand wrong")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package graph
+
+// CSR is a compressed sparse row snapshot of a Graph, suitable for the
+// tight traversal loops in the flow and partitioning heuristics. It is a
+// read-only view: mutating the source graph does not update the CSR.
+type CSR struct {
+	// Off has length N+1; the neighbors of vertex v are
+	// Adj[Off[v]:Off[v+1]] with weights W[Off[v]:Off[v+1]].
+	Off []int
+	Adj []int
+	W   []float64
+	// Demand[v] is the demand of vertex v.
+	Demand []float64
+}
+
+// ToCSR builds a CSR snapshot of g. Within each row, neighbors appear in
+// ascending vertex order so traversals are deterministic.
+func (g *Graph) ToCSR() *CSR {
+	n := g.N()
+	c := &CSR{
+		Off:    make([]int, n+1),
+		Demand: append([]float64(nil), g.demands...),
+	}
+	for v := 0; v < n; v++ {
+		c.Off[v+1] = c.Off[v] + g.Degree(v)
+	}
+	c.Adj = make([]int, c.Off[n])
+	c.W = make([]float64, c.Off[n])
+	for v := 0; v < n; v++ {
+		at := c.Off[v]
+		for _, u := range g.SortedNeighbors(v) {
+			c.Adj[at] = u
+			c.W[at] = g.adj[v][u]
+			at++
+		}
+	}
+	return c
+}
+
+// N returns the number of vertices in the snapshot.
+func (c *CSR) N() int { return len(c.Off) - 1 }
+
+// Row returns the neighbor IDs and weights of vertex v.
+func (c *CSR) Row(v int) ([]int, []float64) {
+	return c.Adj[c.Off[v]:c.Off[v+1]], c.W[c.Off[v]:c.Off[v+1]]
+}

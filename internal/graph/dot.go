@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes g in Graphviz DOT format. If part is non-nil it must
+// map each vertex to a part label used to color-group the output.
+func (g *Graph) WriteDOT(w io.Writer, name string, part func(v int) int) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if part != nil {
+			if _, err := fmt.Fprintf(w, "  %d [label=\"%d (d=%.3g)\", group=%d];\n", v, v, g.demands[v], part(v)); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "  %d [label=\"%d (d=%.3g)\"];\n", v, v, g.demands[v]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  %d -- %d [label=\"%.3g\"];\n", e.U, e.V, e.Weight); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

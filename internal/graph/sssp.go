@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ShortestPaths runs Dijkstra from src and returns the distance to every
+// vertex. Edge lengths are derived from edge weights by the length
+// function (e.g. func(w float64) float64 { return 1 / w } to make
+// heavily-communicating vertices close); lengths must be non-negative,
+// and +Inf lengths are treated as absent edges. Unreachable vertices get
+// +Inf.
+func (g *Graph) ShortestPaths(src int, length func(w float64) float64) []float64 {
+	g.check(src)
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		g.Neighbors(it.v, func(u int, w float64) {
+			l := length(w)
+			if l < 0 || math.IsNaN(l) {
+				panic("graph: negative or NaN edge length")
+			}
+			if math.IsInf(l, 1) {
+				return
+			}
+			if nd := it.d + l; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{v: u, d: nd})
+			}
+		})
+	}
+	return dist
+}
+
+// InverseWeightLength is the standard length function for communication
+// graphs: the more two tasks talk, the closer they are.
+func InverseWeightLength(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / w
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

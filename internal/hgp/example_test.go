@@ -1,0 +1,38 @@
+package hgp_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
+)
+
+// Two hot task pairs and a trickle link on a 2-socket machine: the
+// solver keeps each pair inside one socket and pays cross-socket cost
+// only for the trickle.
+func ExampleSolver_Solve() {
+	g := graph.New(4)
+	for v := 0; v < 4; v++ {
+		g.SetDemand(v, 0.75)
+	}
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(2, 3, 100)
+	g.AddEdge(1, 2, 1)
+
+	h := hierarchy.NUMASockets(2, 2) // cm = [20 4 0]
+	res, err := hgp.Solver{Eps: 0.5, Trees: 4, Seed: 1}.Solve(g, h)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cost: %.0f\n", res.Cost)
+	fmt.Println("pair {0,1} same socket:",
+		h.AncestorAt(res.Assignment[0], 1) == h.AncestorAt(res.Assignment[1], 1))
+	fmt.Println("pair {2,3} same socket:",
+		h.AncestorAt(res.Assignment[2], 1) == h.AncestorAt(res.Assignment[3], 1))
+	// Output:
+	// cost: 820
+	// pair {0,1} same socket: true
+	// pair {2,3} same socket: true
+}

@@ -1,0 +1,164 @@
+// Package hgp assembles the paper's end-to-end algorithm (Theorem 1):
+// embed the task graph G into a distribution of decomposition trees
+// (§4, internal/treedecomp), solve hierarchical partitioning optimally
+// on each tree with the signature dynamic program (§3, internal/hgpt),
+// map every tree solution back to G through the leaf bijection m_V, and
+// return the cheapest resulting placement.
+//
+// The guarantee shape: each tree solution's Equation (3) cost dominates
+// the mapped placement's true cost on G (Proposition 1), the tree DP is
+// cost-optimal (Theorem 2), and capacity is violated by at most
+// (1+ε)(1+h) (Theorem 5) — so solution quality degrades only with the
+// cut distortion of the tree distribution, which Räcke bounds by
+// O(log n) and this reproduction measures empirically (experiment E7).
+package hgp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hgpt"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/treedecomp"
+)
+
+// Solver configures the pipeline.
+type Solver struct {
+	// Eps is the demand-rounding parameter of the tree DP (§3).
+	// Zero means 0.5.
+	Eps float64
+	// Trees is the number of decomposition trees sampled. Zero means 4.
+	Trees int
+	// Seed drives the randomized embeddings.
+	Seed int64
+	// FMPasses is the refinement effort per bisection of the embedding.
+	FMPasses int
+	// FlowRefine enables corridor max-flow polish of every embedding
+	// bisection (see treedecomp.Options.FlowRefine).
+	FlowRefine bool
+	// Workers bounds the number of tree DPs solved concurrently (the
+	// per-tree solves are independent). Zero means GOMAXPROCS; 1 forces
+	// sequential execution. Results are deterministic regardless.
+	Workers int
+	// MaxStates is passed through to each tree DP (see
+	// hgpt.Solver.MaxStates). Zero means unlimited.
+	MaxStates int
+}
+
+// Result is the output of Solve.
+type Result struct {
+	// Assignment places every graph vertex on a hierarchy leaf.
+	Assignment metrics.Assignment
+	// Cost is the true HGP objective on G (Equation (1)).
+	Cost float64
+	// TreeCost is the winning tree solution's Equation (3) cost — an
+	// upper bound on Cost when cm is normalized (Proposition 1).
+	TreeCost float64
+	// TreeIndex identifies the winning decomposition tree.
+	TreeIndex int
+	// PerTreeCosts records the mapped graph cost of every tree's
+	// solution, for distribution-quality experiments.
+	PerTreeCosts []float64
+	// Violation is the per-level relative capacity violation of the
+	// returned placement (see metrics.Violation).
+	Violation []float64
+	// States is the total DP state count across all trees.
+	States int
+}
+
+// Solve runs the full pipeline on g and H.
+func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
+	if g.N() == 0 {
+		return nil, errors.New("hgp: empty graph")
+	}
+	nTrees := s.Trees
+	if nTrees == 0 {
+		nTrees = 4
+	}
+	dec := treedecomp.Build(g, treedecomp.Options{
+		Trees: nTrees, Seed: s.Seed, FMPasses: s.FMPasses, FlowRefine: s.FlowRefine,
+	})
+
+	// Solve the independent per-tree DPs concurrently; selection below
+	// is by fixed tree index, so results are deterministic regardless of
+	// completion order.
+	type treeOut struct {
+		assign   metrics.Assignment
+		cost     float64
+		treeCost float64
+		states   int
+		err      error
+	}
+	outs := make([]treeOut, len(dec.Trees))
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dec.Trees) {
+		workers = len(dec.Trees)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				dt := dec.Trees[ti]
+				sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates}.Solve(dt.T, H)
+				if err != nil {
+					outs[ti].err = fmt.Errorf("hgp: tree %d: %w", ti, err)
+					continue
+				}
+				assign := metrics.NewAssignment(g.N())
+				for leaf, hl := range sol.Assignment {
+					assign[dt.T.Label(leaf)] = hl
+				}
+				if !assign.Complete() {
+					outs[ti].err = fmt.Errorf("hgp: tree %d solution left vertices unassigned", ti)
+					continue
+				}
+				outs[ti] = treeOut{
+					assign:   assign,
+					cost:     metrics.CostLCA(g, H, assign),
+					treeCost: sol.Cost,
+					states:   sol.States,
+				}
+			}
+		}()
+	}
+	for ti := range dec.Trees {
+		work <- ti
+	}
+	close(work)
+	wg.Wait()
+
+	res := &Result{TreeIndex: -1}
+	var firstErr error
+	for ti, o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			res.PerTreeCosts = append(res.PerTreeCosts, 0)
+			continue
+		}
+		res.States += o.states
+		res.PerTreeCosts = append(res.PerTreeCosts, o.cost)
+		if res.TreeIndex == -1 || o.cost < res.Cost {
+			res.Assignment = o.assign
+			res.Cost = o.cost
+			res.TreeCost = o.treeCost
+			res.TreeIndex = ti
+		}
+	}
+	if res.TreeIndex == -1 {
+		return nil, firstErr
+	}
+	res.Violation = metrics.Violation(g, H, res.Assignment)
+	return res, nil
+}

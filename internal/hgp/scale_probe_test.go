@@ -1,0 +1,57 @@
+package hgp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+)
+
+// TestScaleIntegration runs the full pipeline at production-ish size:
+// hundreds of tasks on a 64-core two-level machine with quantized
+// demands (the regime dominance pruning opens up). It asserts
+// correctness properties, not timing — but logs wall time for the
+// record. Taller hierarchies at this size exceed the DP's practical
+// reach (the paper's "constant h" caveat is real); E8/E20 chart the
+// boundary.
+func TestScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	for _, n := range []int{128, 256} {
+		rng := rand.New(rand.NewSource(1))
+		g := gen.Community(rng, 8, n/8, 0.3, 0.01, 10, 1)
+		for v := 0; v < g.N(); v++ {
+			d := 0.05 + 0.3*rng.Float64()
+			g.SetDemand(v, math.Ceil(d*8)/8)
+		}
+		h := hierarchy.NUMASockets(8, 8) // 64 cores, h=2
+		start := time.Now()
+		res, err := Solver{Eps: 0.5, Trees: 2, Seed: 3, MaxStates: 20_000_000}.Solve(g, h)
+		el := time.Since(start)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := res.Assignment.Validate(g, h); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for j, v := range res.Violation {
+			if bound := 1.5 * float64(1+j); v > bound+1e-9 {
+				t.Fatalf("n=%d level %d: violation %v > %v", n, j, v, bound)
+			}
+		}
+		// Hierarchy awareness must beat a random placement comfortably.
+		rnd := metrics.NewAssignment(g.N())
+		for v := range rnd {
+			rnd[v] = rng.Intn(h.Leaves())
+		}
+		if rc := metrics.CostLCA(g, h, rnd); res.Cost > rc {
+			t.Fatalf("n=%d: pipeline cost %v not below random %v", n, res.Cost, rc)
+		}
+		t.Logf("n=%d: cost %.0f, states %d, %s", n, res.Cost, res.States, el)
+	}
+}

@@ -1,0 +1,604 @@
+// Package hgpt implements the paper's core contribution: hierarchical
+// graph partitioning on trees (HGPT, §3). The solver runs the signature
+// dynamic program of Theorem 4 over the relaxed problem (RHGPT,
+// Definition 4), reconstructs the optimal nice solution (Definition 6,
+// Theorem 3), and repacks it into a strict HGPT solution per Theorem 5,
+// violating Level-(j) capacities by at most (1+ε)(1+j).
+//
+// The DP state at a tree node v is the signature (D⁽¹⁾, …, D⁽ʰ⁾): the
+// scaled demand of the (v, j)-active set at every hierarchy level j
+// (Definition 8). Children tables are merged with the (j₁, j₂)-consistent
+// rule of Definition 9, paying boundary costs derived from Equation (4)
+// for every level at which a child edge is cut. Instead of looping over
+// all parent signatures and searching for consistent child pairs (the
+// paper's O(D^{2h+2}) bound), the implementation loops over realized
+// child signature pairs and derives the unique parent signature, keeping
+// tables sparse.
+//
+// Two refinements over the paper's literal presentation were required
+// for the computed optimum to match the brute-force Equation (3) optimum
+// (both verified against exhaustive search in internal/exact):
+//
+//  1. A cut child edge charges (cm(k−1)−cm(k))/2 once for the closed
+//     child-side set AND once more when the merged Level-(k) active
+//     region still contains v — the edge then lies on that region's
+//     boundary too (Lemma 4 forces the two mirrors apart). Equation (4)
+//     as printed charges only the child side.
+//  2. Definition 8 ties "active set exists" to D > 0, but a minimum cut
+//     (Definition 5) may route a set's mirror through a subtree holding
+//     none of its leaves, when the interior edges are cheaper than the
+//     subtree's root edge. The signature alphabet here therefore
+//     distinguishes, per level, "no region", "region with zero demand"
+//     (such an incursion), and "region with demand D". Zero-demand
+//     regions may open spontaneously at internal nodes and must merge
+//     upward — cutting them off is invalid (a mirror component with no
+//     member leaf cannot exist).
+package hgpt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/laminar"
+	"hierpart/internal/tree"
+)
+
+// Solver configures the HGPT algorithm.
+type Solver struct {
+	// Eps is the demand-rounding parameter ε of §3: demands are scaled
+	// to integer multiples of ε/n. Smaller values round more finely but
+	// enlarge the DP state space as D = Θ(n²/ε). Zero means 0.5.
+	Eps float64
+	// MaxStates aborts the run with an error when the cumulative DP
+	// table size exceeds it — a guard against pathological instances
+	// (many distinct demands at small ε on tall hierarchies). Zero means
+	// unlimited.
+	MaxStates int
+
+	// The two fields below disable the corrections this reproduction
+	// had to make to the paper's literal text (DESIGN.md §5.0). They
+	// exist ONLY for the ablation experiment E11 — production callers
+	// must leave them false.
+
+	// AblateLiteralEq4 charges cut edges exactly as Equation (4) prints
+	// them: once, for the closed child-side set — omitting the charge
+	// for the boundary of the active region containing v.
+	AblateLiteralEq4 bool
+	// AblateNoZeroRegions forbids zero-demand mirror regions (the
+	// paper's "D = 0 ⇒ no active set" reading), removing the solver's
+	// ability to route a set's mirror through leaf-free subtrees.
+	AblateNoZeroRegions bool
+	// DisablePruning turns off dominance pruning of DP tables (see
+	// prune.go). Pruning never changes the optimum — the flag exists for
+	// the E20 ablation that measures its effect on state counts.
+	DisablePruning bool
+}
+
+// Solution is the result of solving HGPT on a tree.
+type Solution struct {
+	// Assignment maps every leaf of the input tree to a hierarchy leaf.
+	Assignment map[int]int
+	// Relaxed is the optimal RHGPT family found by the DP (leaf IDs are
+	// input-tree leaves; no H-nodes, refinement width unbounded).
+	Relaxed *laminar.Family
+	// Strict is the repacked HGPT family (Theorem 5): refinement width
+	// ≤ DEG(j) and H-nodes assigned at every level.
+	Strict *laminar.Family
+	// DPCost is the optimal relaxed cost computed by the DP in scaled
+	// capacity space.
+	DPCost float64
+	// Cost is the Equation (3) cost of the final strict family on the
+	// input tree (never more than DPCost: repacking merges only).
+	Cost float64
+	// Unit is the demand scaling unit ε/n.
+	Unit float64
+	// ScaledTotal is D, the total scaled demand, which drives DP size.
+	ScaledTotal int
+	// States is the total number of DP table entries created (experiment
+	// E8 measures how it scales with n, D, and h).
+	States int
+}
+
+type entry struct {
+	cost   float64
+	s1, s2 uint64
+	j1, j2 int8
+	kind   byte // 0 = leaf, 1 = one child, 2 = two children
+}
+
+// entryLess is the canonical order among equal-cost entries.
+func entryLess(a, b entry) bool {
+	if a.s1 != b.s1 {
+		return a.s1 < b.s1
+	}
+	if a.s2 != b.s2 {
+		return a.s2 < b.s2
+	}
+	if a.j1 != b.j1 {
+		return a.j1 < b.j1
+	}
+	return a.j2 < b.j2
+}
+
+// sigCodec packs a signature (levels 1..h) into a uint64 key.
+type sigCodec struct {
+	h    int
+	bits uint
+	mask uint64
+}
+
+func newSigCodec(h, maxVal int) (sigCodec, error) {
+	bits := uint(1)
+	for 1<<bits <= maxVal {
+		bits++
+	}
+	if uint(h)*bits > 64 {
+		return sigCodec{}, fmt.Errorf("hgpt: signature space too large: %d levels × %d bits > 64 (reduce n or increase ε)", h, bits)
+	}
+	return sigCodec{h: h, bits: bits, mask: 1<<bits - 1}, nil
+}
+
+// encode packs sig[1..h] (index 0 ignored).
+func (c sigCodec) encode(sig []int) uint64 {
+	var k uint64
+	for j := 1; j <= c.h; j++ {
+		k = k<<c.bits | uint64(sig[j])
+	}
+	return k
+}
+
+// decode unpacks into out[1..h]; out must have length h+1.
+func (c sigCodec) decode(k uint64, out []int) {
+	for j := c.h; j >= 1; j-- {
+		out[j] = int(k & c.mask)
+		k >>= c.bits
+	}
+	out[0] = 0
+}
+
+// Solve partitions the leaves of t across the leaves of H. The tree may
+// have arbitrary fanout (it is binarized internally with infinite-weight
+// dummy edges, which no finite-cost solution cuts) and leaf demands in
+// (0, 1]. It returns an error when a single leaf demand exceeds leaf
+// capacity, or when the scaled state space cannot be encoded.
+func (s Solver) Solve(t *tree.Tree, H *hierarchy.Hierarchy) (*Solution, error) {
+	eps := s.Eps
+	if eps == 0 {
+		eps = 0.5
+	}
+	if eps < 0 {
+		return nil, errors.New("hgpt: Eps must be positive")
+	}
+	h := H.Height()
+
+	origLeaves := t.Leaves()
+	n := len(origLeaves)
+	if n == 0 {
+		return nil, errors.New("hgpt: tree has no leaves")
+	}
+
+	bt, origOf := t.Binarize()
+	leaves := bt.Leaves()
+	unit := eps / float64(n)
+
+	// Scaled integer demands and capacities.
+	// The 1e-9 guard keeps exact multiples of the unit exact despite
+	// binary floating point (0.7/0.1 = 6.999…), so that demands which
+	// are representable round-trip losslessly.
+	du := make(map[int]int, n)
+	total := 0
+	for _, l := range leaves {
+		d := int(bt.Demand(l)/unit + 1e-9)
+		if d < 1 {
+			d = 1
+		}
+		du[l] = d
+		total += d
+	}
+	capS := make([]int, h+1)
+	for j := 1; j <= h; j++ {
+		capS[j] = int(H.Cap(j)/unit + 1e-9)
+	}
+	for _, l := range leaves {
+		if du[l] > capS[h] {
+			return nil, fmt.Errorf("hgpt: leaf demand %v exceeds leaf capacity after scaling", bt.Demand(l))
+		}
+	}
+
+	// Per-level encoded values: 0 = no region, 1 = region with demand 0,
+	// d+1 = region with demand d. Hence the alphabet tops out at total+1.
+	codec, err := newSigCodec(h, total+1)
+	if err != nil {
+		return nil, err
+	}
+	delta := make([]float64, h+1)
+	for j := 1; j <= h; j++ {
+		delta[j] = (H.CM(j-1) - H.CM(j)) / 2
+	}
+
+	dp := &dpRun{
+		bt: bt, h: h, codec: codec, capS: capS, delta: delta, du: du,
+		literalEq4: s.AblateLiteralEq4, noZeroRegions: s.AblateNoZeroRegions,
+	}
+	tabs := make([]map[uint64]entry, bt.N())
+	states := 0
+	for _, v := range bt.PostOrder() {
+		tabs[v] = dp.table(v, tabs)
+		if !s.DisablePruning {
+			dp.prune(tabs[v])
+		}
+		states += len(tabs[v])
+		if s.MaxStates > 0 && states > s.MaxStates {
+			return nil, fmt.Errorf("hgpt: DP state budget exceeded (%d > %d); increase Eps or MaxStates", states, s.MaxStates)
+		}
+	}
+
+	root := bt.Root()
+	bestKey, bestCost := uint64(0), math.Inf(1)
+	found := false
+	sig := make([]int, h+1)
+	for k, e := range tabs[root] {
+		// A zero-demand region at the root would be a mirror piece that
+		// belongs to no set: such signatures cannot be completed.
+		codec.decode(k, sig)
+		valid := true
+		for j := 1; j <= h; j++ {
+			if sig[j] == 1 {
+				valid = false
+				break
+			}
+		}
+		// Tie-break by key so the chosen solution does not depend on map
+		// iteration order (results must be deterministic per seed).
+		if valid && (e.cost < bestCost || (e.cost == bestCost && found && k < bestKey)) {
+			bestKey, bestCost = k, e.cost
+			found = true
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return nil, errors.New("hgpt: no feasible relaxed solution (demand exceeds total capacity)")
+	}
+
+	relaxedBT := dp.reconstruct(tabs, bestKey)
+	relaxed := relabelFamily(relaxedBT, t, origOf)
+	strict := Repack(relaxed, H)
+	assignment, err := strict.LeafAssignment()
+	if err != nil {
+		return nil, err
+	}
+
+	return &Solution{
+		Assignment:  assignment,
+		Relaxed:     relaxed,
+		Strict:      strict,
+		DPCost:      bestCost,
+		Cost:        FamilyCost(t, H, strict),
+		Unit:        unit,
+		ScaledTotal: total,
+		States:      states,
+	}, nil
+}
+
+type dpRun struct {
+	bt            *tree.Tree
+	h             int
+	codec         sigCodec
+	capS          []int
+	delta         []float64
+	du            map[int]int
+	literalEq4    bool // ablation: Equation (4) verbatim
+	noZeroRegions bool // ablation: forbid zero-demand mirror regions
+}
+
+func (d *dpRun) table(v int, tabs []map[uint64]entry) map[uint64]entry {
+	h := d.h
+	if d.bt.IsLeaf(v) {
+		sig := make([]int, h+1)
+		for j := 1; j <= h; j++ {
+			sig[j] = d.du[v] + 1 // region carrying the leaf's demand
+		}
+		return map[uint64]entry{d.codec.encode(sig): {kind: 0}}
+	}
+
+	kids := d.bt.Children(v)
+	out := make(map[uint64]entry)
+	// Equal-cost ties break on the backpointer tuple so the table's
+	// contents never depend on map iteration order: the whole pipeline
+	// stays deterministic per seed even when trees solve concurrently.
+	put := func(key uint64, e entry) {
+		if math.IsInf(e.cost, 1) || math.IsNaN(e.cost) {
+			return
+		}
+		old, ok := out[key]
+		if !ok || e.cost < old.cost || (e.cost == old.cost && entryLess(e, old)) {
+			out[key] = e
+		}
+	}
+
+	if len(kids) == 1 {
+		c1 := kids[0]
+		w1 := d.bt.EdgeWeight(c1)
+		s1 := make([]int, h+1)
+		parent := make([]int, h+1)
+		maxSp := h
+		if d.noZeroRegions {
+			maxSp = 0
+		}
+		for k1, e1 := range tabs[c1] {
+			d.codec.decode(k1, s1)
+			// j1 = deepest level at which the child edge is kept;
+			// sp = deepest level with a spontaneously opened region at v.
+			for j1 := 0; j1 <= h; j1++ {
+				for sp := 0; sp <= maxSp; sp++ {
+					cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, nil, 0, 0)
+					if !ok {
+						continue
+					}
+					put(d.codec.encode(parent), entry{
+						cost: e1.cost + cost,
+						s1:   k1, j1: int8(j1), kind: 1,
+					})
+				}
+			}
+		}
+		return out
+	}
+
+	if len(kids) != 2 {
+		panic("hgpt: tree not binarized")
+	}
+	c1, c2 := kids[0], kids[1]
+	w1, w2 := d.bt.EdgeWeight(c1), d.bt.EdgeWeight(c2)
+	s1 := make([]int, h+1)
+	s2 := make([]int, h+1)
+	parent := make([]int, h+1)
+	maxSp := h
+	if d.noZeroRegions {
+		maxSp = 0
+	}
+
+	for k1, e1 := range tabs[c1] {
+		d.codec.decode(k1, s1)
+		for k2, e2 := range tabs[c2] {
+			d.codec.decode(k2, s2)
+			base := e1.cost + e2.cost
+			for j1 := 0; j1 <= h; j1++ {
+				for j2 := 0; j2 <= h; j2++ {
+					for sp := 0; sp <= maxSp; sp++ {
+						cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, s2, w2, j2)
+						if !ok {
+							continue
+						}
+						put(d.codec.encode(parent), entry{
+							cost: base + cost,
+							s1:   k1, s2: k2, j1: int8(j1), j2: int8(j2), kind: 2,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mergeLevel derives the parent signature for the child states s1 (and
+// s2 when non-nil) under cut thresholds j1, j2 and spontaneous-region
+// depth sp, writing it into parent and returning the boundary cost. It
+// returns ok=false when the combination is invalid: a zero-demand region
+// cannot be cut off (its mirror component would contain no member leaf)
+// and merged demands must respect the scaled capacities.
+//
+// Per-level charging: a child edge carries no charge at level k only
+// when the child's region merges through it (k ≤ jᵢ and a region is
+// present below). Otherwise it is charged Δ(k)·w once if it closes a
+// demand-carrying child set (boundary of the closed mirror) and once
+// more if the parent has a level-k region (boundary of the region
+// containing v) — Δ(k) = (cm(k−1)−cm(k))/2 being the per-side share of
+// the Equation (3) objective.
+func (d *dpRun) mergeLevel(parent []int, w1 float64, s1 []int, j1, sp int, s2 []int, w2 float64, j2 int) (float64, bool) {
+	var cost float64
+	for k := 1; k <= d.h; k++ {
+		x1 := s1[k]
+		kept1 := k <= j1
+		if !kept1 && x1 == 1 {
+			return 0, false // cutting off a zero-demand region
+		}
+		merged1 := kept1 && x1 >= 1
+		flag := merged1 || k <= sp
+		pd := 0
+		if merged1 {
+			pd = x1 - 1
+		}
+
+		var x2 int
+		var merged2 bool
+		if s2 != nil {
+			x2 = s2[k]
+			kept2 := k <= j2
+			if !kept2 && x2 == 1 {
+				return 0, false
+			}
+			merged2 = kept2 && x2 >= 1
+			flag = flag || merged2
+			if merged2 {
+				pd += x2 - 1
+			}
+		}
+
+		if pd > d.capS[k] {
+			return 0, false
+		}
+		if flag {
+			parent[k] = pd + 1
+		} else {
+			parent[k] = 0
+		}
+
+		if dl := d.delta[k]; dl != 0 {
+			if !merged1 {
+				if !kept1 && x1 > 1 {
+					cost += w1 * dl // closed child set boundary
+				}
+				if flag && !d.literalEq4 {
+					cost += w1 * dl // parent region boundary
+				}
+			}
+			if s2 != nil && !merged2 {
+				if k > j2 && x2 > 1 {
+					cost += w2 * dl
+				}
+				if flag && !d.literalEq4 {
+					cost += w2 * dl
+				}
+			}
+		}
+	}
+	parent[0] = 0
+	return cost, true
+}
+
+// reconstruct walks the backpointers from the root's best signature and
+// emits the laminar family of the optimal relaxed solution, with leaf
+// IDs of the binarized tree.
+func (d *dpRun) reconstruct(tabs []map[uint64]entry, rootKey uint64) *laminar.Family {
+	fam := laminar.NewFamily(d.h)
+	close := func(level int, set []int) {
+		if len(set) == 0 {
+			return
+		}
+		fam.Add(level, laminar.NewSet(set, 0)) // demand filled during relabel
+	}
+
+	var rec func(v int, key uint64) [][]int
+	rec = func(v int, key uint64) [][]int {
+		e, ok := tabs[v][key]
+		if !ok {
+			panic("hgpt: broken backpointer")
+		}
+		active := make([][]int, d.h+1)
+		switch e.kind {
+		case 0:
+			for j := 1; j <= d.h; j++ {
+				active[j] = []int{v}
+			}
+		case 1:
+			c1 := d.bt.Children(v)[0]
+			a1 := rec(c1, e.s1)
+			for k := 1; k <= d.h; k++ {
+				if k > int(e.j1) {
+					close(k, a1[k])
+				} else {
+					active[k] = a1[k]
+				}
+			}
+		case 2:
+			kids := d.bt.Children(v)
+			a1 := rec(kids[0], e.s1)
+			a2 := rec(kids[1], e.s2)
+			j1, j2 := int(e.j1), int(e.j2)
+			for k := 1; k <= d.h; k++ {
+				if k > j1 {
+					close(k, a1[k])
+				}
+				if k > j2 {
+					close(k, a2[k])
+				}
+				switch {
+				case k <= j1 && k <= j2:
+					active[k] = append(append([]int{}, a1[k]...), a2[k]...)
+				case k <= j1:
+					active[k] = a1[k]
+				case k <= j2:
+					active[k] = a2[k]
+				}
+			}
+		}
+		return active
+	}
+
+	rootActive := rec(d.bt.Root(), rootKey)
+	for k := 1; k <= d.h; k++ {
+		close(k, rootActive[k])
+	}
+	all := d.bt.Leaves()
+	fam.Levels[0] = []*laminar.Set{laminar.NewSet(all, 0)}
+	return fam
+}
+
+// relabelFamily converts a family over binarized-tree leaves into one
+// over original-tree leaves and fills in true demands.
+func relabelFamily(fam *laminar.Family, t *tree.Tree, origOf []int) *laminar.Family {
+	out := laminar.NewFamily(fam.Height())
+	for j, level := range fam.Levels {
+		for _, s := range level {
+			leaves := make([]int, len(s.Leaves))
+			var dem float64
+			for i, l := range s.Leaves {
+				leaves[i] = origOf[l]
+				dem += t.Demand(origOf[l])
+			}
+			out.Add(j, laminar.NewSet(leaves, dem))
+		}
+	}
+	return out
+}
+
+// FamilyCost evaluates the Equation (3) objective of a solution family
+// on tree t: for every level j ≥ 1 and every Level-(j) set S, the
+// minimum tree cut separating S contributes
+// w(CUT_T(S)) · (cm(j−1) − cm(j)) / 2.
+func FamilyCost(t *tree.Tree, H *hierarchy.Hierarchy, fam *laminar.Family) float64 {
+	var c float64
+	for j := 1; j <= H.Height(); j++ {
+		delta := (H.CM(j-1) - H.CM(j)) / 2
+		if delta == 0 {
+			continue
+		}
+		for _, s := range fam.Levels[j] {
+			in := make(map[int]bool, len(s.Leaves))
+			for _, l := range s.Leaves {
+				in[l] = true
+			}
+			c += t.CutLeafSetOf(in).Weight * delta
+		}
+	}
+	return c
+}
+
+// AssignmentFamily builds the mirror family of a leaf placement
+// (Lemma 3): the Level-(j) sets group leaves by the Level-(j) ancestor
+// of their assigned hierarchy leaf.
+func AssignmentFamily(t *tree.Tree, H *hierarchy.Hierarchy, assign map[int]int) *laminar.Family {
+	fam := laminar.NewFamily(H.Height())
+	for j := 0; j <= H.Height(); j++ {
+		groups := map[int][]int{}
+		for leaf, hl := range assign {
+			a := H.AncestorAt(hl, j)
+			groups[a] = append(groups[a], leaf)
+		}
+		idxs := make([]int, 0, len(groups))
+		for a := range groups {
+			idxs = append(idxs, a)
+		}
+		sort.Ints(idxs)
+		for _, a := range idxs {
+			var dem float64
+			for _, l := range groups[a] {
+				dem += t.Demand(l)
+			}
+			set := laminar.NewSet(groups[a], dem)
+			set.HNode = a
+			fam.Add(j, set)
+		}
+	}
+	return fam
+}
+
+// AssignmentCost is the HGPT objective of a leaf placement: the
+// Equation (3) cost of its mirror family.
+func AssignmentCost(t *tree.Tree, H *hierarchy.Hierarchy, assign map[int]int) float64 {
+	return FamilyCost(t, H, AssignmentFamily(t, H, assign))
+}

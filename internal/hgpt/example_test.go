@@ -1,0 +1,37 @@
+package hgpt_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/hgpt"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/tree"
+)
+
+// HGPT on a star of four half-demand jobs over a 2×2 hierarchy: the
+// whole job set fits one socket (total demand 2 = CP(1)), so only the
+// core level splits — and the DP cuts the two cheap edges, not the
+// expensive ones.
+func ExampleSolver_Solve() {
+	t := tree.New()
+	weights := []float64{1, 1, 8, 8} // two cheap leaves, two expensive
+	for _, w := range weights {
+		l := t.AddChild(t.Root(), w)
+		t.SetDemand(l, 0.5)
+	}
+	h := hierarchy.MustNew([]int{2, 2}, []float64{6, 2, 0})
+	sol, err := hgpt.Solver{Eps: 0.5}.Solve(t, h)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("relaxed optimum (DP): %.0f\n", sol.DPCost)
+	fmt.Printf("strict cost after repacking: %.0f\n", sol.Cost)
+	fmt.Println("level-1 sets:", len(sol.Strict.Levels[1]))
+	fmt.Println("level-2 sets:", len(sol.Strict.Levels[2]))
+	// Output:
+	// relaxed optimum (DP): 4
+	// strict cost after repacking: 4
+	// level-1 sets: 1
+	// level-2 sets: 2
+}

@@ -1,0 +1,186 @@
+package hgpt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/laminar"
+	"hierpart/internal/tree"
+)
+
+// fuzzHierarchies cover heights 1..3, mixed degrees, tied and strict
+// cost multipliers.
+var fuzzHierarchies = []*hierarchy.Hierarchy{
+	hierarchy.FlatKWay(2),
+	hierarchy.FlatKWay(5),
+	hierarchy.MustNew([]int{2, 3}, []float64{7, 2, 0}),
+	hierarchy.MustNew([]int{3, 2}, []float64{4, 4, 0}),
+	hierarchy.MustNew([]int{2, 2, 2}, []float64{9, 5, 2, 0}),
+	hierarchy.MustNew([]int{2, 2, 3}, []float64{6, 6, 6, 0}),
+}
+
+// fuzzTree draws a random tree with exact-multiple demands so ε = 0.5
+// scaling is lossless.
+func fuzzTree(rng *rand.Rand, maxLeaves int) *tree.Tree {
+	for {
+		tr := gen.RandomTree(rng, 2+rng.Intn(2*maxLeaves), 9, 0.1, 0.9)
+		leaves := tr.Leaves()
+		if len(leaves) < 2 || len(leaves) > maxLeaves {
+			continue
+		}
+		q := 2 * len(leaves)
+		for _, l := range leaves {
+			tr.SetDemand(l, float64(1+rng.Intn(q))/float64(q))
+		}
+		return tr
+	}
+}
+
+// TestSolveInvariantBattery fuzzes the solver across tree shapes and
+// hierarchies and checks every structural contract at once.
+func TestSolveInvariantBattery(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const eps = 0.5
+	for trial := 0; trial < 120; trial++ {
+		tr := fuzzTree(rng, 8)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		sol, err := Solver{Eps: eps}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		leaves := tr.Leaves()
+
+		// 1. Assignment covers every leaf with an in-range H-leaf.
+		if len(sol.Assignment) != len(leaves) {
+			t.Fatalf("trial %d: %d assigned, want %d", trial, len(sol.Assignment), len(leaves))
+		}
+		for _, l := range leaves {
+			hl, ok := sol.Assignment[l]
+			if !ok || hl < 0 || hl >= h.Leaves() {
+				t.Fatalf("trial %d: leaf %d assigned to %d", trial, l, hl)
+			}
+		}
+
+		// 2. Relaxed family validates under (1+ε) capacity slack. When
+		// the instance is overloaded (total demand F·CP(0), F > 1), the
+		// level-0 set is the whole instance and the per-level repacking
+		// bound becomes (1+ε)(F+j) — the Theorem 5 recursion started
+		// from V(0) = F·CP(0).
+		overload := tr.TotalDemand() / h.Cap(0)
+		if overload < 1 {
+			overload = 1
+		}
+		capRel := make([]float64, h.Height()+1)
+		capStrict := make([]float64, h.Height()+1)
+		for j := range capRel {
+			capRel[j] = 1 + eps
+			capStrict[j] = (1 + eps) * (overload + float64(j))
+		}
+		capRel[0] = (1 + eps) * overload
+		if err := sol.Relaxed.Validate(h, leaves, tr.Demand, laminar.Options{
+			Relaxed: true, CapFactor: capRel,
+		}); err != nil {
+			t.Fatalf("trial %d relaxed: %v", trial, err)
+		}
+
+		// 3. Strict family validates under Theorem 5 bounds with H-nodes.
+		if err := sol.Strict.Validate(h, leaves, tr.Demand, laminar.Options{
+			CapFactor: capStrict, CheckHNodes: true,
+		}); err != nil {
+			t.Fatalf("trial %d strict: %v", trial, err)
+		}
+
+		// 4. Repacking never raises cost; DP cost matches the relaxed
+		//    family's Equation (3) evaluation (lossless scaling).
+		if sol.Cost > sol.DPCost+1e-9 {
+			t.Fatalf("trial %d: strict cost %v > DP cost %v", trial, sol.Cost, sol.DPCost)
+		}
+		if rc := FamilyCost(tr, h, sol.Relaxed); math.Abs(rc-sol.DPCost) > 1e-6 {
+			t.Fatalf("trial %d: relaxed family cost %v != DP cost %v", trial, rc, sol.DPCost)
+		}
+
+		// 5. The assignment's own mirror cost never beats the strict
+		//    family cost by more than tie-breaking noise (the assignment
+		//    realizes the strict family).
+		ac := AssignmentCost(tr, h, sol.Assignment)
+		if ac > sol.Cost+1e-9 {
+			t.Fatalf("trial %d: assignment cost %v > strict family cost %v", trial, ac, sol.Cost)
+		}
+	}
+}
+
+// TestAblatedSolversStillStructurallySound: the E11 ablation variants
+// compute wrong costs by design, but their solutions must still be
+// structurally valid families.
+func TestAblatedSolversStillStructurallySound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const eps = 0.5
+	variants := []Solver{
+		{Eps: eps, AblateLiteralEq4: true},
+		{Eps: eps, AblateNoZeroRegions: true},
+	}
+	for trial := 0; trial < 30; trial++ {
+		tr := fuzzTree(rng, 6)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		for vi, s := range variants {
+			sol, err := s.Solve(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d variant %d: %v", trial, vi, err)
+			}
+			overload := tr.TotalDemand() / h.Cap(0)
+			if overload < 1 {
+				overload = 1
+			}
+			capRel := make([]float64, h.Height()+1)
+			for j := range capRel {
+				capRel[j] = 1 + eps
+			}
+			capRel[0] = (1 + eps) * overload
+			if err := sol.Relaxed.Validate(h, tr.Leaves(), tr.Demand, laminar.Options{
+				Relaxed: true, CapFactor: capRel,
+			}); err != nil {
+				t.Fatalf("trial %d variant %d: %v", trial, vi, err)
+			}
+		}
+	}
+}
+
+// TestMaxStatesGuard: the state budget aborts cleanly.
+func TestMaxStatesGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := gen.RandomTree(rng, 40, 5, 0.05, 0.95)
+	h := hierarchy.MustNew([]int{4, 2}, []float64{5, 2, 0})
+	_, err := Solver{Eps: 0.25, MaxStates: 100}.Solve(tr, h)
+	if err == nil {
+		t.Fatal("tiny state budget must trip")
+	}
+}
+
+// TestDeterministicAcrossRuns: identical inputs give identical solutions
+// (tie-breaking is canonical, independent of map iteration order).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := fuzzTree(rng, 8)
+	h := hierarchy.MustNew([]int{2, 2}, []float64{6, 2, 0})
+	a, err := Solver{Eps: 0.5}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		b, err := Solver{Eps: 0.5}.Solve(tr, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.DPCost != b.DPCost || a.Cost != b.Cost {
+			t.Fatalf("run %d: costs differ", run)
+		}
+		for l, hl := range a.Assignment {
+			if b.Assignment[l] != hl {
+				t.Fatalf("run %d: assignment differs at leaf %d", run, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package hgpt
+
+import (
+	"sort"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/laminar"
+)
+
+// Repack transforms a relaxed solution family (Definition 4, unbounded
+// refinement width) into a strict HGPT solution (Definition 3) per
+// Theorem 5: processing levels top-down, the Level-(j+1) child sets of
+// each Level-(j) set are packed into at most DEG(j) groups by
+// longest-processing-time (largest demand to the least-loaded group),
+// each group becoming one Level-(j+1) set assigned to one child H-node.
+//
+// Packing guarantees max group ≤ total/DEG(j) + max item, which yields
+// the (1+j) per-level capacity violation of Theorem 5; merging sets can
+// only lower the Equation (3) cost because the union of two separating
+// cuts separates the merged set.
+func Repack(fam *laminar.Family, H *hierarchy.Hierarchy) *laminar.Family {
+	h := fam.Height()
+	out := laminar.NewFamily(h)
+	rootSrc := fam.Levels[0][0]
+	root := laminar.NewSet(rootSrc.Leaves, rootSrc.Demand)
+	root.HNode = 0
+	out.Add(0, root)
+	cur := []*laminar.Set{root}
+
+	for j := 0; j < h; j++ {
+		owner := map[int]int{}
+		for i, s := range fam.Levels[j+1] {
+			for _, l := range s.Leaves {
+				owner[l] = i
+			}
+		}
+		var next []*laminar.Set
+		for _, p := range cur {
+			// Distinct relaxed child sets under p, in first-seen order of
+			// p's (sorted) leaves for determinism.
+			seen := map[int]bool{}
+			var items []*laminar.Set
+			for _, l := range p.Leaves {
+				ci := owner[l]
+				if !seen[ci] {
+					seen[ci] = true
+					items = append(items, fam.Levels[j+1][ci])
+				}
+			}
+			sort.SliceStable(items, func(a, b int) bool {
+				return items[a].Demand > items[b].Demand
+			})
+			deg := H.Deg(j)
+			binLoad := make([]float64, deg)
+			binLeaves := make([][]int, deg)
+			for _, it := range items {
+				best := 0
+				for b := 1; b < deg; b++ {
+					if binLoad[b] < binLoad[best] {
+						best = b
+					}
+				}
+				binLoad[best] += it.Demand
+				binLeaves[best] = append(binLeaves[best], it.Leaves...)
+			}
+			for b := 0; b < deg; b++ {
+				if len(binLeaves[b]) == 0 {
+					continue
+				}
+				ns := laminar.NewSet(binLeaves[b], binLoad[b])
+				ns.HNode = p.HNode*deg + b
+				next = append(next, ns)
+			}
+		}
+		out.Levels[j+1] = next
+		cur = next
+	}
+	return out
+}

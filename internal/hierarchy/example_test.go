@@ -1,0 +1,40 @@
+package hierarchy_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/hierarchy"
+)
+
+// A 4-socket × 8-core × 2-hyperthread server: the paper's motivating
+// machine shape.
+func ExampleNew() {
+	h, err := hierarchy.New([]int{4, 8, 2}, []float64{100, 25, 4, 0})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(h)
+	fmt.Println("leaves:", h.Leaves())
+	fmt.Println("LCA level of hyperthreads 0 and 1:", h.LCALevel(0, 1))
+	fmt.Println("LCA level of cores on different sockets:", h.LCALevel(0, 63))
+	fmt.Println("cost of a unit edge across sockets:", h.EdgeCost(0, 63))
+	// Output:
+	// H(h=3, deg=[4 8 2], cm=[100 25 4 0], k=64)
+	// leaves: 64
+	// LCA level of hyperthreads 0 and 1: 2
+	// LCA level of cores on different sockets: 0
+	// cost of a unit edge across sockets: 100
+}
+
+// Lemma 1: normalization shifts every multiplier by cm(h) and the cost
+// of any placement by cm(h) times the total edge weight.
+func ExampleHierarchy_Normalized() {
+	h := hierarchy.MustNew([]int{2, 2}, []float64{10, 4, 1})
+	n, offset := h.Normalized()
+	fmt.Println("normalized:", n)
+	fmt.Println("offset per unit weight:", offset)
+	// Output:
+	// normalized: H(h=2, deg=[2 2], cm=[9 3 0], k=4)
+	// offset per unit weight: 1
+}

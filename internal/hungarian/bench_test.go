@@ -1,0 +1,36 @@
+package hungarian
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.Float64() * 100
+		}
+	}
+	return m
+}
+
+func BenchmarkSolve32(b *testing.B) {
+	m := benchMatrix(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(m)
+	}
+}
+
+func BenchmarkSolve128(b *testing.B) {
+	m := benchMatrix(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(m)
+	}
+}

@@ -1,0 +1,23 @@
+package hungarian_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/hungarian"
+)
+
+// Three workers, three jobs: the assignment avoiding the expensive
+// diagonal costs 1+2+2 = 5.
+func ExampleSolve() {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total := hungarian.Solve(cost)
+	fmt.Println("assignment:", assign)
+	fmt.Println("total cost:", total)
+	// Output:
+	// assignment: [1 0 2]
+	// total cost: 5
+}

@@ -1,0 +1,128 @@
+// Package hungarian solves the assignment problem: given an n×n cost
+// matrix, find the permutation assigning each row to a distinct column
+// with minimum total cost, in O(n³) (Kuhn–Munkres with potentials, the
+// Jonker–Volgenant style row-by-row shortest augmenting path variant).
+//
+// The dynamic repartitioner uses it to relabel hierarchy subtrees for
+// minimum migration; it is generally useful wherever parts must be
+// matched to slots.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns, for each row, the column assigned to it, plus the total
+// cost. The matrix must be square and free of NaN; +Inf entries mean
+// "forbidden" (a perfect assignment avoiding them must exist, otherwise
+// the returned cost is +Inf).
+func Solve(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			panic(fmt.Sprintf("hungarian: row %d has %d entries, want %d", i, len(row), n))
+		}
+		for j, c := range row {
+			if math.IsNaN(c) {
+				panic(fmt.Sprintf("hungarian: NaN cost at (%d,%d)", i, j))
+			}
+		}
+	}
+
+	// 1-indexed potentials/links per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 1; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				// No augmenting path through finite entries: assignment
+				// is forced through a forbidden cell.
+				return assignForced(cost), math.Inf(1)
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	out := make([]int, n)
+	var total float64
+	for j := 1; j <= n; j++ {
+		out[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	return out, total
+}
+
+// assignForced returns an arbitrary valid permutation for the degenerate
+// all-forbidden case (identity), so callers always get a permutation.
+func assignForced(cost [][]float64) []int {
+	out := make([]int, len(cost))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Maximize solves the assignment problem for maximum total value.
+func Maximize(value [][]float64) ([]int, float64) {
+	n := len(value)
+	if n == 0 {
+		return nil, 0
+	}
+	neg := make([][]float64, n)
+	for i, row := range value {
+		neg[i] = make([]float64, len(row))
+		for j, x := range row {
+			neg[i][j] = -x
+		}
+	}
+	assign, total := Solve(neg)
+	return assign, -total
+}

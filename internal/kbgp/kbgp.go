@@ -1,0 +1,178 @@
+// Package kbgp treats the classical k-balanced graph partitioning
+// problem as the h = 1 special case of HGP (the paper's framing: k-BGP
+// is HGP with a flat hierarchy, cm = [1, 0]). It provides
+//
+//   - Solve: the paper's pipeline specialized to a flat hierarchy, and
+//   - TreeOptimal: an independent, single-dimension dynamic program for
+//     the relaxed problem on trees, in the classical one-open-bin style
+//     (Hochbaum–Shmoys state folding) rather than the general signature
+//     machinery.
+//
+// Experiment E10 runs both implementations on the same instances: they
+// must agree exactly, which cross-checks the general DP's h = 1
+// behaviour on trees far beyond brute-force reach.
+package kbgp
+
+import (
+	"errors"
+	"math"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/tree"
+)
+
+// Solve partitions g into k balanced parts using the HGP pipeline on a
+// flat hierarchy and returns the assignment and its cut cost (total
+// weight of edges between distinct parts).
+func Solve(g *graph.Graph, k int, eps float64, trees int, seed int64) (metrics.Assignment, float64, error) {
+	h := hierarchy.FlatKWay(k)
+	res, err := hgp.Solver{Eps: eps, Trees: trees, Seed: seed}.Solve(g, h)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Assignment, res.Cost, nil
+}
+
+// noRegion marks a node that sits in no block's mirror region.
+const noRegion = -1
+
+// TreeOptimal computes the optimal relaxed k-BGP cost on a tree: the
+// leaves are split into blocks of demand at most 1 (the unit leaf
+// capacity), any number of blocks allowed, minimizing the Equation (3)
+// objective Σ_blocks w(CUT_T(block)) / 2 under cm = [1, 0].
+//
+// The DP state at node v is the open block's content: noRegion when v
+// sits in no block's mirror, or d ≥ 0 for a region of scaled demand d
+// (d = 0 is a zero-demand incursion — a mirror dipping through v to use
+// cheaper boundary edges). Children fold into an accumulator one at a
+// time, each edge either cut (closing the child's block, half-weight to
+// each adjacent region) or kept (merging regions). The recurrence
+// mirrors the general signature DP with h = 1 but is written
+// independently, with hand-rolled transitions.
+func TreeOptimal(t *tree.Tree, eps float64) (float64, error) {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	leaves := t.Leaves()
+	n := len(leaves)
+	if n == 0 {
+		return 0, errors.New("kbgp: tree has no leaves")
+	}
+	bt, _ := t.Binarize()
+	unit := eps / float64(n)
+	capU := int(1/unit + 1e-9)
+	du := map[int]int{}
+	for _, l := range bt.Leaves() {
+		d := int(bt.Demand(l)/unit + 1e-9)
+		if d < 1 {
+			d = 1
+		}
+		if d > capU {
+			return 0, errors.New("kbgp: leaf demand exceeds part capacity")
+		}
+		du[l] = d
+	}
+
+	// Whether v lies inside a region must be fixed BEFORE folding the
+	// children: every edge to a non-merged child bounds v's region, so
+	// a region created by a later child would have to re-charge earlier
+	// edges — deciding the flag upfront (as the (j₁, j₂)-enumeration of
+	// the general DP does implicitly) keeps the fold local.
+	var solve func(v int) map[int]float64
+	solve = func(v int) map[int]float64 {
+		if bt.IsLeaf(v) {
+			return map[int]float64{du[v]: 0}
+		}
+
+		// Case R = false: v in no region. Every child edge is cut or
+		// leads to nothing; demand-carrying child regions close (w/2),
+		// zero-demand child regions are impossible (nothing to join).
+		costF := 0.0
+		feasibleF := true
+		// Case R = true: v inside a region; fold merged demand.
+		accT := map[int]float64{0: 0}
+
+		for _, c := range bt.Children(v) {
+			ct := solve(c)
+			w := bt.EdgeWeight(c)
+
+			minF := math.Inf(1)
+			for cState, cCost := range ct {
+				if cState == 0 {
+					continue // a zero-demand region must merge upward
+				}
+				cut := cCost
+				if cState > 0 {
+					cut += w / 2
+				}
+				if cut < minF {
+					minF = cut
+				}
+			}
+			if math.IsInf(minF, 1) {
+				feasibleF = false
+			} else {
+				costF += minF
+			}
+
+			next := map[int]float64{}
+			relax := func(state int, cost float64) {
+				if math.IsInf(cost, 1) || math.IsNaN(cost) {
+					return
+				}
+				if old, ok := next[state]; !ok || cost < old {
+					next[state] = cost
+				}
+			}
+			for aD, aCost := range accT {
+				for cState, cCost := range ct {
+					base := aCost + cCost
+					if cState >= 0 {
+						// Keep: the child's region merges into v's.
+						if aD+cState <= capU {
+							relax(aD+cState, base)
+						}
+						if cState > 0 {
+							// Cut: close the child's block (w/2) and pay
+							// the boundary of v's region (w/2).
+							relax(aD, base+w)
+						}
+					} else {
+						// Nothing below: the edge bounds v's region.
+						relax(aD, base+w/2)
+					}
+				}
+			}
+			accT = next
+		}
+
+		out := make(map[int]float64, len(accT)+1)
+		if feasibleF {
+			out[noRegion] = costF
+		}
+		for d, c := range accT {
+			if old, ok := out[d]; !ok || c < old {
+				out[d] = c
+			}
+		}
+		return out
+	}
+
+	tab := solve(bt.Root())
+	best := math.Inf(1)
+	for state, cost := range tab {
+		if state == 0 {
+			continue // a zero-demand region at the root belongs to no block
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, errors.New("kbgp: no feasible relaxed partition")
+	}
+	return best, nil
+}

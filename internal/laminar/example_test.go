@@ -1,0 +1,33 @@
+package laminar_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/laminar"
+)
+
+// A height-2 solution family over four unit-demand leaves: one root set,
+// two socket sets, four singleton core sets — exactly the laminar
+// structure Definition 3 requires.
+func ExampleFamily_Validate() {
+	h := hierarchy.MustNew([]int{2, 2}, []float64{4, 1, 0})
+	f := laminar.NewFamily(2)
+	f.Add(0, laminar.NewSet([]int{0, 1, 2, 3}, 4))
+	f.Add(1, laminar.NewSet([]int{0, 1}, 2))
+	f.Add(1, laminar.NewSet([]int{2, 3}, 2))
+	for l := 0; l < 4; l++ {
+		f.Add(2, laminar.NewSet([]int{l}, 1))
+	}
+	unit := func(int) float64 { return 1 }
+	err := f.Validate(h, []int{0, 1, 2, 3}, unit, laminar.Options{})
+	fmt.Println("valid:", err == nil)
+
+	// Break the partition property: drop a leaf from level 2.
+	f.Levels[2] = f.Levels[2][:3]
+	err = f.Validate(h, []int{0, 1, 2, 3}, unit, laminar.Options{})
+	fmt.Println("after dropping a set:", err)
+	// Output:
+	// valid: true
+	// after dropping a set: laminar: level 2 covers 3 of 4 leaves
+}

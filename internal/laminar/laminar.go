@@ -1,0 +1,210 @@
+// Package laminar represents solutions to the (relaxed) hierarchical
+// graph partitioning problem on trees as the family of collections
+// S⁽⁰⁾, …, S⁽ʰ⁾ of Definitions 3 and 4 of the paper, and validates
+// their structural properties: one root set, partition per level,
+// per-level capacities, refinement (with or without the DEG(j) bound —
+// the relaxation that makes the DP tractable), and H-node consistency.
+package laminar
+
+import (
+	"fmt"
+	"sort"
+
+	"hierpart/internal/hierarchy"
+)
+
+// Set is one Level-(j) set: a group of leaves destined for a common
+// Level-(j) node of the hierarchy.
+type Set struct {
+	// Leaves holds the member leaf IDs, sorted ascending.
+	Leaves []int
+	// Demand is the total demand of the members.
+	Demand float64
+	// HNode is the index of the Level-(j) hierarchy node this set is
+	// assigned to, or -1 before assignment.
+	HNode int
+}
+
+// NewSet builds a Set from leaves (copied and sorted) and total demand.
+func NewSet(leaves []int, demand float64) *Set {
+	ls := append([]int(nil), leaves...)
+	sort.Ints(ls)
+	return &Set{Leaves: ls, Demand: demand, HNode: -1}
+}
+
+// Contains reports whether leaf is a member (binary search).
+func (s *Set) Contains(leaf int) bool {
+	i := sort.SearchInts(s.Leaves, leaf)
+	return i < len(s.Leaves) && s.Leaves[i] == leaf
+}
+
+// Family is a full solution: Levels[j] is the collection S⁽ʲ⁾.
+type Family struct {
+	Levels [][]*Set
+}
+
+// NewFamily returns a family with h+1 empty levels.
+func NewFamily(h int) *Family {
+	return &Family{Levels: make([][]*Set, h+1)}
+}
+
+// Height returns h.
+func (f *Family) Height() int { return len(f.Levels) - 1 }
+
+// Add appends a set to level j and returns it.
+func (f *Family) Add(j int, s *Set) *Set {
+	f.Levels[j] = append(f.Levels[j], s)
+	return s
+}
+
+// Options configures Validate.
+type Options struct {
+	// Relaxed permits a Level-(j) set to refine into more than DEG(j)
+	// Level-(j+1) sets (Definition 4 instead of Definition 3).
+	Relaxed bool
+	// CapFactor[j] scales the allowed capacity of Level-(j) sets:
+	// demand ≤ CapFactor[j] · CP(j). A nil slice means factor 1
+	// everywhere. Theorem 5 solutions use (1+ε)(1+j).
+	CapFactor []float64
+	// DemandTol is the absolute slack allowed when comparing a set's
+	// recorded Demand against the recomputed member sum.
+	DemandTol float64
+	// CheckHNodes additionally verifies the HNode assignments: set at
+	// level j has HNode in range, children sets sit under their parent's
+	// node, and no two Level-(j) sets share a node.
+	CheckHNodes bool
+}
+
+// Validate checks the family against the universe of leaves (with their
+// demands) and the hierarchy. It returns the first violated property.
+func (f *Family) Validate(h *hierarchy.Hierarchy, leaves []int, demand func(leaf int) float64, opt Options) error {
+	if f.Height() != h.Height() {
+		return fmt.Errorf("laminar: family height %d != hierarchy height %d", f.Height(), h.Height())
+	}
+	capFactor := func(j int) float64 {
+		if opt.CapFactor == nil {
+			return 1
+		}
+		return opt.CapFactor[j]
+	}
+	tol := opt.DemandTol
+	if tol == 0 {
+		tol = 1e-9
+	}
+
+	universe := map[int]bool{}
+	for _, l := range leaves {
+		universe[l] = true
+	}
+
+	// Property 1: exactly one Level-(0) set covering everything.
+	if len(f.Levels[0]) != 1 {
+		return fmt.Errorf("laminar: level 0 has %d sets, want 1", len(f.Levels[0]))
+	}
+
+	// owner[j][leaf] = index of the Level-(j) set containing leaf.
+	owner := make([]map[int]int, f.Height()+1)
+	for j := 0; j <= f.Height(); j++ {
+		owner[j] = make(map[int]int, len(leaves))
+		var covered int
+		for si, s := range f.Levels[j] {
+			var d float64
+			for _, l := range s.Leaves {
+				if !universe[l] {
+					return fmt.Errorf("laminar: level %d set %d contains unknown leaf %d", j, si, l)
+				}
+				if prev, dup := owner[j][l]; dup {
+					return fmt.Errorf("laminar: leaf %d in two level-%d sets (%d and %d)", l, j, prev, si)
+				}
+				owner[j][l] = si
+				covered++
+				d += demand(l)
+			}
+			if diff := d - s.Demand; diff > tol || diff < -tol {
+				return fmt.Errorf("laminar: level %d set %d demand %v != member sum %v", j, si, s.Demand, d)
+			}
+			// Property 3: capacity.
+			if limit := capFactor(j) * h.Cap(j); s.Demand > limit+tol {
+				return fmt.Errorf("laminar: level %d set %d demand %v exceeds %v·CP(%d) = %v",
+					j, si, s.Demand, capFactor(j), j, limit)
+			}
+		}
+		// Property 2: partition of all leaves.
+		if covered != len(leaves) {
+			return fmt.Errorf("laminar: level %d covers %d of %d leaves", j, covered, len(leaves))
+		}
+	}
+
+	// Property 4: refinement; count distinct children per set.
+	for j := 0; j < f.Height(); j++ {
+		childrenOf := make(map[int]map[int]bool) // set index at level j → child set indices
+		for l := range owner[j] {
+			pi := owner[j][l]
+			ci := owner[j+1][l]
+			if childrenOf[pi] == nil {
+				childrenOf[pi] = map[int]bool{}
+			}
+			childrenOf[pi][ci] = true
+		}
+		// Each level-(j+1) set must lie inside a single level-j set.
+		parentOf := make(map[int]int)
+		for l := range owner[j+1] {
+			ci := owner[j+1][l]
+			pi := owner[j][l]
+			if prev, ok := parentOf[ci]; ok && prev != pi {
+				return fmt.Errorf("laminar: level %d set %d straddles level-%d sets %d and %d", j+1, ci, j, prev, pi)
+			}
+			parentOf[ci] = pi
+		}
+		if !opt.Relaxed {
+			for pi, cs := range childrenOf {
+				if len(cs) > h.Deg(j) {
+					return fmt.Errorf("laminar: level %d set %d refines into %d sets > DEG(%d) = %d",
+						j, pi, len(cs), j, h.Deg(j))
+				}
+			}
+		}
+	}
+
+	if opt.CheckHNodes {
+		for j := 0; j <= f.Height(); j++ {
+			used := map[int]int{}
+			for si, s := range f.Levels[j] {
+				if s.HNode < 0 || s.HNode >= h.NumNodes(j) {
+					return fmt.Errorf("laminar: level %d set %d has H-node %d out of [0,%d)", j, si, s.HNode, h.NumNodes(j))
+				}
+				if prev, dup := used[s.HNode]; dup {
+					return fmt.Errorf("laminar: level %d sets %d and %d share H-node %d", j, prev, si, s.HNode)
+				}
+				used[s.HNode] = si
+			}
+		}
+		for j := 0; j < f.Height(); j++ {
+			for l := range owner[j] {
+				p := f.Levels[j][owner[j][l]]
+				c := f.Levels[j+1][owner[j+1][l]]
+				if c.HNode/h.Deg(j) != p.HNode {
+					return fmt.Errorf("laminar: leaf %d: level-%d node %d is not a child of level-%d node %d",
+						l, j+1, c.HNode, j, p.HNode)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LeafAssignment extracts the final placement: for every leaf, the
+// Level-(h) H-node (= hierarchy leaf) of its bottom-level set. All
+// HNode fields at level h must be set. The returned map is leaf → H-leaf.
+func (f *Family) LeafAssignment() (map[int]int, error) {
+	out := map[int]int{}
+	for si, s := range f.Levels[f.Height()] {
+		if s.HNode < 0 {
+			return nil, fmt.Errorf("laminar: level-%d set %d has no H-node", f.Height(), si)
+		}
+		for _, l := range s.Leaves {
+			out[l] = s.HNode
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package laminar
+
+import (
+	"strings"
+	"testing"
+
+	"hierpart/internal/hierarchy"
+)
+
+// h22 is H(deg=[2,2]) with 4 leaves; CP = [4, 2, 1].
+func h22() *hierarchy.Hierarchy {
+	return hierarchy.MustNew([]int{2, 2}, []float64{4, 1, 0})
+}
+
+// unitDemand gives every leaf demand 1.
+func unitDemand(int) float64 { return 1 }
+
+// validFamily builds a correct height-2 family over leaves 0..3:
+// level 1: {0,1}, {2,3}; level 2: singletons.
+func validFamily() *Family {
+	f := NewFamily(2)
+	f.Add(0, NewSet([]int{0, 1, 2, 3}, 4))
+	f.Add(1, NewSet([]int{0, 1}, 2))
+	f.Add(1, NewSet([]int{2, 3}, 2))
+	for l := 0; l < 4; l++ {
+		f.Add(2, NewSet([]int{l}, 1))
+	}
+	return f
+}
+
+func TestValidFamily(t *testing.T) {
+	f := validFamily()
+	err := f.Validate(h22(), []int{0, 1, 2, 3}, unitDemand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet([]int{5, 1, 9}, 3)
+	if s.Leaves[0] != 1 || s.Leaves[2] != 9 {
+		t.Fatalf("leaves not sorted: %v", s.Leaves)
+	}
+	if !s.Contains(5) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	leaves := []int{0, 1, 2, 3}
+	cases := []struct {
+		name   string
+		mutate func(f *Family)
+		opt    Options
+		want   string
+	}{
+		{"two root sets", func(f *Family) {
+			f.Levels[0] = []*Set{NewSet([]int{0, 1}, 2), NewSet([]int{2, 3}, 2)}
+		}, Options{}, "level 0 has 2 sets"},
+		{"missing leaf", func(f *Family) {
+			f.Levels[2] = f.Levels[2][:3]
+		}, Options{}, "covers 3 of 4"},
+		{"duplicate leaf", func(f *Family) {
+			f.Levels[2][0] = NewSet([]int{0, 1}, 2)
+		}, Options{CapFactor: []float64{9, 9, 9}}, "in two level-2 sets"},
+		{"unknown leaf", func(f *Family) {
+			f.Levels[2][0] = NewSet([]int{9}, 1)
+		}, Options{}, "unknown leaf 9"},
+		{"wrong demand", func(f *Family) {
+			f.Levels[1][0].Demand = 7
+		}, Options{}, "demand 7 != member sum"},
+		{"over capacity", func(f *Family) {
+			// Level-2 sets have CP 1; make a pair.
+			f.Levels[2] = []*Set{NewSet([]int{0, 1}, 2), NewSet([]int{2}, 1), NewSet([]int{3}, 1)}
+		}, Options{}, "exceeds"},
+		{"straddling child", func(f *Family) {
+			// Level-2 set {1,2} crosses the two level-1 sets.
+			f.Levels[2] = []*Set{NewSet([]int{0}, 1), NewSet([]int{1, 2}, 2), NewSet([]int{3}, 1)}
+		}, Options{CapFactor: []float64{9, 9, 9}}, "straddles"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := validFamily()
+			c.mutate(f)
+			err := f.Validate(h22(), leaves, unitDemand, c.opt)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRelaxedAllowsWideRefinement(t *testing.T) {
+	// Level-0 set refines into 4 level-1 sets (> DEG(0) = 2): allowed
+	// only with Relaxed. Use generous CapFactor so capacity passes.
+	f := NewFamily(1)
+	f.Add(0, NewSet([]int{0, 1, 2, 3}, 4))
+	for l := 0; l < 4; l++ {
+		f.Add(1, NewSet([]int{l}, 1))
+	}
+	h := hierarchy.MustNew([]int{2}, []float64{1, 0})
+	leaves := []int{0, 1, 2, 3}
+	opt := Options{CapFactor: []float64{9, 9}}
+	if err := f.Validate(h, leaves, unitDemand, opt); err == nil {
+		t.Fatal("strict validation should reject 4 > DEG refinement")
+	}
+	opt.Relaxed = true
+	if err := f.Validate(h, leaves, unitDemand, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapFactorAllowsViolation(t *testing.T) {
+	f := validFamily()
+	// Overload one leaf-level set: {2,3} as a level-2 set (demand 2 > CP 1).
+	f.Levels[2] = []*Set{NewSet([]int{0}, 1), NewSet([]int{1}, 1), NewSet([]int{2, 3}, 2)}
+	leaves := []int{0, 1, 2, 3}
+	if err := f.Validate(h22(), leaves, unitDemand, Options{}); err == nil {
+		t.Fatal("should exceed capacity with factor 1")
+	}
+	opt := Options{CapFactor: []float64{1, 1, 2}}
+	if err := f.Validate(h22(), leaves, unitDemand, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHNodeChecks(t *testing.T) {
+	f := validFamily()
+	f.Levels[0][0].HNode = 0
+	f.Levels[1][0].HNode = 0
+	f.Levels[1][1].HNode = 1
+	f.Levels[2][0].HNode = 0 // leaf 0 → H-leaf 0 (child of node 0) ✓
+	f.Levels[2][1].HNode = 1
+	f.Levels[2][2].HNode = 2
+	f.Levels[2][3].HNode = 3
+	leaves := []int{0, 1, 2, 3}
+	opt := Options{CheckHNodes: true}
+	if err := f.Validate(h22(), leaves, unitDemand, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Break nesting: leaf 0's level-2 node under the wrong socket.
+	f.Levels[2][0].HNode = 2
+	f.Levels[2][2].HNode = 0
+	err := f.Validate(h22(), leaves, unitDemand, opt)
+	if err == nil || !strings.Contains(err.Error(), "not a child") {
+		t.Fatalf("err = %v, want nesting failure", err)
+	}
+	// Duplicate H-node.
+	f = validFamily()
+	f.Levels[0][0].HNode = 0
+	f.Levels[1][0].HNode = 1
+	f.Levels[1][1].HNode = 1
+	for i := range f.Levels[2] {
+		f.Levels[2][i].HNode = i
+	}
+	err = f.Validate(h22(), leaves, unitDemand, opt)
+	if err == nil || !strings.Contains(err.Error(), "share H-node") {
+		t.Fatalf("err = %v, want duplicate H-node failure", err)
+	}
+}
+
+func TestLeafAssignment(t *testing.T) {
+	f := validFamily()
+	for i := range f.Levels[2] {
+		f.Levels[2][i].HNode = 3 - i
+	}
+	a, err := f.LeafAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 4; l++ {
+		if a[l] != 3-l {
+			t.Fatalf("assignment = %v", a)
+		}
+	}
+	f.Levels[2][0].HNode = -1
+	if _, err := f.LeafAssignment(); err == nil {
+		t.Fatal("unassigned set should fail")
+	}
+}

@@ -1,0 +1,174 @@
+// Package metrics defines the placement type shared by all partitioners
+// and the evaluation functions of the HGP objective: the LCA cost form
+// of Equation (1) and the mirror/cut form of Equation (3), whose
+// equality is Lemma 2 of the paper, plus load-balance and capacity
+// violation measurements.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+)
+
+// Assignment maps each graph vertex to the hierarchy leaf it is placed
+// on. A value of -1 marks an unassigned vertex, which evaluation
+// functions reject.
+type Assignment []int
+
+// NewAssignment returns an all-unassigned placement for n vertices.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	return a
+}
+
+// Complete reports whether every vertex is assigned.
+func (a Assignment) Complete() bool {
+	for _, l := range a {
+		if l < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// Validate checks that a assigns every vertex of g to a leaf of h.
+func (a Assignment) Validate(g *graph.Graph, h *hierarchy.Hierarchy) error {
+	if len(a) != g.N() {
+		return fmt.Errorf("metrics: assignment length %d != graph size %d", len(a), g.N())
+	}
+	for v, l := range a {
+		if l < 0 || l >= h.Leaves() {
+			return fmt.Errorf("metrics: vertex %d assigned to leaf %d, want [0,%d)", v, l, h.Leaves())
+		}
+	}
+	return nil
+}
+
+// CostLCA evaluates the HGP objective in the form of Equation (1):
+// each edge (u, v) costs w(u,v) · cm(LCA_H(p(u), p(v))).
+func CostLCA(g *graph.Graph, h *hierarchy.Hierarchy, a Assignment) float64 {
+	if err := a.Validate(g, h); err != nil {
+		panic(err)
+	}
+	var c float64
+	for _, e := range g.Edges() {
+		c += e.Weight * h.CM(h.LCALevel(a[e.U], a[e.V]))
+	}
+	return c
+}
+
+// CostMirror evaluates the HGP objective in the mirror-function form of
+// Equation (3): for every level j ≥ 1 and every Level-(j) H-node a_H,
+// the boundary cut of P(a_H) = {v : p(v) ∈ SUB(a_H)} contributes
+// w(CUT(P(a_H))) · (cm(j-1) − cm(j)) / 2. For normalized multipliers
+// (cm(h) = 0) this equals CostLCA (Lemma 2); in general they differ by
+// cm(h) · totalWeight.
+func CostMirror(g *graph.Graph, h *hierarchy.Hierarchy, a Assignment) float64 {
+	if err := a.Validate(g, h); err != nil {
+		panic(err)
+	}
+	var c float64
+	for j := 1; j <= h.Height(); j++ {
+		factor := (h.CM(j-1) - h.CM(j)) / 2
+		if factor == 0 {
+			continue
+		}
+		// Accumulate boundary weight per Level-(j) node in one pass.
+		cut := make([]float64, h.NumNodes(j))
+		for _, e := range g.Edges() {
+			au := h.AncestorAt(a[e.U], j)
+			av := h.AncestorAt(a[e.V], j)
+			if au != av {
+				cut[au] += e.Weight
+				cut[av] += e.Weight
+			}
+		}
+		for _, w := range cut {
+			c += w * factor
+		}
+	}
+	return c + h.CM(h.Height())*g.TotalWeight()
+}
+
+// LeafLoads returns the total demand assigned to each hierarchy leaf.
+func LeafLoads(g *graph.Graph, h *hierarchy.Hierarchy, a Assignment) []float64 {
+	if err := a.Validate(g, h); err != nil {
+		panic(err)
+	}
+	loads := make([]float64, h.Leaves())
+	for v, l := range a {
+		loads[l] += g.Demand(v)
+	}
+	return loads
+}
+
+// Violation reports the worst relative capacity violation per level:
+// result[j] = max over Level-(j) nodes of load/CP(j), for j in [0, h].
+// Values ≤ 1 mean the level is within capacity.
+func Violation(g *graph.Graph, h *hierarchy.Hierarchy, a Assignment) []float64 {
+	loads := LeafLoads(g, h, a)
+	out := make([]float64, h.Height()+1)
+	for j := 0; j <= h.Height(); j++ {
+		node := make([]float64, h.NumNodes(j))
+		for l, d := range loads {
+			node[h.AncestorAt(l, j)] += d
+		}
+		worst := 0.0
+		for _, d := range node {
+			if r := d / h.Cap(j); r > worst {
+				worst = r
+			}
+		}
+		out[j] = worst
+	}
+	return out
+}
+
+// MaxViolation returns the largest entry of Violation.
+func MaxViolation(g *graph.Graph, h *hierarchy.Hierarchy, a Assignment) float64 {
+	worst := 0.0
+	for _, v := range Violation(g, h, a) {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Imbalance returns max leaf load divided by average leaf load
+// (1.0 = perfectly balanced). Returns 0 for zero total demand.
+func Imbalance(g *graph.Graph, h *hierarchy.Hierarchy, a Assignment) float64 {
+	loads := LeafLoads(g, h, a)
+	var sum, max float64
+	for _, d := range loads {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(loads)))
+}
+
+// Ratio returns a/b treating the 0/0 case as 1 (equal) and x/0 for
+// x > 0 as +Inf. Used for cost comparisons in experiment tables.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

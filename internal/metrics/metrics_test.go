@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+)
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment(3)
+	if a.Complete() {
+		t.Fatal("fresh assignment must be incomplete")
+	}
+	a[0], a[1], a[2] = 0, 1, 0
+	if !a.Complete() {
+		t.Fatal("assignment should be complete")
+	}
+	c := a.Clone()
+	c[0] = 1
+	if a[0] != 0 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := gen.Grid(1, 3, 1)
+	h := hierarchy.FlatKWay(2)
+	a := Assignment{0, 1, 2}
+	if err := a.Validate(g, h); err == nil {
+		t.Fatal("leaf 2 out of range should fail")
+	}
+	a = Assignment{0, 1}
+	if err := a.Validate(g, h); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	a = Assignment{0, 1, 1}
+	if err := a.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostLCAByHand(t *testing.T) {
+	// Path 0-1-2 with weights 3, 5 on H(deg=[2,2], cm=[10,4,1]).
+	g := graph.New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 5)
+	h := hierarchy.MustNew([]int{2, 2}, []float64{10, 4, 1})
+	// Leaves: 0,1 under socket 0; 2,3 under socket 1.
+	a := Assignment{0, 1, 2}
+	// Edge 0-1: LCA level 1 → cm 4. Edge 1-2: LCA level 0 → cm 10.
+	want := 3*4.0 + 5*10.0
+	if got := CostLCA(g, h, a); got != want {
+		t.Fatalf("CostLCA = %v, want %v", got, want)
+	}
+	// Same leaf: cm(2) = 1 applies.
+	a = Assignment{0, 0, 0}
+	if got := CostLCA(g, h, a); got != 8*1.0 {
+		t.Fatalf("co-located cost = %v, want 8", got)
+	}
+}
+
+func TestCostMirrorByHand(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 2)
+	h := hierarchy.MustNew([]int{2}, []float64{7, 0})
+	a := Assignment{0, 1}
+	// Level 1: both singleton parts have boundary 2;
+	// cost = (2+2)·(7-0)/2 = 14 = CostLCA (2·7).
+	if got := CostMirror(g, h, a); got != 14 {
+		t.Fatalf("CostMirror = %v, want 14", got)
+	}
+	if got := CostLCA(g, h, a); got != 14 {
+		t.Fatalf("CostLCA = %v, want 14", got)
+	}
+}
+
+// Property (Lemma 2): CostLCA == CostMirror for arbitrary graphs,
+// hierarchies, and assignments — including unnormalized cm.
+func TestLemma2Equality(t *testing.T) {
+	hs := []*hierarchy.Hierarchy{
+		hierarchy.FlatKWay(4),
+		hierarchy.MustNew([]int{2, 3}, []float64{9, 4, 0}),
+		hierarchy.MustNew([]int{2, 2, 2}, []float64{8, 8, 3, 1}), // ties + unnormalized
+		hierarchy.NUMAServer(),
+	}
+	f := func(seed int64, hi uint8) bool {
+		h := hs[int(hi)%len(hs)]
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 4+rng.Intn(12), 0.3, 5)
+		a := make(Assignment, g.N())
+		for v := range a {
+			a[v] = rng.Intn(h.Leaves())
+		}
+		lca := CostLCA(g, h, a)
+		mir := CostMirror(g, h, a)
+		return math.Abs(lca-mir) < 1e-6*(1+math.Abs(lca))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafLoadsAndViolation(t *testing.T) {
+	g := graph.New(4)
+	for v := 0; v < 4; v++ {
+		g.SetDemand(v, 0.6)
+	}
+	h := hierarchy.MustNew([]int{2, 2}, []float64{2, 1, 0}) // 4 leaves
+	a := Assignment{0, 0, 1, 2}
+	loads := LeafLoads(g, h, a)
+	want := []float64{1.2, 0.6, 0.6, 0}
+	for i := range want {
+		if math.Abs(loads[i]-want[i]) > 1e-12 {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+	vio := Violation(g, h, a)
+	// Level 2 (leaves): worst 1.2/1. Level 1: node0 has 1.8/2=0.9,
+	// node1 has 0.6/2=0.3. Level 0: 2.4/4 = 0.6.
+	if math.Abs(vio[2]-1.2) > 1e-12 || math.Abs(vio[1]-0.9) > 1e-12 || math.Abs(vio[0]-0.6) > 1e-12 {
+		t.Fatalf("violation = %v", vio)
+	}
+	if math.Abs(MaxViolation(g, h, a)-1.2) > 1e-12 {
+		t.Fatalf("max violation = %v", MaxViolation(g, h, a))
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	g := graph.New(2)
+	g.SetDemand(0, 1)
+	g.SetDemand(1, 1)
+	h := hierarchy.FlatKWay(2)
+	if got := Imbalance(g, h, Assignment{0, 1}); got != 1 {
+		t.Fatalf("balanced imbalance = %v, want 1", got)
+	}
+	if got := Imbalance(g, h, Assignment{0, 0}); got != 2 {
+		t.Fatalf("stacked imbalance = %v, want 2", got)
+	}
+	empty := graph.New(2)
+	if got := Imbalance(empty, h, Assignment{0, 1}); got != 0 {
+		t.Fatalf("zero-demand imbalance = %v, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(0, 0) != 1 {
+		t.Fatal("0/0 should be 1")
+	}
+	if !math.IsInf(Ratio(2, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Fatal("6/3 should be 2")
+	}
+}
+
+func TestCostPanicsOnIncomplete(t *testing.T) {
+	g := gen.Grid(1, 2, 1)
+	h := hierarchy.FlatKWay(2)
+	a := NewAssignment(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CostLCA(g, h, a)
+}

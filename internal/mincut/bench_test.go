@@ -1,0 +1,26 @@
+package mincut
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+)
+
+func BenchmarkGlobalStoerWagner(b *testing.B) {
+	g := gen.ErdosRenyi(rand.New(rand.NewSource(1)), 96, 0.1, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Global(g)
+	}
+}
+
+func BenchmarkGomoryHu(b *testing.B) {
+	g := gen.ErdosRenyi(rand.New(rand.NewSource(1)), 48, 0.15, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GomoryHu(g)
+	}
+}

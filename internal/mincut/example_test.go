@@ -1,0 +1,41 @@
+package mincut_test
+
+import (
+	"fmt"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/mincut"
+)
+
+// A dumbbell: two heavy triangles joined by a weight-1 bridge. The
+// global minimum cut is the bridge.
+func ExampleGlobal() {
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		g.AddEdge(e[0], e[1], 10)
+	}
+	g.AddEdge(2, 3, 1)
+	res := mincut.Global(g)
+	fmt.Println("weight:", res.Weight)
+	fmt.Println("side:", res.Side)
+	// Output:
+	// weight: 1
+	// side: [3 4 5]
+}
+
+// The Gomory–Hu tree answers every pairwise min-cut query from n−1
+// max-flows.
+func ExampleGomoryHu() {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 7)
+	gh := mincut.GomoryHu(g)
+	fmt.Println("mincut(0,3):", gh.MinCut(0, 3))
+	fmt.Println("mincut(2,3):", gh.MinCut(2, 3))
+	fmt.Println("global:", gh.GlobalFromGH())
+	// Output:
+	// mincut(0,3): 1
+	// mincut(2,3): 7
+	// global: 1
+}

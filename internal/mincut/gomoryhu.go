@@ -1,0 +1,104 @@
+package mincut
+
+import (
+	"math"
+
+	"hierpart/internal/flow"
+	"hierpart/internal/graph"
+)
+
+// GHTree is a Gomory–Hu (cut-equivalent) tree of a graph: a tree on the
+// same vertex set such that for every pair (u, v) the minimum u-v cut in
+// the graph equals the lightest edge on the tree path between them, and
+// removing that edge induces a minimum separating bipartition.
+type GHTree struct {
+	// Parent[v] is v's tree parent; Parent[0] = -1 (vertex 0 is the root).
+	Parent []int
+	// Weight[v] is the capacity of the edge (v, Parent[v]); Weight[0]
+	// is unused.
+	Weight []float64
+}
+
+// GomoryHu builds a cut-equivalent tree with Gusfield's algorithm:
+// n−1 max-flow computations on the original graph, no contractions.
+// The graph must have at least one vertex.
+func GomoryHu(g *graph.Graph) *GHTree {
+	n := g.N()
+	if n == 0 {
+		panic("mincut: GomoryHu on empty graph")
+	}
+	t := &GHTree{
+		Parent: make([]int, n),
+		Weight: make([]float64, n),
+	}
+	t.Parent[0] = -1
+	for i := 1; i < n; i++ {
+		net := flow.NewNetwork(n)
+		for _, e := range g.Edges() {
+			net.AddEdge(e.U, e.V, e.Weight)
+		}
+		t.Weight[i] = net.MaxFlow(i, t.Parent[i])
+		side := net.MinCutSide(i)
+		for j := i + 1; j < n; j++ {
+			if side[j] && t.Parent[j] == t.Parent[i] {
+				t.Parent[j] = i
+			}
+		}
+	}
+	return t
+}
+
+// MinCut returns the minimum cut value between u and v: the lightest
+// edge weight on the tree path. u and v must differ.
+func (t *GHTree) MinCut(u, v int) float64 {
+	if u == v {
+		panic("mincut: MinCut of a vertex with itself")
+	}
+	depth := t.depths()
+	min := math.Inf(1)
+	for u != v {
+		if depth[u] < depth[v] {
+			u, v = v, u
+		}
+		if t.Weight[u] < min {
+			min = t.Weight[u]
+		}
+		u = t.Parent[u]
+	}
+	return min
+}
+
+func (t *GHTree) depths() []int {
+	n := len(t.Parent)
+	d := make([]int, n)
+	for v := range d {
+		d[v] = -1
+	}
+	var depthOf func(v int) int
+	depthOf = func(v int) int {
+		if t.Parent[v] == -1 {
+			return 0
+		}
+		if d[v] >= 0 {
+			return d[v]
+		}
+		d[v] = depthOf(t.Parent[v]) + 1
+		return d[v]
+	}
+	for v := 0; v < n; v++ {
+		d[v] = depthOf(v)
+	}
+	return d
+}
+
+// GlobalFromGH returns the global minimum cut value implied by the tree
+// (the lightest tree edge) — it must agree with Stoer–Wagner.
+func (t *GHTree) GlobalFromGH() float64 {
+	min := math.Inf(1)
+	for v := 1; v < len(t.Parent); v++ {
+		if t.Weight[v] < min {
+			min = t.Weight[v]
+		}
+	}
+	return min
+}

@@ -1,0 +1,108 @@
+package mincut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierpart/internal/flow"
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+)
+
+func TestGomoryHuPath(t *testing.T) {
+	// Path 0-1-2-3 with weights 5, 1, 7: min cut between 0 and 3 is 1.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 7)
+	gh := GomoryHu(g)
+	if got := gh.MinCut(0, 3); got != 1 {
+		t.Fatalf("mincut(0,3) = %v, want 1", got)
+	}
+	if got := gh.MinCut(0, 1); got != 5 {
+		t.Fatalf("mincut(0,1) = %v, want 5", got)
+	}
+	if got := gh.MinCut(2, 3); got != 7 {
+		t.Fatalf("mincut(2,3) = %v, want 7", got)
+	}
+}
+
+// Property: every pairwise min cut from the GH tree equals a direct
+// max-flow computation.
+func TestGomoryHuMatchesMaxFlow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		g := gen.ErdosRenyi(rng, n, 0.4, 6)
+		gh := GomoryHu(g)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				net := flow.NewNetwork(n)
+				for _, e := range g.Edges() {
+					net.AddEdge(e.U, e.V, e.Weight)
+				}
+				want := net.MaxFlow(u, v)
+				if math.Abs(gh.MinCut(u, v)-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the lightest GH tree edge is the global min cut
+// (cross-check against Stoer–Wagner).
+func TestGomoryHuGlobalMatchesStoerWagner(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 3+rng.Intn(8), 0.5, 5)
+		gh := GomoryHu(g)
+		sw := Global(g)
+		return math.Abs(gh.GlobalFromGH()-sw.Weight) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGomoryHuStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.Community(rng, 2, 6, 0.7, 0.1, 5, 1)
+	gh := GomoryHu(g)
+	if gh.Parent[0] != -1 {
+		t.Fatal("vertex 0 must be the root")
+	}
+	// Tree must be connected and acyclic: walking parents from any
+	// vertex reaches the root within n steps.
+	for v := 1; v < g.N(); v++ {
+		u, steps := v, 0
+		for u != 0 {
+			u = gh.Parent[u]
+			steps++
+			if steps > g.N() {
+				t.Fatalf("parent chain from %d does not reach root", v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinCut(v,v) must panic")
+		}
+	}()
+	gh.MinCut(2, 2)
+}
+
+func TestGomoryHuEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GomoryHu(graph.New(0))
+}

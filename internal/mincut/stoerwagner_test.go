@@ -1,0 +1,118 @@
+package mincut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierpart/internal/graph"
+)
+
+func TestTinyGraphs(t *testing.T) {
+	if r := Global(graph.New(0)); !math.IsInf(r.Weight, 1) {
+		t.Fatalf("empty graph: %+v", r)
+	}
+	if r := Global(graph.New(1)); !math.IsInf(r.Weight, 1) {
+		t.Fatalf("single vertex: %+v", r)
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1, 3)
+	r := Global(g)
+	if r.Weight != 3 || len(r.Side) != 1 {
+		t.Fatalf("two-vertex graph: %+v", r)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	r := Global(g)
+	if r.Weight != 0 {
+		t.Fatalf("disconnected graph weight = %v, want 0", r.Weight)
+	}
+	if len(r.Side) != 2 {
+		t.Fatalf("side = %v", r.Side)
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	// Two triangles of weight 10 joined by a weight-1 bridge.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		g.AddEdge(e[0], e[1], 10)
+	}
+	g.AddEdge(2, 3, 1)
+	r := Global(g)
+	if r.Weight != 1 {
+		t.Fatalf("weight = %v, want 1", r.Weight)
+	}
+	side := map[int]bool{}
+	for _, v := range r.Side {
+		side[v] = true
+	}
+	if got := g.CutWeightSet(side); got != 1 {
+		t.Fatalf("side %v realizes cut %v, want 1", r.Side, got)
+	}
+}
+
+// bruteGlobal enumerates all proper subsets.
+func bruteGlobal(g *graph.Graph) float64 {
+	n := g.N()
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<uint(n)-1; mask++ {
+		c := g.CutWeight(func(v int) bool { return mask&(1<<uint(v)) != 0 })
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Property: Stoer–Wagner equals brute force on random small graphs, and
+// the reported side realizes the reported weight.
+func TestGlobalMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.6 {
+					g.AddEdge(u, v, float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		r := Global(g)
+		want := bruteGlobal(g)
+		if math.Abs(r.Weight-want) > 1e-9 {
+			return false
+		}
+		side := map[int]bool{}
+		for _, v := range r.Side {
+			side[v] = true
+		}
+		if len(side) == 0 || len(side) == n {
+			return false
+		}
+		return math.Abs(g.CutWeightSet(side)-r.Weight) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSideIsSorted(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 4, 3)
+	g.AddEdge(4, 2, 3)
+	g.AddEdge(2, 1, 1)
+	g.AddEdge(1, 3, 3)
+	r := Global(g)
+	for i := 1; i < len(r.Side); i++ {
+		if r.Side[i-1] >= r.Side[i] {
+			t.Fatalf("side not sorted: %v", r.Side)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+)
+
+func benchSetup() (*Topology, *hierarchy.Hierarchy, metrics.Assignment) {
+	rng := rand.New(rand.NewSource(1))
+	topo := FanInAggregation(rng, 8, 4, 0.2, 0.5, 40)
+	h := hierarchy.NUMASockets(4, 4)
+	a := metrics.NewAssignment(topo.N())
+	for v := range a {
+		a[v] = v % h.Leaves()
+	}
+	return topo, h, a
+}
+
+func BenchmarkAnalyticThroughput(b *testing.B) {
+	topo, h, a := benchSetup()
+	m := Model{OverheadPerMsg: 1e-3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Throughput(topo, h, a)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	topo, h, a := benchSetup()
+	cfg := SimConfig{Rate: 0.5, Duration: 5, Model: Model{OverheadPerMsg: 1e-3}, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(topo, h, a, cfg)
+	}
+}

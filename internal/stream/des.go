@@ -1,0 +1,283 @@
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+)
+
+// The discrete-event simulator complements the analytic Model: instead
+// of comparing steady-state utilizations it actually runs the topology —
+// sources emit messages, every operator's work is serialized through the
+// core it is pinned to (FIFO), and each traversed channel charges both
+// endpoint cores per-message CPU overhead proportional to the hierarchy
+// distance of the placement. Latency, queueing, and the stability limit
+// emerge rather than being assumed, which is what makes placements that
+// look similar in aggregate cost behave differently under load.
+
+// SimConfig parameterizes a simulation run.
+type SimConfig struct {
+	// Rate scales every channel's nominal message rate (the λ of the
+	// analytic model). 1.0 reproduces nominal load.
+	Rate float64
+	// Duration is the simulated time horizon in seconds. Zero means 10.
+	Duration float64
+	// Warmup discards messages completed before this time. Zero means
+	// 10% of Duration.
+	Warmup float64
+	// Model supplies the per-message CPU overhead per cm unit.
+	Model Model
+	// Seed drives arrival jitter; runs are deterministic per seed.
+	Seed int64
+}
+
+// SimResult summarizes a run.
+type SimResult struct {
+	// Delivered is the number of messages that reached a sink (an
+	// operator with no outgoing channels) after warmup.
+	Delivered int
+	// Throughput is Delivered per simulated second after warmup.
+	Throughput float64
+	// MeanLatency and P95Latency are source-to-sink delays in seconds.
+	MeanLatency, P95Latency float64
+	// MaxQueueDelay is the longest any message waited for its core
+	// before service began — growth across Rate values reveals the
+	// stability limit.
+	MaxQueueDelay float64
+	// Stable reports whether every core's backlog at the horizon is
+	// small relative to the messages it processed (an unstable core
+	// keeps accumulating work).
+	Stable bool
+}
+
+// event is a scheduled simulator occurrence.
+type event struct {
+	at   float64
+	seq  int64 // tie-break for determinism
+	kind byte  // 'a' = arrival of a message at an operator, 'g' = source generation
+	op   int   // operator
+	msg  *message
+}
+
+type message struct {
+	born float64 // time it left its source
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulate runs the topology under the placement. Per message, operator
+// v consumes Demand[v]/inRate(v) CPU-seconds of its core (so at Rate 1
+// its utilization is exactly its demand), plus cm·OverheadPerMsg on both
+// endpoint cores per traversed channel. Each core serializes all work
+// pinned to it. Messages fan out on every outgoing channel with
+// probability rate-proportional routing preserved in expectation by
+// thinning. It panics on malformed placements.
+func Simulate(t *Topology, H *hierarchy.Hierarchy, a metrics.Assignment, cfg SimConfig) SimResult {
+	if len(a) != t.N() {
+		panic("stream: assignment size mismatch")
+	}
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("stream: bad rate %v", cfg.Rate))
+	}
+	duration := cfg.Duration
+	if duration == 0 {
+		duration = 10
+	}
+	warmup := cfg.Warmup
+	if warmup == 0 {
+		warmup = duration / 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ovh := cfg.Model.overhead()
+
+	// Static structure: per-operator outgoing channels, nominal input
+	// rates, and source detection.
+	outs := make([][]DirEdge, t.N())
+	inRate := make([]float64, t.N())
+	for _, e := range t.Edges {
+		outs[e.From] = append(outs[e.From], e)
+		inRate[e.To] += e.Rate
+	}
+	var sources []int
+	genRate := make([]float64, t.N())
+	for v := 0; v < t.N(); v++ {
+		if inRate[v] == 0 && len(outs[v]) > 0 {
+			sources = append(sources, v)
+			for _, e := range outs[v] {
+				genRate[v] += e.Rate
+			}
+		}
+	}
+	// Per-message service work of operator v (CPU-seconds on its core):
+	// demand divided by its nominal total message rate so that at
+	// cfg.Rate = 1 the operator's utilization equals its demand. The
+	// forwarding probability of channel e is e.Rate over the operator's
+	// reference rate, which models both shuffle splitting (a message
+	// goes to ONE of k equal channels) and selectivity (an aggregator
+	// emits fewer messages than it absorbs).
+	work := make([]float64, t.N())
+	fwdProb := make([][]float64, t.N())
+	for v := 0; v < t.N(); v++ {
+		r := inRate[v]
+		if r == 0 {
+			r = genRate[v]
+		}
+		if r > 0 {
+			work[v] = t.Demand[v] / r
+		}
+		fwdProb[v] = make([]float64, len(outs[v]))
+		for i, e := range outs[v] {
+			if r > 0 {
+				fwdProb[v][i] = e.Rate / r
+			}
+		}
+	}
+
+	// Core state: the time each core becomes free.
+	coreFree := make([]float64, H.Leaves())
+	processed := make([]int, H.Leaves())
+	maxQueueDelay := 0.0
+
+	var q eventQueue
+	var seq int64
+	push := func(at float64, kind byte, op int, msg *message) {
+		seq++
+		heap.Push(&q, &event{at: at, seq: seq, kind: kind, op: op, msg: msg})
+	}
+	// Prime the sources with jittered phase.
+	for _, s := range sources {
+		push(rng.Float64()/(genRate[s]*cfg.Rate), 'g', s, nil)
+	}
+
+	var latencies []float64
+	delivered := 0
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(*event)
+		if ev.at > duration {
+			break
+		}
+		switch ev.kind {
+		case 'g':
+			// A source emits one message per outgoing channel share and
+			// reschedules itself.
+			m := &message{born: ev.at}
+			core := a[ev.op]
+			start := math.Max(ev.at, coreFree[core])
+			finish := start + work[ev.op]*1 // source processing
+			coreFree[core] = finish
+			processed[core]++
+			forward(outs[ev.op], fwdProb[ev.op], H, a, m, finish, ovh, coreFree, rng, push)
+			next := ev.at + 1/(genRate[ev.op]*cfg.Rate)
+			push(next, 'g', ev.op, nil)
+		case 'a':
+			core := a[ev.op]
+			start := math.Max(ev.at, coreFree[core])
+			if wait := start - ev.at; wait > maxQueueDelay {
+				maxQueueDelay = wait
+			}
+			finish := start + work[ev.op]
+			coreFree[core] = finish
+			processed[core]++
+			if len(outs[ev.op]) == 0 {
+				// Sink: record delivery.
+				if finish >= warmup {
+					delivered++
+					latencies = append(latencies, finish-ev.msg.born)
+				}
+			} else {
+				forward(outs[ev.op], fwdProb[ev.op], H, a, ev.msg, finish, ovh, coreFree, rng, push)
+			}
+		}
+	}
+
+	res := SimResult{
+		Delivered:     delivered,
+		Throughput:    float64(delivered) / (duration - warmup),
+		MaxQueueDelay: maxQueueDelay,
+		Stable:        true,
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / float64(len(latencies))
+		res.P95Latency = latencies[int(float64(len(latencies))*0.95)]
+	}
+	// Stability: a core whose pending work horizon extends far past the
+	// simulated end is drowning.
+	for c, free := range coreFree {
+		if processed[c] > 0 && free > duration*1.5 {
+			res.Stable = false
+		}
+	}
+	return res
+}
+
+// forward routes a processed message along each outgoing channel with
+// its forwarding probability (shuffle splitting and selectivity), at
+// time now, charging communication overhead to both endpoint cores and
+// scheduling arrival events with hierarchy-distance transit delay.
+func forward(outs []DirEdge, prob []float64, H *hierarchy.Hierarchy, a metrics.Assignment, m *message,
+	now, ovh float64, coreFree []float64, rng *rand.Rand, push func(float64, byte, int, *message)) {
+	for i, e := range outs {
+		if p := prob[i]; p < 1 && rng.Float64() > p {
+			continue
+		}
+		cm := H.CM(H.LCALevel(a[e.From], a[e.To]))
+		over := cm * ovh
+		coreFree[a[e.From]] += over
+		coreFree[a[e.To]] += over
+		push(now+over, 'a', e.To, m)
+	}
+}
+
+// MaxStableRate binary-searches the largest rate multiplier at which the
+// simulation stays stable, between lo and hi (hi unstable ⇒ search
+// works; if hi is stable it is returned).
+func MaxStableRate(t *Topology, H *hierarchy.Hierarchy, a metrics.Assignment, cfg SimConfig, lo, hi float64, iters int) float64 {
+	probe := func(rate float64) bool {
+		c := cfg
+		c.Rate = rate
+		return Simulate(t, H, a, c).Stable
+	}
+	if probe(hi) {
+		return hi
+	}
+	if !probe(lo) {
+		return 0
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

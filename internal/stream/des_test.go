@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+)
+
+// twoOpChain builds src → sink with the given demands and rate.
+func twoOpChain(dSrc, dSink, rate float64) *Topology {
+	p := &Topology{}
+	a := p.addOp("src", dSrc)
+	b := p.addOp("sink", dSink)
+	p.connect(a, b, rate)
+	return p
+}
+
+func TestSimulateDeliversAtNominalRate(t *testing.T) {
+	p := twoOpChain(0.2, 0.2, 50)
+	h := hierarchy.NUMASockets(2, 2)
+	res := Simulate(p, h, metrics.Assignment{0, 1}, SimConfig{
+		Rate: 1, Duration: 20, Model: Model{OverheadPerMsg: 1e-4}, Seed: 1,
+	})
+	if !res.Stable {
+		t.Fatalf("nominal rate should be stable: %+v", res)
+	}
+	// 50 msg/s for 18 post-warmup seconds ≈ 900 deliveries.
+	if res.Delivered < 800 || res.Delivered > 1000 {
+		t.Fatalf("delivered = %d, want ≈900", res.Delivered)
+	}
+	if res.Throughput < 40 || res.Throughput > 60 {
+		t.Fatalf("throughput = %v, want ≈50", res.Throughput)
+	}
+	if res.MeanLatency <= 0 || res.P95Latency < res.MeanLatency {
+		t.Fatalf("latency stats inconsistent: %+v", res)
+	}
+}
+
+func TestSimulateOverloadIsUnstable(t *testing.T) {
+	p := twoOpChain(0.4, 0.4, 50)
+	h := hierarchy.NUMASockets(2, 2)
+	a := metrics.Assignment{0, 1}
+	cfg := SimConfig{Duration: 20, Model: Model{OverheadPerMsg: 1e-4}, Seed: 1}
+	cfg.Rate = 1
+	if res := Simulate(p, h, a, cfg); !res.Stable {
+		t.Fatalf("40%% utilization must be stable: %+v", res)
+	}
+	cfg.Rate = 4 // 160% demand on each core
+	if res := Simulate(p, h, a, cfg); res.Stable {
+		t.Fatalf("4× overload must be unstable: %+v", res)
+	}
+}
+
+func TestSimulateCrossSocketCostsLatency(t *testing.T) {
+	// A hot channel: co-socket placement must deliver lower latency than
+	// cross-socket under the same load.
+	p := twoOpChain(0.3, 0.3, 200)
+	h := hierarchy.NUMASockets(2, 2) // cm [20 4 0]
+	cfg := SimConfig{Rate: 1, Duration: 10, Model: Model{OverheadPerMsg: 5e-4}, Seed: 2}
+	same := Simulate(p, h, metrics.Assignment{0, 1}, cfg)
+	cross := Simulate(p, h, metrics.Assignment{0, 2}, cfg)
+	if !same.Stable {
+		t.Fatalf("same-socket run unstable: %+v", same)
+	}
+	if same.MeanLatency >= cross.MeanLatency {
+		t.Fatalf("same-socket latency %v not below cross-socket %v", same.MeanLatency, cross.MeanLatency)
+	}
+}
+
+func TestMaxStableRateOrdering(t *testing.T) {
+	// The DES's stability limit should rank placements like the analytic
+	// model does on a communication-heavy chain.
+	p := twoOpChain(0.25, 0.25, 100)
+	h := hierarchy.NUMASockets(2, 2)
+	cfg := SimConfig{Duration: 8, Model: Model{OverheadPerMsg: 1e-3}, Seed: 3}
+	same := MaxStableRate(p, h, metrics.Assignment{0, 1}, cfg, 0.25, 16, 8)
+	cross := MaxStableRate(p, h, metrics.Assignment{0, 2}, cfg, 0.25, 16, 8)
+	if same <= cross {
+		t.Fatalf("same-socket limit %v not above cross-socket %v", same, cross)
+	}
+	m := Model{OverheadPerMsg: 1e-3}
+	if (m.Throughput(p, h, metrics.Assignment{0, 1}) > m.Throughput(p, h, metrics.Assignment{0, 2})) !=
+		(same > cross) {
+		t.Fatal("DES and analytic model disagree on ordering")
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := FanInAggregation(rng, 3, 2, 0.1, 0.3, 30)
+	h := hierarchy.NUMASockets(2, 4)
+	a := metrics.Assignment{}
+	for v := 0; v < p.N(); v++ {
+		a = append(a, v%h.Leaves())
+	}
+	cfg := SimConfig{Rate: 1, Duration: 5, Seed: 9}
+	r1 := Simulate(p, h, a, cfg)
+	r2 := Simulate(p, h, a, cfg)
+	if r1 != r2 {
+		t.Fatalf("same seed differs: %+v vs %+v", r1, r2)
+	}
+	cfg.Seed = 10
+	r3 := Simulate(p, h, a, cfg)
+	if r1 == r3 {
+		t.Fatal("different seeds should differ in jitter")
+	}
+}
+
+func TestSimulatePanics(t *testing.T) {
+	p := twoOpChain(0.1, 0.1, 10)
+	h := hierarchy.FlatKWay(2)
+	for name, fn := range map[string]func(){
+		"short assignment": func() { Simulate(p, h, metrics.Assignment{0}, SimConfig{Rate: 1}) },
+		"zero rate":        func() { Simulate(p, h, metrics.Assignment{0, 1}, SimConfig{}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSimulateFanOutThinning(t *testing.T) {
+	// One splitter into 4 counters with equal rates: deliveries should
+	// spread across all counters (each is a sink).
+	rng := rand.New(rand.NewSource(6))
+	p := WordCount(rng, 1, 4, 0.05, 0.1, 40)
+	// Strip the reporter edges so counters are sinks? WordCount wires
+	// counters → report; deliveries land at the report op. Just check
+	// the run completes and delivers.
+	h := hierarchy.NUMASockets(2, 4)
+	a := metrics.Assignment{}
+	for v := 0; v < p.N(); v++ {
+		a = append(a, v%h.Leaves())
+	}
+	res := Simulate(p, h, a, SimConfig{Rate: 1, Duration: 10, Seed: 7})
+	if res.Delivered == 0 {
+		t.Fatalf("no deliveries: %+v", res)
+	}
+}

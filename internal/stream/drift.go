@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Drift returns a copy of the topology after one epoch of workload
+// drift: every channel rate and operator demand is scaled by an
+// independent multiplicative factor drawn uniformly from
+// [1−vol, 1+vol]. Demands are quantized to 1/16 steps (capacity
+// estimators report coarse numbers) and clamped to (0, 1]. Production
+// traces being proprietary, this random walk stands in for the
+// rate/load churn a stream warehouse observes between re-planning
+// intervals.
+func Drift(rng *rand.Rand, t *Topology, vol float64) *Topology {
+	out := &Topology{
+		Names:  append([]string(nil), t.Names...),
+		Demand: make([]float64, len(t.Demand)),
+		Edges:  make([]DirEdge, len(t.Edges)),
+	}
+	for v, d := range t.Demand {
+		nd := d * (1 - vol + 2*vol*rng.Float64())
+		nd = math.Ceil(nd*16) / 16
+		if nd <= 0 {
+			nd = 1.0 / 16
+		}
+		if nd > 1 {
+			nd = 1
+		}
+		out.Demand[v] = nd
+	}
+	for i, e := range t.Edges {
+		out.Edges[i] = DirEdge{
+			From: e.From,
+			To:   e.To,
+			Rate: e.Rate * (1 - vol + 2*vol*rng.Float64()),
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package stream_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+	"hierpart/internal/stream"
+)
+
+// The analytic throughput model: a hot two-operator chain sustains more
+// input the closer its operators sit in the hierarchy.
+func ExampleModel_Throughput() {
+	topo := stream.Pipeline(rand.New(rand.NewSource(1)), 2, 1, 0.3, 0.3, 100)
+	h := hierarchy.NUMASockets(2, 2) // cm = [20 4 0]
+	m := stream.Model{OverheadPerMsg: 1e-3}
+
+	sameSocket := metrics.Assignment{0, 1}
+	crossSocket := metrics.Assignment{0, 2}
+	fmt.Printf("same socket:  λ = %.3f\n", m.Throughput(topo, h, sameSocket))
+	fmt.Printf("cross socket: λ = %.3f\n", m.Throughput(topo, h, crossSocket))
+	// Output:
+	// same socket:  λ = 1.429
+	// cross socket: λ = 0.435
+}

@@ -1,0 +1,259 @@
+// Package stream models the parallelized data-stream-processing systems
+// that motivate the paper (§1: TidalRace at AT&T, IBM InfoSphere,
+// Storm): a DAG of operators with CPU demands and message rates, pinned
+// onto a hierarchical machine. Because production traces are
+// proprietary, the package generates the canonical topology shapes those
+// systems run — pipelines, fan-out/fan-in aggregation, diamonds,
+// word-count-style shuffles, and join trees — and provides an analytic
+// throughput simulator whose communication overhead grows with the
+// hierarchy distance between the endpoints' cores, which is exactly the
+// quantity the HGP objective minimizes (experiment E6).
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+)
+
+// DirEdge is a directed operator channel carrying Rate messages per
+// second at nominal input rate.
+type DirEdge struct {
+	From, To int
+	Rate     float64
+}
+
+// Topology is a stream-processing operator graph.
+type Topology struct {
+	// Names labels each operator (for reports).
+	Names []string
+	// Demand is the CPU fraction each operator needs at nominal rate.
+	Demand []float64
+	// Edges are the directed channels.
+	Edges []DirEdge
+}
+
+// N returns the number of operators.
+func (t *Topology) N() int { return len(t.Names) }
+
+// addOp appends an operator.
+func (t *Topology) addOp(name string, demand float64) int {
+	t.Names = append(t.Names, name)
+	t.Demand = append(t.Demand, demand)
+	return len(t.Names) - 1
+}
+
+// connect adds a channel.
+func (t *Topology) connect(from, to int, rate float64) {
+	t.Edges = append(t.Edges, DirEdge{From: from, To: to, Rate: rate})
+}
+
+// CommGraph converts the topology into the undirected weighted task
+// graph that the partitioners consume: vertex demands are CPU demands
+// and edge weights are total message rates between operator pairs.
+func (t *Topology) CommGraph() *graph.Graph {
+	g := graph.New(t.N())
+	for v, d := range t.Demand {
+		g.SetDemand(v, d)
+	}
+	for _, e := range t.Edges {
+		if e.From != e.To {
+			g.AddEdge(e.From, e.To, e.Rate)
+		}
+	}
+	return g
+}
+
+// Pipeline builds a linear chain of stages, each stage replicated
+// `width` ways with shuffle (all-to-all) channels between consecutive
+// stages. Demands and per-channel rates are uniform in the given ranges.
+func Pipeline(rng *rand.Rand, stages, width int, dLo, dHi, rate float64) *Topology {
+	if stages < 1 || width < 1 {
+		panic("stream: Pipeline needs stages ≥ 1 and width ≥ 1")
+	}
+	t := &Topology{}
+	prev := make([]int, 0, width)
+	for s := 0; s < stages; s++ {
+		cur := make([]int, 0, width)
+		for w := 0; w < width; w++ {
+			cur = append(cur, t.addOp(fmt.Sprintf("stage%d[%d]", s, w), dLo+rng.Float64()*(dHi-dLo)))
+		}
+		for _, p := range prev {
+			for _, c := range cur {
+				t.connect(p, c, rate/float64(width))
+			}
+		}
+		prev = cur
+	}
+	return t
+}
+
+// FanInAggregation builds the classic ingest→parse→aggregate→sink shape:
+// `sources` ingest operators each feeding a private parser, parsers
+// shuffled into `aggs` aggregators, all aggregators into one sink.
+// Parser→aggregator traffic dominates (rate), ingest→parse is heavier
+// still (3·rate), aggregator→sink is light (rate/10).
+func FanInAggregation(rng *rand.Rand, sources, aggs int, dLo, dHi, rate float64) *Topology {
+	if sources < 1 || aggs < 1 {
+		panic("stream: FanInAggregation needs sources ≥ 1 and aggs ≥ 1")
+	}
+	t := &Topology{}
+	sink := t.addOp("sink", dLo+rng.Float64()*(dHi-dLo))
+	var aggIDs []int
+	for a := 0; a < aggs; a++ {
+		id := t.addOp(fmt.Sprintf("agg[%d]", a), dLo+rng.Float64()*(dHi-dLo))
+		aggIDs = append(aggIDs, id)
+		t.connect(id, sink, rate/10)
+	}
+	for s := 0; s < sources; s++ {
+		src := t.addOp(fmt.Sprintf("src[%d]", s), dLo+rng.Float64()*(dHi-dLo))
+		parse := t.addOp(fmt.Sprintf("parse[%d]", s), dLo+rng.Float64()*(dHi-dLo))
+		t.connect(src, parse, 3*rate)
+		for _, a := range aggIDs {
+			t.connect(parse, a, rate/float64(aggs))
+		}
+	}
+	return t
+}
+
+// Diamond builds `lanes` independent split→(two parallel ops)→merge
+// diamonds chained behind a common source, a latency-sensitive shape
+// common in enrichment pipelines.
+func Diamond(rng *rand.Rand, lanes int, dLo, dHi, rate float64) *Topology {
+	if lanes < 1 {
+		panic("stream: Diamond needs lanes ≥ 1")
+	}
+	t := &Topology{}
+	src := t.addOp("source", dLo+rng.Float64()*(dHi-dLo))
+	for l := 0; l < lanes; l++ {
+		split := t.addOp(fmt.Sprintf("split[%d]", l), dLo+rng.Float64()*(dHi-dLo))
+		a := t.addOp(fmt.Sprintf("enrichA[%d]", l), dLo+rng.Float64()*(dHi-dLo))
+		b := t.addOp(fmt.Sprintf("enrichB[%d]", l), dLo+rng.Float64()*(dHi-dLo))
+		merge := t.addOp(fmt.Sprintf("merge[%d]", l), dLo+rng.Float64()*(dHi-dLo))
+		t.connect(src, split, rate/float64(lanes))
+		t.connect(split, a, rate/float64(2*lanes))
+		t.connect(split, b, rate/float64(2*lanes))
+		t.connect(a, merge, rate/float64(2*lanes))
+		t.connect(b, merge, rate/float64(2*lanes))
+	}
+	return t
+}
+
+// WordCount builds the canonical splitter→counter shuffle: `splitters`
+// tokenizers all-to-all into `counters` keyed reducers, counters into a
+// single reporter — the benchmark topology of Storm-like systems.
+func WordCount(rng *rand.Rand, splitters, counters int, dLo, dHi, rate float64) *Topology {
+	if splitters < 1 || counters < 1 {
+		panic("stream: WordCount needs splitters ≥ 1 and counters ≥ 1")
+	}
+	t := &Topology{}
+	report := t.addOp("report", dLo+rng.Float64()*(dHi-dLo))
+	var cnt []int
+	for c := 0; c < counters; c++ {
+		id := t.addOp(fmt.Sprintf("count[%d]", c), dLo+rng.Float64()*(dHi-dLo))
+		cnt = append(cnt, id)
+		t.connect(id, report, rate/20)
+	}
+	for s := 0; s < splitters; s++ {
+		sp := t.addOp(fmt.Sprintf("split[%d]", s), dLo+rng.Float64()*(dHi-dLo))
+		for _, c := range cnt {
+			t.connect(sp, c, rate/float64(counters))
+		}
+	}
+	return t
+}
+
+// JoinTree builds a binary tree of stream-stream joins over `inputs`
+// leaf streams (inputs must be a power of two ≥ 2).
+func JoinTree(rng *rand.Rand, inputs int, dLo, dHi, rate float64) *Topology {
+	if inputs < 2 || inputs&(inputs-1) != 0 {
+		panic("stream: JoinTree needs a power-of-two inputs ≥ 2")
+	}
+	t := &Topology{}
+	level := make([]int, 0, inputs)
+	for i := 0; i < inputs; i++ {
+		level = append(level, t.addOp(fmt.Sprintf("in[%d]", i), dLo+rng.Float64()*(dHi-dLo)))
+	}
+	depth := 0
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i < len(level); i += 2 {
+			j := t.addOp(fmt.Sprintf("join%d[%d]", depth, i/2), dLo+rng.Float64()*(dHi-dLo))
+			t.connect(level[i], j, rate)
+			t.connect(level[i+1], j, rate)
+			next = append(next, j)
+		}
+		level = next
+		depth++
+		rate /= 2 // joins reduce volume
+	}
+	return t
+}
+
+// Model converts hierarchy cost multipliers into per-message CPU
+// overhead for the throughput simulation.
+type Model struct {
+	// OverheadPerMsg is the CPU fraction consumed on BOTH endpoint cores
+	// per message per unit of cost multiplier. Zero means 1e-4 (so a
+	// rate-100 channel across a cm-25 boundary adds 0.25 core).
+	OverheadPerMsg float64
+}
+
+func (m Model) overhead() float64 {
+	if m.OverheadPerMsg == 0 {
+		return 1e-4
+	}
+	return m.OverheadPerMsg
+}
+
+// Throughput returns the largest input-rate multiplier λ the placement
+// sustains: every core's load (base demand plus communication overhead,
+// both proportional to λ) must stay within its unit capacity, so
+// λ = 1 / max core load at nominal rate. Co-located endpoints pay
+// cm(h) (zero for normalized hierarchies).
+func (m Model) Throughput(t *Topology, H *hierarchy.Hierarchy, a metrics.Assignment) float64 {
+	if len(a) != t.N() {
+		panic("stream: assignment size mismatch")
+	}
+	loads := make([]float64, H.Leaves())
+	for v, l := range a {
+		if l < 0 || l >= H.Leaves() {
+			panic(fmt.Sprintf("stream: operator %d unassigned or out of range (%d)", v, l))
+		}
+		loads[l] += t.Demand[v]
+	}
+	ovh := m.overhead()
+	for _, e := range t.Edges {
+		cm := H.CM(H.LCALevel(a[e.From], a[e.To]))
+		loads[a[e.From]] += e.Rate * cm * ovh
+		loads[a[e.To]] += e.Rate * cm * ovh
+	}
+	worst := 0.0
+	for _, l := range loads {
+		if l > worst {
+			worst = l
+		}
+	}
+	if worst == 0 {
+		return math.Inf(1)
+	}
+	return 1 / worst
+}
+
+// AvgMsgCost returns the rate-weighted average per-message communication
+// cost of a placement — the latency proxy reported by experiment E6.
+func AvgMsgCost(t *Topology, H *hierarchy.Hierarchy, a metrics.Assignment) float64 {
+	var num, den float64
+	for _, e := range t.Edges {
+		num += e.Rate * H.CM(H.LCALevel(a[e.From], a[e.To]))
+		den += e.Rate
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/metrics"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestPipelineShape(t *testing.T) {
+	p := Pipeline(rng(), 3, 2, 0.1, 0.2, 100)
+	if p.N() != 6 {
+		t.Fatalf("N = %d, want 6", p.N())
+	}
+	// 2 stage gaps × 2×2 shuffle = 8 channels.
+	if len(p.Edges) != 8 {
+		t.Fatalf("edges = %d, want 8", len(p.Edges))
+	}
+	g := p.CommGraph()
+	if g.N() != 6 || g.M() != 8 {
+		t.Fatalf("comm graph N=%d M=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if d := g.Demand(v); d < 0.1 || d > 0.2 {
+			t.Fatalf("demand %v out of range", d)
+		}
+	}
+}
+
+func TestFanInAggregationShape(t *testing.T) {
+	p := FanInAggregation(rng(), 4, 2, 0.05, 0.1, 50)
+	// sink + 2 aggs + 4×(src+parse) = 11 operators.
+	if p.N() != 11 {
+		t.Fatalf("N = %d, want 11", p.N())
+	}
+	// channels: 2 agg→sink + 4 src→parse + 4×2 parse→agg = 14.
+	if len(p.Edges) != 14 {
+		t.Fatalf("edges = %d, want 14", len(p.Edges))
+	}
+	if !strings.HasPrefix(p.Names[0], "sink") {
+		t.Fatalf("names = %v", p.Names[:3])
+	}
+}
+
+func TestDiamondAndWordCountAndJoinTree(t *testing.T) {
+	d := Diamond(rng(), 3, 0.1, 0.1, 60)
+	if d.N() != 1+3*4 || len(d.Edges) != 3*5 {
+		t.Fatalf("diamond N=%d E=%d", d.N(), len(d.Edges))
+	}
+	w := WordCount(rng(), 3, 4, 0.1, 0.1, 80)
+	if w.N() != 1+4+3 || len(w.Edges) != 4+3*4 {
+		t.Fatalf("wordcount N=%d E=%d", w.N(), len(w.Edges))
+	}
+	j := JoinTree(rng(), 4, 0.1, 0.1, 40)
+	// 4 inputs + 2 joins + 1 join = 7 ops; edges 4 + 2 = 6.
+	if j.N() != 7 || len(j.Edges) != 6 {
+		t.Fatalf("jointree N=%d E=%d", j.N(), len(j.Edges))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JoinTree must reject non-power-of-two")
+		}
+	}()
+	JoinTree(rng(), 3, 0.1, 0.1, 1)
+}
+
+func TestThroughputPrefersColocation(t *testing.T) {
+	// Two operators with a hot channel on a 2-socket machine: same
+	// socket (adjacent cores) must beat cross-socket.
+	p := &Topology{}
+	a := p.addOp("a", 0.3)
+	b := p.addOp("b", 0.3)
+	p.connect(a, b, 100)
+	h := hierarchy.NUMASockets(2, 2) // cm [20 4 0], 4 leaves
+	m := Model{OverheadPerMsg: 1e-3}
+
+	sameCore := metrics.Assignment{0, 0}
+	sameSocket := metrics.Assignment{0, 1}
+	crossSocket := metrics.Assignment{0, 2}
+
+	tpCore := m.Throughput(p, h, sameCore)
+	tpSock := m.Throughput(p, h, sameSocket)
+	tpCross := m.Throughput(p, h, crossSocket)
+	if !(tpCore > tpSock && tpSock > tpCross) {
+		t.Fatalf("throughputs not ordered: core %v socket %v cross %v", tpCore, tpSock, tpCross)
+	}
+	// Hand numbers: same core: load 0.6 → 1/0.6. Same socket: each core
+	// 0.3 + 100·4·1e-3 = 0.7 → 1/0.7. Cross: 0.3 + 100·20·1e-3 = 2.3.
+	if math.Abs(tpCore-1/0.6) > 1e-9 || math.Abs(tpSock-1/0.7) > 1e-9 || math.Abs(tpCross-1/2.3) > 1e-9 {
+		t.Fatalf("throughput values wrong: %v %v %v", tpCore, tpSock, tpCross)
+	}
+}
+
+func TestAvgMsgCost(t *testing.T) {
+	p := &Topology{}
+	a := p.addOp("a", 0.1)
+	b := p.addOp("b", 0.1)
+	c := p.addOp("c", 0.1)
+	p.connect(a, b, 10) // will be co-socket: cm 4
+	p.connect(b, c, 30) // will be cross-socket: cm 20
+	h := hierarchy.NUMASockets(2, 2)
+	assign := metrics.Assignment{0, 1, 2}
+	want := (10*4.0 + 30*20.0) / 40.0
+	if got := AvgMsgCost(p, h, assign); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avg msg cost = %v, want %v", got, want)
+	}
+	empty := &Topology{}
+	empty.addOp("x", 0.1)
+	if got := AvgMsgCost(empty, h, metrics.Assignment{0}); got != 0 {
+		t.Fatalf("edgeless topology cost = %v", got)
+	}
+}
+
+func TestThroughputPanics(t *testing.T) {
+	p := Pipeline(rng(), 2, 1, 0.1, 0.1, 10)
+	h := hierarchy.FlatKWay(2)
+	m := Model{}
+	for name, fn := range map[string]func(){
+		"size":       func() { m.Throughput(p, h, metrics.Assignment{0}) },
+		"unassigned": func() { m.Throughput(p, h, metrics.Assignment{0, -1}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestHGPPlacementBeatsNaive: end-to-end E6 smoke. When CPU demands are
+// high enough that tasks cannot simply pile onto one core, the paper's
+// placement — which minimizes hierarchy-weighted communication while
+// respecting capacity — should sustain more input rate than a
+// round-robin spread that pays cross-socket overhead on hot channels.
+func TestHGPPlacementBeatsNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := FanInAggregation(r, 8, 4, 0.35, 0.6, 40)
+	g := p.CommGraph()
+	h := hierarchy.NUMASockets(4, 4)
+	res, err := hgp.Solver{Trees: 4, Seed: 2}.Solve(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin spread: balanced but hierarchy-oblivious.
+	spread := metrics.NewAssignment(p.N())
+	for v := range spread {
+		spread[v] = v % h.Leaves()
+	}
+	m := Model{OverheadPerMsg: 1e-3}
+	tpHGP := m.Throughput(p, h, res.Assignment)
+	tpSpread := m.Throughput(p, h, spread)
+	if tpHGP < tpSpread {
+		t.Fatalf("HGP throughput %v below round-robin %v", tpHGP, tpSpread)
+	}
+	// The latency proxy must improve too.
+	if AvgMsgCost(p, h, res.Assignment) > AvgMsgCost(p, h, spread) {
+		t.Fatal("HGP placement has worse average message cost than round-robin")
+	}
+}

@@ -1,0 +1,123 @@
+package treedecomp
+
+import (
+	"sort"
+
+	"hierpart/internal/flow"
+	"hierpart/internal/graph"
+)
+
+// flowRefine improves a bisection of a cluster with a corridor max-flow
+// (the technique KaFFPa-style partitioners use on top of FM): vertices
+// within two hops of the current cut form a corridor; everything deeper
+// on each side is contracted into a terminal; the minimum s-t cut inside
+// the corridor is the cheapest cut reachable without moving the far
+// interiors. The result is adopted only when it lowers the cut weight
+// and keeps both sides within [minFrac, maxFrac] of the cluster weight.
+//
+// side maps cluster vertices to true (left) / false (right) and is
+// updated in place on success. Reports whether a change was made.
+func flowRefine(g *graph.Graph, cluster []int, side map[int]bool, wgt func(int) float64, totalW, minFrac, maxFrac float64) bool {
+	inCluster := make(map[int]bool, len(cluster))
+	for _, v := range cluster {
+		inCluster[v] = true
+	}
+	// Current cut weight and boundary vertices.
+	var cutW float64
+	boundary := map[int]bool{}
+	for _, v := range cluster {
+		g.Neighbors(v, func(u int, w float64) {
+			if inCluster[u] && side[u] != side[v] {
+				boundary[v] = true
+				if v < u {
+					cutW += w
+				}
+			}
+		})
+	}
+	if len(boundary) == 0 {
+		return false
+	}
+	// Corridor: vertices within 2 hops of the boundary (inside cluster).
+	corridor := map[int]bool{}
+	frontier := make([]int, 0, len(boundary))
+	for v := range boundary {
+		corridor[v] = true
+		frontier = append(frontier, v)
+	}
+	sort.Ints(frontier)
+	for hop := 0; hop < 2; hop++ {
+		var next []int
+		for _, v := range frontier {
+			g.Neighbors(v, func(u int, _ float64) {
+				if inCluster[u] && !corridor[u] {
+					corridor[u] = true
+					next = append(next, u)
+				}
+			})
+		}
+		sort.Ints(next)
+		frontier = next
+	}
+
+	// Network: corridor vertices plus two terminals. IDs: 0 = source
+	// (contracted deep-left), 1 = sink (contracted deep-right),
+	// 2.. = corridor.
+	id := map[int]int{}
+	var order []int
+	for _, v := range cluster {
+		if corridor[v] {
+			id[v] = 2 + len(order)
+			order = append(order, v)
+		}
+	}
+	net := flow.NewNetwork(2 + len(order))
+	for _, v := range order {
+		g.Neighbors(v, func(u int, w float64) {
+			if !inCluster[u] {
+				return
+			}
+			if corridor[u] {
+				if v < u {
+					net.AddEdge(id[v], id[u], w)
+				}
+				return
+			}
+			// Edge to a contracted interior.
+			if side[u] {
+				net.AddEdge(0, id[v], w)
+			} else {
+				net.AddEdge(id[v], 1, w)
+			}
+		})
+	}
+	newCut := net.MaxFlow(0, 1)
+	if newCut >= cutW-1e-12 {
+		return false
+	}
+	srcSide := net.MinCutSide(0)
+
+	// Tentative new sides: interiors keep theirs, corridor follows flow.
+	newSide := func(v int) bool {
+		if corridor[v] {
+			return srcSide[id[v]]
+		}
+		return side[v]
+	}
+	var leftW float64
+	leftCount := 0
+	for _, v := range cluster {
+		if newSide(v) {
+			leftW += wgt(v)
+			leftCount++
+		}
+	}
+	if leftW < totalW*minFrac || leftW > totalW*maxFrac ||
+		leftCount == 0 || leftCount == len(cluster) {
+		return false
+	}
+	for _, v := range cluster {
+		side[v] = newSide(v)
+	}
+	return true
+}

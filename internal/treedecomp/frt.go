@@ -1,0 +1,135 @@
+package treedecomp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/tree"
+)
+
+// buildFRT constructs a decomposition tree by the
+// Fakcharoenphol–Rao–Talwar random hierarchical decomposition over the
+// inverse-weight shortest-path metric (heavily-communicating vertices
+// are close): draw a random vertex permutation π and a random scale
+// β ∈ [1, 2); at each level, with geometrically shrinking radius r,
+// every vertex is labeled by the first vertex in π-order within distance
+// β·r and clusters split by label. The chain of partitions is laminar by
+// construction; FRT guarantees O(log n) expected distance distortion on
+// the metric, which experiment E17 relates to the cut distortion the
+// pipeline actually cares about. Tree edge weights remain graph
+// boundaries, so Proposition 1 is unconditional.
+func buildFRT(g *graph.Graph, rng *rand.Rand) *DecompTree {
+	n := g.N()
+	dt := &DecompTree{
+		T:      tree.New(),
+		LeafOf: make([]int, n),
+	}
+	if n == 1 {
+		dt.T.SetLabel(0, 0)
+		dt.T.SetDemand(0, g.Demand(0))
+		dt.LeafOf[0] = 0
+		return dt
+	}
+
+	// All-pairs distances under the inverse-weight metric.
+	dist := make([][]float64, n)
+	maxD, minD := 0.0, math.Inf(1)
+	for v := 0; v < n; v++ {
+		dist[v] = g.ShortestPaths(v, graph.InverseWeightLength)
+		for u, d := range dist[v] {
+			if u == v || math.IsInf(d, 1) {
+				continue
+			}
+			if d > maxD {
+				maxD = d
+			}
+			if d < minD && d > 0 {
+				minD = d
+			}
+		}
+	}
+	if maxD == 0 { // no finite distances at all: split arbitrarily
+		maxD, minD = 1, 1
+	}
+
+	pi := rng.Perm(n)
+	beta := 1 + rng.Float64()
+
+	// label(v, r): the first π-vertex within distance r of v (v itself
+	// qualifies at radius ≥ 0, so the recursion always terminates).
+	label := func(v int, r float64) int {
+		for _, u := range pi {
+			if dist[u][v] <= r {
+				return u
+			}
+		}
+		return v
+	}
+
+	// Descend radii from the diameter to below the minimum distance,
+	// splitting every current cluster by label and compressing levels
+	// that do not split a cluster.
+	var attach func(node int, cluster []int, r float64)
+	attach = func(node int, cluster []int, r float64) {
+		if len(cluster) == 1 {
+			v := cluster[0]
+			dt.T.SetLabel(node, v)
+			dt.T.SetDemand(node, g.Demand(v))
+			dt.LeafOf[v] = node
+			return
+		}
+		// Shrink the radius until the cluster actually splits; below the
+		// minimum pairwise distance every vertex labels itself.
+		for {
+			groups := map[int][]int{}
+			for _, v := range cluster {
+				groups[label(v, beta*r)] = append(groups[label(v, beta*r)], v)
+			}
+			if len(groups) > 1 {
+				keys := make([]int, 0, len(groups))
+				for k := range groups {
+					keys = append(keys, k)
+				}
+				sort.Ints(keys)
+				for _, k := range keys {
+					part := groups[k]
+					sort.Ints(part)
+					in := make(map[int]bool, len(part))
+					for _, v := range part {
+						in[v] = true
+					}
+					w := g.CutWeight(func(v int) bool { return in[v] })
+					child := dt.T.AddChild(node, w)
+					attach(child, part, r/2)
+				}
+				return
+			}
+			r /= 2
+			if r < minD/4 {
+				// Identical coordinates (zero-distance pair cannot occur
+				// with positive lengths, but guard anyway): peel one off.
+				first := cluster[:1]
+				rest := cluster[1:]
+				for _, part := range [][]int{first, rest} {
+					in := make(map[int]bool, len(part))
+					for _, v := range part {
+						in[v] = true
+					}
+					w := g.CutWeight(func(v int) bool { return in[v] })
+					child := dt.T.AddChild(node, w)
+					attach(child, part, r)
+				}
+				return
+			}
+		}
+	}
+
+	all := make([]int, n)
+	for v := range all {
+		all[v] = v
+	}
+	attach(dt.T.Root(), all, maxD)
+	return dt
+}

@@ -1,0 +1,125 @@
+package treedecomp
+
+import (
+	"math"
+
+	"hierpart/internal/graph"
+)
+
+// Mapping materializes the paper's m_V and m_E functions (§4) for one
+// decomposition tree: every tree node gets a representative graph
+// vertex, and every tree edge gets a path in G connecting the two
+// representatives. Together with the tree's edge weights this yields the
+// congestion view of Theorem 6: routing each tree edge's weight along
+// its path loads the graph's edges.
+type Mapping struct {
+	// Rep[t] is m_V(t): the representative graph vertex of tree node t.
+	// For leaves it is the leaf's own vertex (the required bijection).
+	Rep []int
+	// Path[t] is m_E of the edge (parent(t), t): a vertex sequence in G
+	// from Rep[parent(t)] to Rep[t]. Path[root] is nil. Paths are empty
+	// (not nil) when the endpoints coincide.
+	Path [][]int
+}
+
+// BuildMapping computes m_V and m_E for the tree over graph g. Internal
+// representatives are chosen as the smallest-ID vertex of the node's
+// cluster (deterministic); paths are hop-shortest via BFS. Tree edges
+// whose endpoints' representatives are disconnected in g keep a nil
+// path (possible only for disconnected graphs).
+func (d *DecompTree) BuildMapping(g *graph.Graph) *Mapping {
+	n := d.T.N()
+	m := &Mapping{Rep: make([]int, n), Path: make([][]int, n)}
+	// Representatives bottom-up: a leaf is its vertex; an internal node
+	// inherits the smallest representative among its children.
+	for _, t := range d.T.PostOrder() {
+		if d.T.IsLeaf(t) {
+			m.Rep[t] = d.T.Label(t)
+			continue
+		}
+		best := -1
+		for _, c := range d.T.Children(t) {
+			if best == -1 || m.Rep[c] < best {
+				best = m.Rep[c]
+			}
+		}
+		m.Rep[t] = best
+	}
+	for t := 1; t < n; t++ {
+		m.Path[t] = bfsPath(g, m.Rep[d.T.Parent(t)], m.Rep[t])
+	}
+	return m
+}
+
+// bfsPath returns a hop-shortest path from s to t (inclusive), an empty
+// slice when s == t, or nil when unreachable.
+func bfsPath(g *graph.Graph, s, t int) []int {
+	if s == t {
+		return []int{}
+	}
+	prev := make([]int, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[s] = s
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == t {
+			break
+		}
+		for _, u := range g.SortedNeighbors(v) {
+			if prev[u] == -1 {
+				prev[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	if prev[t] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := t; v != s; v = prev[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, s)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Congestion routes every tree edge's weight w_T(e) along its mapped
+// path and returns the maximum relative load over graph edges
+// (load / capacity, capacity = edge weight) — the quantity Theorem 6
+// bounds by O(log n) for Räcke's distribution. Returns 0 for trees with
+// no routable edges.
+func (d *DecompTree) Congestion(g *graph.Graph, m *Mapping) float64 {
+	load := map[[2]int]float64{}
+	for t := 1; t < d.T.N(); t++ {
+		w := d.T.EdgeWeight(t)
+		p := m.Path[t]
+		if w == 0 || len(p) < 2 {
+			continue
+		}
+		for i := 1; i < len(p); i++ {
+			a, b := p[i-1], p[i]
+			if a > b {
+				a, b = b, a
+			}
+			load[[2]int{a, b}] += w
+		}
+	}
+	worst := 0.0
+	for e, l := range load {
+		cap := g.Weight(e[0], e[1])
+		if cap == 0 {
+			return math.Inf(1) // routed over a non-edge: broken path
+		}
+		if r := l / cap; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,103 @@
+package treedecomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+)
+
+func TestBuildMappingBasics(t *testing.T) {
+	g := gen.Grid(3, 3, 1)
+	d := Build(g, Options{Trees: 1, Seed: 2})
+	dt := d.Trees[0]
+	m := dt.BuildMapping(g)
+	// Leaf representatives are the leaf labels (the m_V bijection).
+	for _, l := range dt.T.Leaves() {
+		if m.Rep[l] != dt.T.Label(l) {
+			t.Fatalf("leaf %d rep %d != label %d", l, m.Rep[l], dt.T.Label(l))
+		}
+	}
+	// Root has no path; every other node has a valid path between reps.
+	if m.Path[dt.T.Root()] != nil {
+		t.Fatal("root must have nil path")
+	}
+	for v := 1; v < dt.T.N(); v++ {
+		p := m.Path[v]
+		pr := m.Rep[dt.T.Parent(v)]
+		if pr == m.Rep[v] {
+			if len(p) != 0 {
+				t.Fatalf("node %d: same-rep path should be empty, got %v", v, p)
+			}
+			continue
+		}
+		if p == nil {
+			t.Fatalf("node %d: nil path in connected graph", v)
+		}
+		if p[0] != pr || p[len(p)-1] != m.Rep[v] {
+			t.Fatalf("node %d: path %v does not join %d→%d", v, p, pr, m.Rep[v])
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("node %d: path uses non-edge %d-%d", v, p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestCongestionFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.ErdosRenyi(rng, 20, 0.2, 4)
+	d := Build(g, Options{Trees: 2, Seed: 6})
+	for _, dt := range d.Trees {
+		m := dt.BuildMapping(g)
+		c := dt.Congestion(g, m)
+		if math.IsInf(c, 1) || c <= 0 {
+			t.Fatalf("congestion = %v, want finite positive", c)
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	// Path graph 0-1-2-3.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	p := bfsPath(g, 0, 3)
+	want := []int{0, 1, 2, 3}
+	if len(p) != 4 {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if got := bfsPath(g, 2, 2); len(got) != 0 || got == nil {
+		t.Fatalf("self path = %v, want empty non-nil", got)
+	}
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1, 1)
+	if bfsPath(g2, 0, 2) != nil {
+		t.Fatal("unreachable target must give nil")
+	}
+}
+
+func TestCongestionDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	d := Build(g, Options{Trees: 1, Seed: 1})
+	dt := d.Trees[0]
+	m := dt.BuildMapping(g)
+	// Some tree edge must bridge the components; its weight is 0
+	// (empty boundary), so it contributes no load — congestion stays
+	// finite or the path is nil and skipped.
+	c := dt.Congestion(g, m)
+	if math.IsNaN(c) {
+		t.Fatalf("congestion = %v", c)
+	}
+}

@@ -1,0 +1,344 @@
+package treedecomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/mincut"
+)
+
+// mincutGlobal is a shorthand for the Stoer–Wagner global cut value.
+func mincutGlobal(g *graph.Graph) float64 { return mincut.Global(g).Weight }
+
+func TestBuildStructure(t *testing.T) {
+	g := gen.Grid(4, 4, 1)
+	gen.UniformDemands(rand.New(rand.NewSource(1)), g, 0.1, 0.9)
+	d := Build(g, Options{Trees: 3, Seed: 7})
+	if len(d.Trees) != 3 {
+		t.Fatalf("got %d trees", len(d.Trees))
+	}
+	for ti, dt := range d.Trees {
+		if err := dt.T.Validate(); err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		leaves := dt.T.Leaves()
+		if len(leaves) != g.N() {
+			t.Fatalf("tree %d: %d leaves, want %d", ti, len(leaves), g.N())
+		}
+		// m_V restricted to leaves is a bijection onto V(G), demands match.
+		seen := map[int]bool{}
+		for _, l := range leaves {
+			v := dt.T.Label(l)
+			if v < 0 || v >= g.N() || seen[v] {
+				t.Fatalf("tree %d: bad leaf label %d", ti, v)
+			}
+			seen[v] = true
+			if dt.T.Demand(l) != g.Demand(v) {
+				t.Fatalf("tree %d: leaf demand mismatch for vertex %d", ti, v)
+			}
+			if dt.LeafOf[v] != l {
+				t.Fatalf("tree %d: LeafOf[%d] = %d, want %d", ti, v, dt.LeafOf[v], l)
+			}
+		}
+		// Binary internal nodes (recursive bisection).
+		if mc := dt.T.MaxChildren(); mc > 2 {
+			t.Fatalf("tree %d: max children %d", ti, mc)
+		}
+	}
+}
+
+// clusterOf collects the graph vertices under a tree node.
+func clusterOf(dt *DecompTree, node int) map[int]bool {
+	out := map[int]bool{}
+	var rec func(v int)
+	rec = func(v int) {
+		if dt.T.IsLeaf(v) {
+			out[dt.T.Label(v)] = true
+			return
+		}
+		for _, c := range dt.T.Children(v) {
+			rec(c)
+		}
+	}
+	rec(node)
+	return out
+}
+
+// TestEdgeWeightsAreBoundaries: w_T(e) must equal the graph boundary of
+// the child cluster — the §4 definition that makes Proposition 1 hold.
+func TestEdgeWeightsAreBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.ErdosRenyi(rng, 24, 0.15, 5)
+	d := Build(g, Options{Trees: 2, Seed: 9})
+	for ti, dt := range d.Trees {
+		for v := 1; v < dt.T.N(); v++ {
+			want := g.CutWeightSet(clusterOf(dt, v))
+			if got := dt.T.EdgeWeight(v); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("tree %d node %d: edge weight %v != boundary %v", ti, v, got, want)
+			}
+		}
+	}
+}
+
+// TestProposition1: the minimum tree cut separating any vertex subset
+// dominates the graph boundary of that subset.
+func TestProposition1(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyi(rng, 14, 0.25, 4)
+	d := Build(g, Options{Trees: 2, Seed: 11})
+	f := func(mask uint16) bool {
+		s := map[int]bool{}
+		for v := 0; v < g.N(); v++ {
+			if mask&(1<<uint(v)) != 0 {
+				s[v] = true
+			}
+		}
+		if len(s) == 0 || len(s) == g.N() {
+			return true
+		}
+		for _, dt := range d.Trees {
+			if dt.CutDistortion(g, s) < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	g := gen.Torus(4, 4, 2)
+	a := Build(g, Options{Trees: 2, Seed: 42})
+	b := Build(g, Options{Trees: 2, Seed: 42})
+	for i := range a.Trees {
+		if a.Trees[i].T.N() != b.Trees[i].T.N() {
+			t.Fatal("same seed gave different trees")
+		}
+		for v := 1; v < a.Trees[i].T.N(); v++ {
+			if a.Trees[i].T.EdgeWeight(v) != b.Trees[i].T.EdgeWeight(v) ||
+				a.Trees[i].T.Label(v) != b.Trees[i].T.Label(v) {
+				t.Fatal("same seed gave different trees")
+			}
+		}
+	}
+	c := Build(g, Options{Trees: 1, Seed: 43})
+	same := a.Trees[0].T.N() == c.Trees[0].T.N()
+	if same {
+		for v := 1; v < c.Trees[0].T.N(); v++ {
+			if a.Trees[0].T.Label(v) != c.Trees[0].T.Label(v) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical trees (vanishingly unlikely)")
+	}
+}
+
+func TestSingletonAndTinyGraphs(t *testing.T) {
+	g := graph.New(1)
+	g.SetDemand(0, 0.5)
+	d := Build(g, Options{})
+	dt := d.Trees[0]
+	if dt.T.N() != 1 || dt.T.Label(0) != 0 || dt.T.Demand(0) != 0.5 {
+		t.Fatalf("singleton tree wrong: %+v", dt.T)
+	}
+	g2 := graph.New(2)
+	g2.AddEdge(0, 1, 3)
+	d2 := Build(g2, Options{})
+	if got := len(d2.Trees[0].T.Leaves()); got != 2 {
+		t.Fatalf("2-vertex tree has %d leaves", got)
+	}
+	// Both tree edges have boundary weight 3.
+	for v := 1; v < d2.Trees[0].T.N(); v++ {
+		if d2.Trees[0].T.EdgeWeight(v) != 3 {
+			t.Fatalf("edge weight %v, want 3", d2.Trees[0].T.EdgeWeight(v))
+		}
+	}
+}
+
+// TestCommunityGraphSplitQuality: on a planted 2-community graph the
+// first bisection should usually recover the communities (weak check:
+// top split boundary well below worst-case).
+func TestCommunityGraphSplitQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.Community(rng, 2, 10, 0.7, 0.02, 10, 1)
+	d := Build(g, Options{Trees: 4, Seed: 13})
+	// The planted inter-community cut weight:
+	planted := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		planted[i] = true
+	}
+	plantedCut := g.CutWeightSet(planted)
+	bestTop := math.Inf(1)
+	for _, dt := range d.Trees {
+		topChild := dt.T.Children(dt.T.Root())[0]
+		if w := dt.T.EdgeWeight(topChild); w < bestTop {
+			bestTop = w
+		}
+	}
+	if bestTop > plantedCut*3 {
+		t.Fatalf("best top-level cut %v far above planted cut %v", bestTop, plantedCut)
+	}
+}
+
+func TestCutDistortionDegenerate(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	// Vertex 2 disconnected: boundary({2}) = 0 in G but trees always cut.
+	d := Build(g, Options{Seed: 1})
+	if got := d.Trees[0].CutDistortion(g, map[int]bool{2: true}); got != 1 && !math.IsInf(got, 1) {
+		// Boundary of the {2} cluster is 0 in G, so the tree edge weight
+		// is also 0 → distortion 1. Either outcome is acceptable
+		// depending on where the bisection placed vertex 2.
+		t.Fatalf("distortion = %v", got)
+	}
+	if got := d.Trees[0].CutDistortion(g, nil); got != 1 {
+		t.Fatalf("empty set distortion = %v", got)
+	}
+}
+
+// TestFlowRefineImprovesOrMatches: with identical seeds, the flow-refined
+// build's top-level cut is never worse than the FM-only build's on a
+// community graph, and all structural invariants still hold.
+func TestFlowRefineImprovesOrMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.Community(rng, 2, 12, 0.5, 0.05, 8, 1)
+	plain := Build(g, Options{Trees: 3, Seed: 17})
+	refined := Build(g, Options{Trees: 3, Seed: 17, FlowRefine: true})
+	var plainTop, refinedTop float64
+	for i := range plain.Trees {
+		if err := refined.Trees[i].T.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(refined.Trees[i].T.Leaves()); got != g.N() {
+			t.Fatalf("refined tree %d has %d leaves", i, got)
+		}
+		plainTop += plain.Trees[i].T.EdgeWeight(plain.Trees[i].T.Children(0)[0])
+		refinedTop += refined.Trees[i].T.EdgeWeight(refined.Trees[i].T.Children(0)[0])
+	}
+	if refinedTop > plainTop+1e-9 {
+		t.Fatalf("flow refinement worsened top cuts: %v vs %v", refinedTop, plainTop)
+	}
+}
+
+// TestFlowRefineUnsticksFM: a barbell where the FM balance window traps
+// the greedy refinement but the corridor flow finds the bottleneck.
+func TestFlowRefineUnsticksFM(t *testing.T) {
+	// Two cliques of 6 joined by a single weight-1 edge; heavy clique
+	// edges mean single moves across a bad initial split are all
+	// negative-gain, while the min cut is obvious.
+	g := graph.New(12)
+	for side := 0; side < 2; side++ {
+		base := side * 6
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				g.AddEdge(base+i, base+j, 10)
+			}
+		}
+	}
+	g.AddEdge(5, 6, 1)
+	found := false
+	for seed := int64(0); seed < 8; seed++ {
+		dec := Build(g, Options{Trees: 1, Seed: seed, FlowRefine: true})
+		top := dec.Trees[0].T.EdgeWeight(dec.Trees[0].T.Children(0)[0])
+		if top == 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("flow refinement never found the weight-1 bottleneck across 8 seeds")
+	}
+}
+
+// TestMinCutSplitStrategy: trees remain structurally valid, Proposition 1
+// still holds, and on a two-community graph the FIRST split is exactly
+// the global min cut.
+func TestMinCutSplitStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := gen.Community(rng, 2, 8, 0.8, 0.02, 10, 1)
+	d := Build(g, Options{Trees: 1, Seed: 3, Strategy: MinCutSplit})
+	dt := d.Trees[0]
+	if err := dt.T.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dt.T.Leaves()); got != g.N() {
+		t.Fatalf("%d leaves, want %d", got, g.N())
+	}
+	// The top split's boundary equals the global min cut.
+	topChild := dt.T.Children(dt.T.Root())[0]
+	if want := mincutGlobal(g); math.Abs(dt.T.EdgeWeight(topChild)-want) > 1e-9 {
+		t.Fatalf("top split weight %v != global min cut %v", dt.T.EdgeWeight(topChild), want)
+	}
+	// Proposition 1 on random subsets.
+	for trial := 0; trial < 50; trial++ {
+		s := map[int]bool{}
+		for v := 0; v < g.N(); v++ {
+			if rng.Float64() < 0.4 {
+				s[v] = true
+			}
+		}
+		if len(s) == 0 || len(s) == g.N() {
+			continue
+		}
+		if dt.CutDistortion(g, s) < 1-1e-9 {
+			t.Fatal("Proposition 1 violated by MinCutSplit tree")
+		}
+	}
+}
+
+// TestFRTStrategy: the FRT decomposition is structurally valid, covers
+// all vertices, keeps Proposition 1 (boundary edge weights), and on a
+// community graph tends to keep communities together near the top.
+func TestFRTStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.Community(rng, 2, 8, 0.8, 0.02, 10, 1)
+	d := Build(g, Options{Trees: 2, Seed: 5, Strategy: FRT})
+	for ti, dt := range d.Trees {
+		if err := dt.T.Validate(); err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		if got := len(dt.T.Leaves()); got != g.N() {
+			t.Fatalf("tree %d: %d leaves", ti, got)
+		}
+		// Edge weights are cluster boundaries.
+		for v := 1; v < dt.T.N(); v++ {
+			want := g.CutWeightSet(clusterOf(dt, v))
+			if math.Abs(dt.T.EdgeWeight(v)-want) > 1e-9 {
+				t.Fatalf("tree %d node %d: weight %v != boundary %v", ti, v, dt.T.EdgeWeight(v), want)
+			}
+		}
+		// Proposition 1 on random subsets.
+		for trial := 0; trial < 40; trial++ {
+			s := map[int]bool{}
+			for v := 0; v < g.N(); v++ {
+				if rng.Float64() < 0.4 {
+					s[v] = true
+				}
+			}
+			if len(s) == 0 || len(s) == g.N() {
+				continue
+			}
+			if dt.CutDistortion(g, s) < 1-1e-9 {
+				t.Fatal("Proposition 1 violated by FRT tree")
+			}
+		}
+	}
+}
+
+func TestFRTSingleton(t *testing.T) {
+	g := graph.New(1)
+	g.SetDemand(0, 0.4)
+	d := Build(g, Options{Strategy: FRT})
+	if d.Trees[0].T.N() != 1 || d.Trees[0].T.Demand(0) != 0.4 {
+		t.Fatal("singleton FRT tree wrong")
+	}
+}
