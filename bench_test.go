@@ -288,6 +288,42 @@ func BenchmarkPhaseEndToEndWorkers1(b *testing.B) { benchWorkers(b, 1) }
 func BenchmarkPhaseEndToEndWorkers2(b *testing.B) { benchWorkers(b, 2) }
 func BenchmarkPhaseEndToEndWorkers4(b *testing.B) { benchWorkers(b, 4) }
 
+func BenchmarkPhaseSignatureDPWorkers1(b *testing.B) { benchSigDPWorkers(b, 1) }
+func BenchmarkPhaseSignatureDPWorkers2(b *testing.B) { benchSigDPWorkers(b, 2) }
+func BenchmarkPhaseSignatureDPWorkers4(b *testing.B) { benchSigDPWorkers(b, 4) }
+func BenchmarkPhaseSignatureDPWorkers8(b *testing.B) { benchSigDPWorkers(b, 8) }
+
+// benchSigDPWorkers measures the single-tree signature DP under the
+// node-level scheduler (sibling subtrees concurrent, large
+// cross-products sharded) on the E8-style workload.
+func benchSigDPWorkers(b *testing.B, workers int) {
+	bg := benchGraph(64)
+	dec := treedecomp.Build(bg.g, treedecomp.Options{Trees: 1, Seed: 1, Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (hgpt.Solver{Eps: 0.5, Workers: workers}).Solve(dec.Trees[0].T, bg.h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhaseDecompositionWorkers1(b *testing.B) { benchDecompWorkers(b, 1) }
+func BenchmarkPhaseDecompositionWorkers2(b *testing.B) { benchDecompWorkers(b, 2) }
+func BenchmarkPhaseDecompositionWorkers4(b *testing.B) { benchDecompWorkers(b, 4) }
+func BenchmarkPhaseDecompositionWorkers8(b *testing.B) { benchDecompWorkers(b, 8) }
+
+// benchDecompWorkers measures the decomposition build with per-tree
+// sub-seeded RNGs on a worker pool (the distribution is identical at
+// every worker count).
+func benchDecompWorkers(b *testing.B, workers int) {
+	bg := benchGraph(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		treedecomp.Build(bg.g, treedecomp.Options{Trees: 8, Seed: 1, Workers: workers})
+	}
+}
+
 // benchWorkers measures the per-tree parallelism of the pipeline (the
 // tree DPs are independent; results are deterministic regardless).
 func benchWorkers(b *testing.B, workers int) {

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	hgpbench [-quick] [-seed N] [-only E5,E6] [-csv]
+//	hgpbench [-quick] [-seed N] [-only E5,E6] [-csv] [-workers N]
+//	         [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,9 +24,42 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E5,F1); empty = all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := flag.Int("workers", 0, "solver concurrency budget (0 = GOMAXPROCS for the pipeline); tables are identical at every worker count")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgpbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hgpbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgpbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hgpbench:", err)
+			os.Exit(1)
+		}
+	}()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {

@@ -72,7 +72,7 @@ func E5VsBaselines(cfg Config) *Table {
 		for i := 0; i < trials; i++ {
 			g := wl.mk()
 			n = g.N()
-			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63()}.Solve(g, h)
+			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
 			if err != nil {
 				continue
 			}
@@ -131,7 +131,7 @@ func E6StreamThroughput(cfg Config) *Table {
 	for _, tc := range topos {
 		topo := tc.mk()
 		g := topo.CommGraph()
-		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63()}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
 		if err != nil {
 			t.AddRow(tc.name, topo.N(), "err: "+err.Error())
 			continue
@@ -174,7 +174,7 @@ func E9CMSweep(cfg Config) *Table {
 		h := hierarchy.MustNew([]int{4, 4}, []float64{steep, 1, 0})
 		var hgpC, oblC float64
 		for i := 0; i < trials; i++ {
-			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63()}.Solve(g, h)
+			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
 			if err != nil {
 				continue
 			}
@@ -219,7 +219,7 @@ func E15DESStability(cfg Config) *Table {
 	for _, tc := range topos {
 		topo := tc.mk()
 		g := topo.CommGraph()
-		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63()}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
 		if err != nil {
 			t.AddRow(tc.name, topo.N(), "err: "+err.Error())
 			continue
@@ -269,7 +269,7 @@ func E21AtScale(cfg Config) *Table {
 			g.SetDemand(v, quantUp(d, 8))
 		}
 		start := time.Now()
-		res, err := hgp.Solver{Eps: 0.5, Trees: 2, Seed: 3}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 2, Seed: 3, Workers: cfg.Workers}.Solve(g, h)
 		el := time.Since(start)
 		if err != nil {
 			t.AddRow(n, "err: "+err.Error())

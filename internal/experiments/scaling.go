@@ -117,7 +117,7 @@ func E8DPScaling(cfg Config) *Table {
 			}
 			for _, eps := range sw.epss {
 				start := time.Now()
-				sol, err := hgpt.Solver{Eps: eps, MaxStates: 20_000_000}.Solve(tr, sw.h)
+				sol, err := hgpt.Solver{Eps: eps, MaxStates: 20_000_000, Workers: cfg.Workers}.Solve(tr, sw.h)
 				el := time.Since(start)
 				if err != nil {
 					t.AddRow(sw.h.Height(), n, eps, "-", "-", "state budget")

@@ -64,6 +64,11 @@ type Config struct {
 	Seed int64
 	// Quick shrinks instance sizes and trial counts for tests and CI.
 	Quick bool
+	// Workers is the concurrency budget handed to the hgp/hgpt solvers
+	// under test (0 = GOMAXPROCS for the pipeline, sequential for bare
+	// tree DPs). Tables are identical at every worker count; only the
+	// wall-clock changes.
+	Workers int
 }
 
 func (c Config) pick(quick, full int) int {

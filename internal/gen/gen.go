@@ -11,6 +11,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"hierpart/internal/graph"
 	"hierpart/internal/tree"
@@ -90,7 +91,15 @@ func BarabasiAlbert(rng *rand.Rand, n, m int, maxW float64) *graph.Graph {
 		for len(chosen) < m {
 			chosen[targets[rng.Intn(len(targets))]] = true
 		}
+		// Sorted iteration: ranging over the map directly would draw the
+		// weight randomness and grow `targets` in a per-run order, making
+		// the graph nondeterministic for a fixed seed.
+		picks := make([]int, 0, m)
 		for u := range chosen {
+			picks = append(picks, u)
+		}
+		sort.Ints(picks)
+		for _, u := range picks {
 			g.AddEdge(v, u, 1+rng.Float64()*(maxW-1))
 			targets = append(targets, u, v)
 		}

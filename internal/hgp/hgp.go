@@ -16,6 +16,7 @@ package hgp
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -40,9 +41,14 @@ type Solver struct {
 	// FlowRefine enables corridor max-flow polish of every embedding
 	// bisection (see treedecomp.Options.FlowRefine).
 	FlowRefine bool
-	// Workers bounds the number of tree DPs solved concurrently (the
-	// per-tree solves are independent). Zero means GOMAXPROCS; 1 forces
-	// sequential execution. Results are deterministic regardless.
+	// Workers is the single concurrency budget for the whole pipeline.
+	// It caps the decomposition build (treedecomp.Options.Workers) and
+	// is then split between tree-level parallelism (independent per-tree
+	// DPs) and node-level parallelism inside each DP
+	// (hgpt.Solver.Workers), so tree × node workers never exceed the
+	// budget and cannot oversubscribe the machine. Zero means GOMAXPROCS;
+	// 1 forces fully sequential execution. Results are bit-identical at
+	// every worker count.
 	Workers int
 	// MaxStates is passed through to each tree DP (see
 	// hgpt.Solver.MaxStates). Zero means unlimited.
@@ -61,7 +67,10 @@ type Result struct {
 	// TreeIndex identifies the winning decomposition tree.
 	TreeIndex int
 	// PerTreeCosts records the mapped graph cost of every tree's
-	// solution, for distribution-quality experiments.
+	// solution, indexed by tree, for distribution-quality experiments.
+	// A tree whose solve failed records math.NaN() at its index (never
+	// a zero, which would read as a perfect placement); use math.IsNaN
+	// to skip errored trees when aggregating.
 	PerTreeCosts []float64
 	// Violation is the per-level relative capacity violation of the
 	// returned placement (see metrics.Violation).
@@ -79,13 +88,20 @@ func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
 	if nTrees == 0 {
 		nTrees = 4
 	}
+	budget := s.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
 	dec := treedecomp.Build(g, treedecomp.Options{
 		Trees: nTrees, Seed: s.Seed, FMPasses: s.FMPasses, FlowRefine: s.FlowRefine,
+		Workers: budget,
 	})
 
 	// Solve the independent per-tree DPs concurrently; selection below
 	// is by fixed tree index, so results are deterministic regardless of
-	// completion order.
+	// completion order. The worker budget splits between the tree level
+	// and the node level inside each DP: treeWorkers × nodeWorkers ≤
+	// budget, so the two layers of parallelism cannot oversubscribe.
 	type treeOut struct {
 		assign   metrics.Assignment
 		cost     float64
@@ -94,22 +110,20 @@ func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
 		err      error
 	}
 	outs := make([]treeOut, len(dec.Trees))
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	treeWorkers := budget
+	if treeWorkers > len(dec.Trees) {
+		treeWorkers = len(dec.Trees)
 	}
-	if workers > len(dec.Trees) {
-		workers = len(dec.Trees)
-	}
+	nodeWorkers := budget / treeWorkers
 	var wg sync.WaitGroup
 	work := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < treeWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ti := range work {
 				dt := dec.Trees[ti]
-				sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates}.Solve(dt.T, H)
+				sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers}.Solve(dt.T, H)
 				if err != nil {
 					outs[ti].err = fmt.Errorf("hgp: tree %d: %w", ti, err)
 					continue
@@ -137,14 +151,14 @@ func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
 	close(work)
 	wg.Wait()
 
-	res := &Result{TreeIndex: -1}
+	res := &Result{TreeIndex: -1, PerTreeCosts: make([]float64, 0, len(outs))}
 	var firstErr error
 	for ti, o := range outs {
 		if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err
 			}
-			res.PerTreeCosts = append(res.PerTreeCosts, 0)
+			res.PerTreeCosts = append(res.PerTreeCosts, math.NaN())
 			continue
 		}
 		res.States += o.states

@@ -12,6 +12,9 @@ import (
 	"hierpart/internal/metrics"
 )
 
+// TestParallelMatchesSequential: the full pipeline — decomposition
+// build, per-tree DPs, and the node-level scheduler inside each DP —
+// must be bit-identical at every worker budget.
 func TestParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	g := gen.Community(rng, 4, 6, 0.5, 0.05, 8, 1)
@@ -21,21 +24,24 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Solver{Trees: 6, Seed: 4, Workers: 4}.Solve(g, h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if seq.Cost != par.Cost || seq.TreeIndex != par.TreeIndex || seq.States != par.States {
-		t.Fatalf("parallel result differs: seq %+v par %+v", seq, par)
-	}
-	for i := range seq.PerTreeCosts {
-		if seq.PerTreeCosts[i] != par.PerTreeCosts[i] {
-			t.Fatalf("per-tree cost %d differs", i)
+	for _, w := range []int{2, 4, 8} {
+		par, err := Solver{Trees: 6, Seed: 4, Workers: w}.Solve(g, h)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	for v := range seq.Assignment {
-		if seq.Assignment[v] != par.Assignment[v] {
-			t.Fatalf("assignment differs at vertex %d", v)
+		if seq.Cost != par.Cost || seq.TreeIndex != par.TreeIndex || seq.States != par.States ||
+			seq.TreeCost != par.TreeCost {
+			t.Fatalf("workers %d: result differs: seq %+v par %+v", w, seq, par)
+		}
+		for i := range seq.PerTreeCosts {
+			if seq.PerTreeCosts[i] != par.PerTreeCosts[i] {
+				t.Fatalf("workers %d: per-tree cost %d differs", w, i)
+			}
+		}
+		for v := range seq.Assignment {
+			if seq.Assignment[v] != par.Assignment[v] {
+				t.Fatalf("workers %d: assignment differs at vertex %d", w, v)
+			}
 		}
 	}
 }

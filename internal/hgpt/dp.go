@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"hierpart/internal/hierarchy"
 	"hierpart/internal/laminar"
@@ -57,6 +58,13 @@ type Solver struct {
 	// (many distinct demands at small ε on tall hierarchies). Zero means
 	// unlimited.
 	MaxStates int
+	// Workers bounds the number of goroutines the DP scheduler uses to
+	// solve sibling subtrees concurrently and to shard large child-table
+	// cross-products (see scheduler.go). Zero or 1 means sequential.
+	// Results are bit-identical at every worker count: equal-cost merge
+	// candidates resolve by the canonical entryLess order, which is
+	// independent of evaluation order.
+	Workers int
 
 	// The two fields below disable the corrections this reproduction
 	// had to make to the paper's literal text (DESIGN.md §5.0). They
@@ -165,76 +173,15 @@ func (c sigCodec) decode(k uint64, out []int) {
 // (0, 1]. It returns an error when a single leaf demand exceeds leaf
 // capacity, or when the scaled state space cannot be encoded.
 func (s Solver) Solve(t *tree.Tree, H *hierarchy.Hierarchy) (*Solution, error) {
-	eps := s.Eps
-	if eps == 0 {
-		eps = 0.5
-	}
-	if eps < 0 {
-		return nil, errors.New("hgpt: Eps must be positive")
-	}
-	h := H.Height()
-
-	origLeaves := t.Leaves()
-	n := len(origLeaves)
-	if n == 0 {
-		return nil, errors.New("hgpt: tree has no leaves")
-	}
-
-	bt, origOf := t.Binarize()
-	leaves := bt.Leaves()
-	unit := eps / float64(n)
-
-	// Scaled integer demands and capacities.
-	// The 1e-9 guard keeps exact multiples of the unit exact despite
-	// binary floating point (0.7/0.1 = 6.999…), so that demands which
-	// are representable round-trip losslessly.
-	du := make(map[int]int, n)
-	total := 0
-	for _, l := range leaves {
-		d := int(bt.Demand(l)/unit + 1e-9)
-		if d < 1 {
-			d = 1
-		}
-		du[l] = d
-		total += d
-	}
-	capS := make([]int, h+1)
-	for j := 1; j <= h; j++ {
-		capS[j] = int(H.Cap(j)/unit + 1e-9)
-	}
-	for _, l := range leaves {
-		if du[l] > capS[h] {
-			return nil, fmt.Errorf("hgpt: leaf demand %v exceeds leaf capacity after scaling", bt.Demand(l))
-		}
-	}
-
-	// Per-level encoded values: 0 = no region, 1 = region with demand 0,
-	// d+1 = region with demand d. Hence the alphabet tops out at total+1.
-	codec, err := newSigCodec(h, total+1)
+	dp, origOf, err := s.newRun(t, H)
 	if err != nil {
 		return nil, err
 	}
-	delta := make([]float64, h+1)
-	for j := 1; j <= h; j++ {
-		delta[j] = (H.CM(j-1) - H.CM(j)) / 2
+	tabs, states, err := dp.runTables(s.Workers, s.MaxStates, !s.DisablePruning)
+	if err != nil {
+		return nil, err
 	}
-
-	dp := &dpRun{
-		bt: bt, h: h, codec: codec, capS: capS, delta: delta, du: du,
-		literalEq4: s.AblateLiteralEq4, noZeroRegions: s.AblateNoZeroRegions,
-	}
-	tabs := make([]map[uint64]entry, bt.N())
-	states := 0
-	for _, v := range bt.PostOrder() {
-		tabs[v] = dp.table(v, tabs)
-		if !s.DisablePruning {
-			dp.prune(tabs[v])
-		}
-		states += len(tabs[v])
-		if s.MaxStates > 0 && states > s.MaxStates {
-			return nil, fmt.Errorf("hgpt: DP state budget exceeded (%d > %d); increase Eps or MaxStates", states, s.MaxStates)
-		}
-	}
+	bt, h, codec := dp.bt, dp.h, dp.codec
 
 	root := bt.Root()
 	bestKey, bestCost := uint64(0), math.Inf(1)
@@ -276,8 +223,8 @@ func (s Solver) Solve(t *tree.Tree, H *hierarchy.Hierarchy) (*Solution, error) {
 		Strict:      strict,
 		DPCost:      bestCost,
 		Cost:        FamilyCost(t, H, strict),
-		Unit:        unit,
-		ScaledTotal: total,
+		Unit:        dp.unit,
+		ScaledTotal: dp.total,
 		States:      states,
 	}, nil
 }
@@ -288,100 +235,309 @@ type dpRun struct {
 	codec         sigCodec
 	capS          []int
 	delta         []float64
-	du            map[int]int
+	du            []int // scaled leaf demand, indexed by binarized node ID
+	unit          float64
+	total         int
 	literalEq4    bool // ablation: Equation (4) verbatim
 	noZeroRegions bool // ablation: forbid zero-demand mirror regions
+
+	// scratch pools the per-merge signature buffers so the DP inner loop
+	// allocates nothing per child-signature pair (shared safely by the
+	// concurrent scheduler: each borrower holds a distinct buffer).
+	scratch sync.Pool
+}
+
+type dpScratch struct {
+	sig    []int
+	parent []int
+}
+
+// newRun scales the instance and assembles the immutable DP context
+// shared by the sequential walk and the concurrent scheduler. The
+// second return value is the binarized→original node map.
+func (s Solver) newRun(t *tree.Tree, H *hierarchy.Hierarchy) (*dpRun, []int, error) {
+	eps := s.Eps
+	if eps == 0 {
+		eps = 0.5
+	}
+	if eps < 0 {
+		return nil, nil, errors.New("hgpt: Eps must be positive")
+	}
+	h := H.Height()
+
+	n := len(t.Leaves())
+	if n == 0 {
+		return nil, nil, errors.New("hgpt: tree has no leaves")
+	}
+
+	bt, origOf := t.Binarize()
+	leaves := bt.Leaves()
+	unit := eps / float64(n)
+
+	// Scaled integer demands and capacities.
+	// The 1e-9 guard keeps exact multiples of the unit exact despite
+	// binary floating point (0.7/0.1 = 6.999…), so that demands which
+	// are representable round-trip losslessly.
+	du := make([]int, bt.N())
+	total := 0
+	for _, l := range leaves {
+		d := int(bt.Demand(l)/unit + 1e-9)
+		if d < 1 {
+			d = 1
+		}
+		du[l] = d
+		total += d
+	}
+	capS := make([]int, h+1)
+	for j := 1; j <= h; j++ {
+		capS[j] = int(H.Cap(j)/unit + 1e-9)
+	}
+	for _, l := range leaves {
+		if du[l] > capS[h] {
+			return nil, nil, fmt.Errorf("hgpt: leaf demand %v exceeds leaf capacity after scaling", bt.Demand(l))
+		}
+	}
+
+	// Per-level encoded values: 0 = no region, 1 = region with demand 0,
+	// d+1 = region with demand d. Hence the alphabet tops out at total+1.
+	codec, err := newSigCodec(h, total+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	delta := make([]float64, h+1)
+	for j := 1; j <= h; j++ {
+		delta[j] = (H.CM(j-1) - H.CM(j)) / 2
+	}
+
+	dp := &dpRun{
+		bt: bt, h: h, codec: codec, capS: capS, delta: delta, du: du,
+		unit: unit, total: total,
+		literalEq4: s.AblateLiteralEq4, noZeroRegions: s.AblateNoZeroRegions,
+	}
+	dp.scratch.New = func() any {
+		return &dpScratch{sig: make([]int, h+1), parent: make([]int, h+1)}
+	}
+	return dp, origOf, nil
+}
+
+// putEntry installs e under key, keeping the lexicographic minimum of
+// (cost, s1, s2, j1, j2). Equal-cost ties break on the backpointer tuple
+// so the table's contents never depend on evaluation order: the whole
+// pipeline stays deterministic per seed even when subtrees solve
+// concurrently and cross-products are sharded across workers.
+func putEntry(out map[uint64]entry, key uint64, e entry) {
+	if math.IsInf(e.cost, 1) || math.IsNaN(e.cost) {
+		return
+	}
+	old, ok := out[key]
+	if !ok || e.cost < old.cost || (e.cost == old.cost && entryLess(e, old)) {
+		out[key] = e
+	}
+}
+
+// mergeTables folds src into dst under the putEntry rule. Folding the
+// per-worker shard tables in any order yields the same dst: putEntry
+// realizes a minimum under a strict total order, which is commutative
+// and associative.
+func mergeTables(dst, src map[uint64]entry) {
+	for k, e := range src {
+		old, ok := dst[k]
+		if !ok || e.cost < old.cost || (e.cost == old.cost && entryLess(e, old)) {
+			dst[k] = e
+		}
+	}
+}
+
+// decTab is a DP table decoded into flat parallel slices: the merge
+// loops read each child signature once instead of re-decoding it for
+// every pair of the cross-product.
+type decTab struct {
+	keys  []uint64
+	costs []float64
+	sigs  []int // stride h+1; row i is sigs[i*(h+1) : (i+1)*(h+1)]
+	depth []int // region depth per row (see regionDepth)
+}
+
+func (d *dpRun) decodeTab(tab map[uint64]entry) *decTab {
+	stride := d.h + 1
+	t := &decTab{
+		keys:  make([]uint64, 0, len(tab)),
+		costs: make([]float64, 0, len(tab)),
+		sigs:  make([]int, len(tab)*stride),
+		depth: make([]int, 0, len(tab)),
+	}
+	i := 0
+	for k, e := range tab {
+		t.keys = append(t.keys, k)
+		t.costs = append(t.costs, e.cost)
+		row := t.sigs[i*stride : (i+1)*stride]
+		d.codec.decode(k, row)
+		t.depth = append(t.depth, regionDepth(row))
+		i++
+	}
+	return t
+}
+
+// regionDepth returns the deepest level at which the signature has a
+// region. Regions always occupy a level prefix 1..m: leaves open a
+// region at every level, and a merge's level-k region exists iff a
+// child region merges through (k ≤ jᵢ, itself prefix-bounded by the
+// child's own depth) or a spontaneous region covers it (k ≤ sp) — all
+// unions of prefixes. The merge loops exploit this: cut thresholds
+// j > m are indistinguishable from j = m (no region to keep or cut at
+// the extra levels), and entryLess already canonicalizes equal-cost
+// winners to the smallest threshold, so iterating j ≤ m (and skipping
+// sp values whose spontaneous prefix is swallowed by the merged one)
+// drops only candidates that lose — or exactly tie with identical
+// backpointers — leaving every table bit-identical.
+func regionDepth(sig []int) int {
+	m := len(sig) - 1
+	for m >= 1 && sig[m] == 0 {
+		m--
+	}
+	return m
 }
 
 func (d *dpRun) table(v int, tabs []map[uint64]entry) map[uint64]entry {
 	h := d.h
 	if d.bt.IsLeaf(v) {
-		sig := make([]int, h+1)
+		sc := d.scratch.Get().(*dpScratch)
+		sig := sc.sig
+		sig[0] = 0
 		for j := 1; j <= h; j++ {
 			sig[j] = d.du[v] + 1 // region carrying the leaf's demand
 		}
-		return map[uint64]entry{d.codec.encode(sig): {kind: 0}}
-	}
-
-	kids := d.bt.Children(v)
-	out := make(map[uint64]entry)
-	// Equal-cost ties break on the backpointer tuple so the table's
-	// contents never depend on map iteration order: the whole pipeline
-	// stays deterministic per seed even when trees solve concurrently.
-	put := func(key uint64, e entry) {
-		if math.IsInf(e.cost, 1) || math.IsNaN(e.cost) {
-			return
-		}
-		old, ok := out[key]
-		if !ok || e.cost < old.cost || (e.cost == old.cost && entryLess(e, old)) {
-			out[key] = e
-		}
-	}
-
-	if len(kids) == 1 {
-		c1 := kids[0]
-		w1 := d.bt.EdgeWeight(c1)
-		s1 := make([]int, h+1)
-		parent := make([]int, h+1)
-		maxSp := h
-		if d.noZeroRegions {
-			maxSp = 0
-		}
-		for k1, e1 := range tabs[c1] {
-			d.codec.decode(k1, s1)
-			// j1 = deepest level at which the child edge is kept;
-			// sp = deepest level with a spontaneously opened region at v.
-			for j1 := 0; j1 <= h; j1++ {
-				for sp := 0; sp <= maxSp; sp++ {
-					cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, nil, 0, 0)
-					if !ok {
-						continue
-					}
-					put(d.codec.encode(parent), entry{
-						cost: e1.cost + cost,
-						s1:   k1, j1: int8(j1), kind: 1,
-					})
-				}
-			}
-		}
+		out := map[uint64]entry{d.codec.encode(sig): {kind: 0}}
+		d.scratch.Put(sc)
 		return out
 	}
 
+	kids := d.bt.Children(v)
+	if len(kids) == 1 {
+		return d.oneChildTable(kids[0], tabs[kids[0]])
+	}
 	if len(kids) != 2 {
 		panic("hgpt: tree not binarized")
 	}
 	c1, c2 := kids[0], kids[1]
-	w1, w2 := d.bt.EdgeWeight(c1), d.bt.EdgeWeight(c2)
-	s1 := make([]int, h+1)
-	s2 := make([]int, h+1)
-	parent := make([]int, h+1)
+	t1, t2 := d.decodeTab(tabs[c1]), d.decodeTab(tabs[c2])
+	out := make(map[uint64]entry, presize(len(t1.keys), len(t2.keys)))
+	d.crossInto(out, t1, d.bt.EdgeWeight(c1), 0, len(t1.keys), t2, d.bt.EdgeWeight(c2))
+	return out
+}
+
+// presize estimates a two-child table's cardinality for map pre-sizing:
+// merged tables usually land near the larger child's size, not near the
+// pair count.
+func presize(n1, n2 int) int {
+	if n2 > n1 {
+		n1 = n2
+	}
+	return 2 * n1
+}
+
+// oneChildTable merges a single child table upward (c1 is v's only
+// child, tab its table).
+func (d *dpRun) oneChildTable(c1 int, tab map[uint64]entry) map[uint64]entry {
+	h := d.h
+	w1 := d.bt.EdgeWeight(c1)
+	out := make(map[uint64]entry, 2*len(tab))
+	sc := d.scratch.Get().(*dpScratch)
+	s1, parent := sc.sig, sc.parent
 	maxSp := h
 	if d.noZeroRegions {
 		maxSp = 0
 	}
-
-	for k1, e1 := range tabs[c1] {
+	for k1, e1 := range tab {
 		d.codec.decode(k1, s1)
-		for k2, e2 := range tabs[c2] {
-			d.codec.decode(k2, s2)
-			base := e1.cost + e2.cost
-			for j1 := 0; j1 <= h; j1++ {
-				for j2 := 0; j2 <= h; j2++ {
-					for sp := 0; sp <= maxSp; sp++ {
+		// j1 = deepest level at which the child edge is kept;
+		// sp = deepest level with a spontaneously opened region at v.
+		// Thresholds past the child's region depth are equivalent to the
+		// depth itself, and spontaneous prefixes swallowed by the kept
+		// child region (sp ≤ j1) duplicate sp = 0 — see regionDepth.
+		m1 := regionDepth(s1)
+		for j1 := 0; j1 <= m1; j1++ {
+			for sp := 0; sp <= maxSp; {
+				if j1 == m1 && sp == 0 {
+					// Keeping the whole region prefix with no spontaneous
+					// region leaves the signature unchanged at zero cost
+					// (every level either merges or stays empty) — reuse
+					// the child's key instead of re-encoding.
+					putEntry(out, k1, entry{cost: e1.cost, s1: k1, j1: int8(m1), kind: 1})
+					sp = j1 + 1
+					continue
+				}
+				cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, nil, 0, 0)
+				if ok {
+					putEntry(out, d.codec.encode(parent), entry{
+						cost: e1.cost + cost,
+						s1:   k1, j1: int8(j1), kind: 1,
+					})
+				}
+				if sp == 0 {
+					sp = j1 + 1
+				} else {
+					sp++
+				}
+			}
+		}
+	}
+	d.scratch.Put(sc)
+	return out
+}
+
+// crossInto merges rows [lo, hi) of child table t1 against all of t2,
+// writing parent entries into out. The scheduler shards large nodes by
+// splitting the [0, len(t1.keys)) row range across workers; the row
+// partition never changes the merged result because putEntry keeps a
+// total-order minimum per key.
+func (d *dpRun) crossInto(out map[uint64]entry, t1 *decTab, w1 float64, lo, hi int, t2 *decTab, w2 float64) {
+	h := d.h
+	stride := h + 1
+	maxSp := h
+	if d.noZeroRegions {
+		maxSp = 0
+	}
+	sc := d.scratch.Get().(*dpScratch)
+	parent := sc.parent
+	for i1 := lo; i1 < hi; i1++ {
+		s1 := t1.sigs[i1*stride : (i1+1)*stride]
+		k1, c1 := t1.keys[i1], t1.costs[i1]
+		m1 := t1.depth[i1]
+		for i2 := range t2.keys {
+			s2 := t2.sigs[i2*stride : (i2+1)*stride]
+			base := c1 + t2.costs[i2]
+			k2 := t2.keys[i2]
+			m2 := t2.depth[i2]
+			// Cut thresholds past each child's region depth duplicate the
+			// depth itself, and spontaneous prefixes swallowed by the kept
+			// child regions (sp ≤ max(j1, j2)) duplicate sp = 0 — see
+			// regionDepth. Skipping them changes nothing in the tables.
+			for j1 := 0; j1 <= m1; j1++ {
+				for j2 := 0; j2 <= m2; j2++ {
+					p := j1
+					if j2 > p {
+						p = j2
+					}
+					for sp := 0; sp <= maxSp; {
 						cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, s2, w2, j2)
-						if !ok {
-							continue
+						if ok {
+							putEntry(out, d.codec.encode(parent), entry{
+								cost: base + cost,
+								s1:   k1, s2: k2, j1: int8(j1), j2: int8(j2), kind: 2,
+							})
 						}
-						put(d.codec.encode(parent), entry{
-							cost: base + cost,
-							s1:   k1, s2: k2, j1: int8(j1), j2: int8(j2), kind: 2,
-						})
+						if sp == 0 {
+							sp = p + 1
+						} else {
+							sp++
+						}
 					}
 				}
 			}
 		}
 	}
-	return out
+	d.scratch.Put(sc)
 }
 
 // mergeLevel derives the parent signature for the child states s1 (and

@@ -1,0 +1,217 @@
+package hgpt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/hierarchy"
+)
+
+// TestSolveWorkersBitIdentical: the concurrent scheduler must reproduce
+// the sequential solver bit for bit — costs, state counts, assignments,
+// and both families — at every worker count, across tree shapes and
+// hierarchies. Sharding is forced down to tiny tables so the
+// cross-product merge path is exercised even on fuzz-sized instances.
+func TestSolveWorkersBitIdentical(t *testing.T) {
+	old := shardMinPairs
+	shardMinPairs = 1
+	defer func() { shardMinPairs = old }()
+
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		tr := fuzzTree(rng, 8)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		base, err := Solver{Eps: 0.5, Workers: 1}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			got, err := Solver{Eps: 0.5, Workers: w}.Solve(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			if got.DPCost != base.DPCost || got.Cost != base.Cost ||
+				got.States != base.States || got.Unit != base.Unit ||
+				got.ScaledTotal != base.ScaledTotal {
+				t.Fatalf("trial %d workers %d: scalars differ: %+v vs %+v", trial, w, got, base)
+			}
+			if !reflect.DeepEqual(got.Assignment, base.Assignment) {
+				t.Fatalf("trial %d workers %d: assignment differs", trial, w)
+			}
+			if !reflect.DeepEqual(got.Relaxed, base.Relaxed) {
+				t.Fatalf("trial %d workers %d: relaxed family differs", trial, w)
+			}
+			if !reflect.DeepEqual(got.Strict, base.Strict) {
+				t.Fatalf("trial %d workers %d: strict family differs", trial, w)
+			}
+		}
+	}
+}
+
+// TestShardedCrossMatchesSequential fuzzes the sharded cross-product
+// merge directly against the sequential per-node tables: for random
+// instances, runTables with forced sharding must produce byte-identical
+// tables (same keys, same entries, same backpointers) at every node.
+func TestShardedCrossMatchesSequential(t *testing.T) {
+	old := shardMinPairs
+	shardMinPairs = 1
+	defer func() { shardMinPairs = old }()
+
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		tr := fuzzTree(rng, 10)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		s := Solver{Eps: 0.5}
+		dpSeq, _, err := s.newRun(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Pruning off so every merge candidate survives into the
+		// comparison, not just the Pareto frontier.
+		seqTabs, seqStates, err := dpSeq.runTables(1, 0, false)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			dpPar, _, err := s.newRun(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			parTabs, parStates, err := dpPar.runTables(w, 0, false)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			if seqStates != parStates {
+				t.Fatalf("trial %d workers %d: states %d vs %d", trial, w, parStates, seqStates)
+			}
+			for v := range seqTabs {
+				if !reflect.DeepEqual(parTabs[v], seqTabs[v]) {
+					t.Fatalf("trial %d workers %d: table at node %d differs:\npar %v\nseq %v",
+						trial, w, v, parTabs[v], seqTabs[v])
+				}
+			}
+		}
+	}
+}
+
+// exhaustiveTable is a reference merge that enumerates the FULL
+// (j1, j2, sp) combo space — no regionDepth reduction, no fast paths.
+// The production loops skip combinations proven equivalent to a
+// retained one (cut thresholds past the region depth, spontaneous
+// prefixes swallowed by kept child regions); this oracle pins that
+// proof: both must build bit-identical tables.
+func exhaustiveTable(d *dpRun, v int, tabs []map[uint64]entry) map[uint64]entry {
+	h := d.h
+	if d.bt.IsLeaf(v) {
+		return d.table(v, tabs)
+	}
+	maxSp := h
+	if d.noZeroRegions {
+		maxSp = 0
+	}
+	parent := make([]int, h+1)
+	out := map[uint64]entry{}
+	kids := d.bt.Children(v)
+	if len(kids) == 1 {
+		c1 := kids[0]
+		w1 := d.bt.EdgeWeight(c1)
+		s1 := make([]int, h+1)
+		for k1, e1 := range tabs[c1] {
+			d.codec.decode(k1, s1)
+			for j1 := 0; j1 <= h; j1++ {
+				for sp := 0; sp <= maxSp; sp++ {
+					cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, nil, 0, 0)
+					if !ok {
+						continue
+					}
+					putEntry(out, d.codec.encode(parent), entry{
+						cost: e1.cost + cost, s1: k1, j1: int8(j1), kind: 1,
+					})
+				}
+			}
+		}
+		return out
+	}
+	c1, c2 := kids[0], kids[1]
+	w1, w2 := d.bt.EdgeWeight(c1), d.bt.EdgeWeight(c2)
+	s1, s2 := make([]int, h+1), make([]int, h+1)
+	for k1, e1 := range tabs[c1] {
+		d.codec.decode(k1, s1)
+		for k2, e2 := range tabs[c2] {
+			d.codec.decode(k2, s2)
+			for j1 := 0; j1 <= h; j1++ {
+				for j2 := 0; j2 <= h; j2++ {
+					for sp := 0; sp <= maxSp; sp++ {
+						cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, s2, w2, j2)
+						if !ok {
+							continue
+						}
+						putEntry(out, d.codec.encode(parent), entry{
+							cost: e1.cost + e2.cost + cost,
+							s1:   k1, s2: k2, j1: int8(j1), j2: int8(j2), kind: 2,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestReducedMergeMatchesExhaustive fuzzes the production merge loops
+// (region-depth-capped thresholds, deduplicated spontaneous depths,
+// unchanged-signature fast path) against the exhaustive reference at
+// every node of every instance, with pruning off so full tables are
+// compared. Run across the ablation flags too, since they change which
+// combos are legal.
+func TestReducedMergeMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		tr := fuzzTree(rng, 9)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		for _, s := range []Solver{
+			{Eps: 0.5},
+			{Eps: 0.5, AblateNoZeroRegions: true},
+			{Eps: 0.5, AblateLiteralEq4: true},
+		} {
+			d, _, err := s.newRun(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got, _, err := d.runTables(1, 0, false)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			dRef, _, err := s.newRun(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			want := make([]map[uint64]entry, dRef.bt.N())
+			for _, v := range dRef.bt.PostOrder() {
+				want[v] = exhaustiveTable(dRef, v, want)
+			}
+			for v := range want {
+				if !reflect.DeepEqual(got[v], want[v]) {
+					t.Fatalf("trial %d solver %+v: node %d table differs from exhaustive reference:\ngot  %v\nwant %v",
+						trial, s, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersMaxStatesGuard: the budget guard trips under the concurrent
+// scheduler too, and an over-budget instance errors at every worker
+// count.
+func TestWorkersMaxStatesGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := gen.RandomTree(rng, 40, 5, 0.05, 0.95)
+	h := hierarchy.MustNew([]int{4, 2}, []float64{5, 2, 0})
+	for _, w := range []int{1, 2, 4, 8} {
+		if _, err := (Solver{Eps: 0.25, MaxStates: 100, Workers: w}).Solve(tr, h); err == nil {
+			t.Fatalf("workers %d: tiny state budget must trip", w)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package hgpt
 
 import (
 	"sort"
-	"strconv"
 )
 
 // Dominance pruning. Within a table, an entry A is dominated by B when
@@ -35,12 +34,17 @@ func (d *dpRun) prune(tab map[uint64]entry) {
 		return
 	}
 	groups := map[uint64][]pruneRec{}
-	sig := make([]int, d.h+1)
+	sc := d.scratch.Get().(*dpScratch)
+	sig := sc.sig
+	// One backing array for every record's demand vector: at most h
+	// demand-carrying levels per entry, so the capacity below is exact
+	// and append never reallocates (keeping earlier sub-slices valid).
+	backing := make([]int, 0, d.h*len(tab))
 	for k, e := range tab {
 		d.codec.decode(k, sig)
 		// Class pattern: 0 = none, 1 = zero-demand region, 2 = demand.
 		var pat uint64
-		dems := make([]int, 0, d.h)
+		start := len(backing)
 		for j := 1; j <= d.h; j++ {
 			switch {
 			case sig[j] == 0:
@@ -49,11 +53,12 @@ func (d *dpRun) prune(tab map[uint64]entry) {
 				pat = pat*3 + 1
 			default:
 				pat = pat*3 + 2
-				dems = append(dems, sig[j])
+				backing = append(backing, sig[j])
 			}
 		}
-		groups[pat] = append(groups[pat], pruneRec{key: k, dems: dems, cost: e.cost})
+		groups[pat] = append(groups[pat], pruneRec{key: k, dems: backing[start:len(backing):len(backing)], cost: e.cost})
 	}
+	d.scratch.Put(sc)
 
 	for _, g := range groups {
 		if len(g) < 2 {
@@ -83,11 +88,14 @@ func (d *dpRun) prune(tab map[uint64]entry) {
 			// Bucket by the demands beyond the first two (equal-bucket
 			// dominance only — sound, partial), then 2-D sweep on
 			// (dems[0], dems[1]) with a Fenwick prefix-min over dems[1].
-			buckets := map[string][]pruneRec{}
+			// Demands fit the signature codec's per-level bit width, so
+			// packing dems[2:] the same way yields a collision-free
+			// uint64 bucket key without string building.
+			buckets := map[uint64][]pruneRec{}
 			for _, r := range g {
-				key := ""
+				var key uint64
 				for _, x := range r.dems[2:] {
-					key += strconv.Itoa(x) + ","
+					key = key<<d.codec.bits | uint64(x)
 				}
 				buckets[key] = append(buckets[key], r)
 			}

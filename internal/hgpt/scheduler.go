@@ -1,0 +1,233 @@
+package hgpt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrent DP scheduling. The binarized tree's tables form a
+// dependency DAG (each node needs only its children's tables), so the
+// post-order walk of the sequential solver over-serializes: sibling
+// subtrees are independent. runTables replaces the walk with a
+// dependency-counting scheduler — every node carries a countdown of
+// unfinished children, leaves start ready, and a node is enqueued the
+// moment its last child completes. On top of that, the cross-product
+// merge at a large two-child node (the O(|tab(c1)|·|tab(c2)|·h²) hot
+// spot) is sharded by rows of the first child's table into per-worker
+// partial tables, folded back together with mergeTables.
+//
+// Determinism: a table's content is the per-key minimum of merge
+// candidates under the strict total order (cost, s1, s2, j1, j2), and
+// both sibling interleaving and row sharding only change the order in
+// which candidates are examined — never the candidate set. Results are
+// therefore bit-identical at every worker count (asserted by
+// TestSolveWorkersBitIdentical and FuzzShardedCross-style batteries).
+
+// shardMinPairs is the |tab(c1)|·|tab(c2)| pair count above which a
+// two-child merge is sharded across workers; below it the shard
+// bookkeeping costs more than the merge. Variable only so tests can
+// force sharding on tiny tables.
+var shardMinPairs = 2048
+
+// runTables computes the per-node DP tables of the binarized tree with
+// up to `workers` goroutines, returning the tables and the total state
+// count. workers ≤ 1 runs the plain sequential post-order walk.
+func (d *dpRun) runTables(workers, maxStates int, pruneOn bool) ([]map[uint64]entry, int, error) {
+	if workers <= 1 {
+		tabs := make([]map[uint64]entry, d.bt.N())
+		states := 0
+		for _, v := range d.bt.PostOrder() {
+			tabs[v] = d.table(v, tabs)
+			if pruneOn {
+				d.prune(tabs[v])
+			}
+			states += len(tabs[v])
+			if maxStates > 0 && states > maxStates {
+				return nil, 0, budgetErr(states, maxStates)
+			}
+		}
+		return tabs, states, nil
+	}
+
+	n := d.bt.N()
+	s := &tableSched{
+		d:         d,
+		tabs:      make([]map[uint64]entry, n),
+		pending:   make([]int, n),
+		remaining: n,
+		workers:   workers,
+		maxStates: maxStates,
+		pruneOn:   pruneOn,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for v := 0; v < n; v++ {
+		s.pending[v] = len(d.bt.Children(v))
+	}
+	s.mu.Lock()
+	for v := 0; v < n; v++ {
+		if s.pending[v] == 0 {
+			s.queue = append(s.queue, s.nodeTask(v))
+		}
+	}
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.loop()
+		}()
+	}
+	wg.Wait()
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	return s.tabs, s.states, nil
+}
+
+func budgetErr(states, maxStates int) error {
+	return fmt.Errorf("hgpt: DP state budget exceeded (%d > %d); increase Eps or MaxStates", states, maxStates)
+}
+
+// tableSched is the dependency-counting scheduler state. tabs[v] is
+// written exactly once, before pending[parent(v)] is decremented under
+// mu, so readers of a ready node's child tables never race.
+type tableSched struct {
+	d         *dpRun
+	tabs      []map[uint64]entry
+	workers   int
+	maxStates int
+	pruneOn   bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []func()
+	stop      bool
+	err       error
+	states    int
+	remaining int   // nodes whose table is not yet complete
+	pending   []int // unfinished children per node
+}
+
+func (s *tableSched) loop() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stop {
+			s.cond.Wait()
+		}
+		if s.stop {
+			s.mu.Unlock()
+			return
+		}
+		// LIFO: freshly enqueued shards of the same node stay cache-hot.
+		t := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.mu.Unlock()
+		t()
+	}
+}
+
+// enqueue appends tasks and wakes enough workers to take them.
+func (s *tableSched) enqueue(tasks ...func()) {
+	s.mu.Lock()
+	s.queue = append(s.queue, tasks...)
+	s.mu.Unlock()
+	if len(tasks) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
+}
+
+// nodeTask computes node v's table, sharding the two-child cross-product
+// when it is large enough to amortize the split.
+func (s *tableSched) nodeTask(v int) func() {
+	return func() {
+		d := s.d
+		kids := d.bt.Children(v)
+		if len(kids) == 2 {
+			pairs := len(s.tabs[kids[0]]) * len(s.tabs[kids[1]])
+			if pairs >= shardMinPairs {
+				s.shardNode(v, kids[0], kids[1])
+				return
+			}
+		}
+		s.complete(v, d.table(v, s.tabs))
+	}
+}
+
+// shardNode splits the rows of c1's decoded table into one chunk per
+// worker and enqueues a shard task per chunk. Each shard merges its row
+// range into a private partial table; the last shard to finish folds
+// the partials together and completes the node.
+func (s *tableSched) shardNode(v, c1, c2 int) {
+	d := s.d
+	t1, t2 := d.decodeTab(s.tabs[c1]), d.decodeTab(s.tabs[c2])
+	w1, w2 := d.bt.EdgeWeight(c1), d.bt.EdgeWeight(c2)
+	shards := s.workers
+	if shards > len(t1.keys) {
+		shards = len(t1.keys)
+	}
+	partials := make([]map[uint64]entry, shards)
+	left := int32(shards)
+	chunk := (len(t1.keys) + shards - 1) / shards
+	tasks := make([]func(), 0, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(t1.keys) {
+			hi = len(t1.keys)
+		}
+		tasks = append(tasks, func() {
+			out := make(map[uint64]entry, presize(hi-lo, len(t2.keys)))
+			d.crossInto(out, t1, w1, lo, hi, t2, w2)
+			partials[i] = out
+			if atomic.AddInt32(&left, -1) == 0 {
+				final := partials[0]
+				for _, p := range partials[1:] {
+					mergeTables(final, p)
+				}
+				s.complete(v, final)
+			}
+		})
+	}
+	s.enqueue(tasks...)
+}
+
+// complete prunes and records node v's finished table, propagates the
+// dependency count to the parent, and stops the pool on completion or
+// on a tripped state budget.
+func (s *tableSched) complete(v int, tab map[uint64]entry) {
+	if s.pruneOn {
+		s.d.prune(tab)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.tabs[v] = tab
+	s.states += len(tab)
+	if s.maxStates > 0 && s.states > s.maxStates {
+		s.err = budgetErr(s.states, s.maxStates)
+		s.stop = true
+		s.cond.Broadcast()
+		return
+	}
+	s.remaining--
+	if s.remaining == 0 {
+		s.stop = true
+		s.cond.Broadcast()
+		return
+	}
+	if p := s.d.bt.Parent(v); p >= 0 {
+		s.pending[p]--
+		if s.pending[p] == 0 {
+			s.queue = append(s.queue, s.nodeTask(p))
+			s.cond.Signal()
+		}
+	}
+}

@@ -22,7 +22,9 @@ package treedecomp
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"hierpart/internal/fm"
 	"hierpart/internal/graph"
@@ -63,6 +65,11 @@ type Options struct {
 	FlowRefine bool
 	// Strategy selects the cluster-splitting rule.
 	Strategy Strategy
+	// Workers bounds the number of trees built concurrently. Zero means
+	// GOMAXPROCS; 1 forces sequential construction. Tree i's randomness
+	// comes from a sub-seed derived up front from Seed, so the emitted
+	// distribution is identical at every worker count.
+	Workers int
 }
 
 // DecompTree is one decomposition tree of G.
@@ -80,8 +87,12 @@ type Decomposition struct {
 	Trees []*DecompTree
 }
 
-// Build constructs opt.Trees randomized decomposition trees of g.
-// It panics if g has no vertices.
+// Build constructs opt.Trees randomized decomposition trees of g on a
+// worker pool (see Options.Workers). Every tree draws from its own
+// sub-seeded RNG, derived from opt.Seed before any construction starts:
+// tree i's randomness no longer depends on trees 0..i−1, which is what
+// makes the build order — and therefore the worker count — irrelevant
+// to the result. It panics if g has no vertices.
 func Build(g *graph.Graph, opt Options) *Decomposition {
 	if g.N() == 0 {
 		panic("treedecomp: empty graph")
@@ -94,11 +105,45 @@ func Build(g *graph.Graph, opt Options) *Decomposition {
 	if passes == 0 {
 		passes = 4
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	d := &Decomposition{}
-	for i := 0; i < nTrees; i++ {
-		d.Trees = append(d.Trees, buildOne(g, rng, passes, opt.FlowRefine, opt.Strategy))
+	seedRNG := rand.New(rand.NewSource(opt.Seed))
+	seeds := make([]int64, nTrees)
+	for i := range seeds {
+		seeds[i] = seedRNG.Int63()
 	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nTrees {
+		workers = nTrees
+	}
+	d := &Decomposition{Trees: make([]*DecompTree, nTrees)}
+	build := func(i int) {
+		d.Trees[i] = buildOne(g, rand.New(rand.NewSource(seeds[i])), passes, opt.FlowRefine, opt.Strategy)
+	}
+	if workers == 1 {
+		for i := 0; i < nTrees; i++ {
+			build(i)
+		}
+		return d
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				build(i)
+			}
+		}()
+	}
+	for i := 0; i < nTrees; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return d
 }
 

@@ -112,6 +112,56 @@ func TestProposition1(t *testing.T) {
 	}
 }
 
+// sameDecomp reports whether two decompositions are bit-identical:
+// equal shapes, edge weights, labels, demands, and leaf maps.
+func sameDecomp(t *testing.T, a, b *Decomposition) {
+	t.Helper()
+	if len(a.Trees) != len(b.Trees) {
+		t.Fatalf("tree counts differ: %d vs %d", len(a.Trees), len(b.Trees))
+	}
+	for i := range a.Trees {
+		ta, tb := a.Trees[i].T, b.Trees[i].T
+		if ta.N() != tb.N() {
+			t.Fatalf("tree %d: node counts differ: %d vs %d", i, ta.N(), tb.N())
+		}
+		for v := 0; v < ta.N(); v++ {
+			if ta.Label(v) != tb.Label(v) || ta.Demand(v) != tb.Demand(v) {
+				t.Fatalf("tree %d node %d: label/demand differ", i, v)
+			}
+			if v > 0 && (ta.Parent(v) != tb.Parent(v) || ta.EdgeWeight(v) != tb.EdgeWeight(v)) {
+				t.Fatalf("tree %d node %d: structure differs", i, v)
+			}
+		}
+		for v, la := range a.Trees[i].LeafOf {
+			if b.Trees[i].LeafOf[v] != la {
+				t.Fatalf("tree %d: LeafOf[%d] differs", i, v)
+			}
+		}
+	}
+}
+
+// TestBuildWorkersBitIdentical: the per-tree sub-seed derivation makes
+// the distribution independent of the build schedule — every worker
+// count, for every splitting strategy, must emit identical trees.
+func TestBuildWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := gen.Community(rng, 3, 8, 0.6, 0.05, 8, 1)
+	gen.UniformDemands(rng, g, 0.1, 0.9)
+	for _, strat := range []Strategy{BalancedBisection, MinCutSplit, FRT} {
+		base := Build(g, Options{Trees: 6, Seed: 23, Strategy: strat, Workers: 1})
+		for _, w := range []int{2, 4, 8} {
+			got := Build(g, Options{Trees: 6, Seed: 23, Strategy: strat, Workers: w})
+			sameDecomp(t, base, got)
+		}
+	}
+	// FlowRefine shares the builder RNG through a different path; cover
+	// it too.
+	base := Build(g, Options{Trees: 4, Seed: 29, FlowRefine: true, Workers: 1})
+	for _, w := range []int{2, 4, 8} {
+		sameDecomp(t, base, Build(g, Options{Trees: 4, Seed: 29, FlowRefine: true, Workers: w}))
+	}
+}
+
 func TestSeedDeterminism(t *testing.T) {
 	g := gen.Torus(4, 4, 2)
 	a := Build(g, Options{Trees: 2, Seed: 42})
