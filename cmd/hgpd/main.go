@@ -1,0 +1,84 @@
+// Command hgpd is the long-running hierarchical-graph-partitioning
+// daemon: it serves POST /v1/partition (solve an instance under a
+// deadline), GET /v1/healthz, GET /v1/stats (JSON or Prometheus text),
+// and /debug/pprof/*, amortizing decomposition builds across requests
+// with an LRU cache and shedding load with 429 when the admission queue
+// fills. See API.md for the wire format and DESIGN.md for the serving
+// architecture.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hierpart/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		concurrency = flag.Int("concurrency", 0, "max simultaneous solves (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "waiting room beyond -concurrency before shedding 429 (-1 = none)")
+		cacheSize   = flag.Int("cache", 128, "decomposition LRU entries (-1 = disable caching)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on any per-request deadline")
+		workers     = flag.Int("workers", 0, "per-solve worker budget (0 = GOMAXPROCS)")
+		maxStates   = flag.Int("max-states", 50_000_000, "per-request DP state budget ceiling")
+		maxVertices = flag.Int("max-vertices", 100_000, "reject graphs larger than this")
+		drainWait   = flag.Duration("drain-wait", time.Minute, "how long shutdown waits for in-flight solves")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hgpd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheSize,
+		SolverWorkers:  *workers,
+		MaxStates:      *maxStates,
+		MaxVertices:    *maxVertices,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("hgpd listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v; draining (up to %v)", sig, *drainWait)
+	case err := <-errCh:
+		log.Fatalf("hgpd: %v", err)
+	}
+
+	// Graceful shutdown: flip healthz to draining and refuse new solves,
+	// wait for in-flight ones, then close listeners.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("hgpd: %v (abandoning in-flight solves)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("hgpd: http shutdown: %v", err)
+	}
+	log.Printf("hgpd stopped")
+}

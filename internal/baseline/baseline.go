@@ -1,12 +1,3 @@
-// Package baseline implements the comparator placement heuristics the
-// paper positions itself against (§1.1): hierarchy-oblivious balanced
-// k-way partitioning, SCOTCH-style dual recursive bipartitioning
-// (Pellegrini '94), METIS-style multilevel partitioning with
-// architecture-aware mapping (Moulitsas–Karypis), plus the trivial
-// random and BFS-greedy schedulers that model an OS-like placement, and
-// a hierarchy-aware local-search refinement pass usable on any
-// assignment. Experiment E5 compares them all against the paper's
-// algorithm.
 package baseline
 
 import (

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/treedecomp"
+)
+
+// LRU is a thread-safe fixed-capacity least-recently-used cache. Get
+// promotes, Add inserts or refreshes, and inserting beyond capacity
+// evicts the coldest entry.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// New builds an LRU holding at most capacity entries; capacity < 1 is
+// treated as 1.
+func New(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the value under key and promotes it to most recently
+// used. The second result reports whether the key was present; every
+// call counts as a hit or a miss.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts val under key (refreshing the entry if present), evicting
+// the least recently used entry when the cache is full.
+func (c *LRU) Add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current number of entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time view of the cache's accounting.
+type Stats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Len       int     `json:"len"`
+	Capacity  int     `json:"capacity"`
+	HitRatio  float64 `json:"hit_ratio"` // hits / (hits+misses); 0 when unused
+}
+
+// Stats returns the cache's hit/miss/eviction counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len(), Capacity: c.cap}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRatio = float64(c.hits) / float64(total)
+	}
+	return s
+}
+
+// DecompKey returns the canonical cache key for the decomposition of g
+// under opt: a SHA-256 over the vertex count, every vertex demand, the
+// sorted (U < V, by (U,V)) edge list, and the option fields that shape
+// the emitted tree distribution (Trees, Seed, FMPasses — with the
+// solver's effective default of 4 for a zero value — FlowRefine,
+// Strategy). Options.Workers is deliberately excluded: the per-tree
+// sub-seeded RNG streams make the distribution identical at every
+// worker count, so keying on it would only fragment the cache.
+func DecompKey(g *graph.Graph, opt treedecomp.Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+
+	wInt(int64(g.N()))
+	for v := 0; v < g.N(); v++ {
+		wFloat(g.Demand(v))
+	}
+	for _, e := range g.Edges() {
+		wInt(int64(e.U))
+		wInt(int64(e.V))
+		wFloat(e.Weight)
+	}
+
+	trees := opt.Trees
+	if trees == 0 {
+		trees = 1
+	}
+	passes := opt.FMPasses
+	if passes == 0 {
+		passes = 4
+	}
+	wInt(int64(trees))
+	wInt(opt.Seed)
+	wInt(int64(passes))
+	if opt.FlowRefine {
+		wInt(1)
+	} else {
+		wInt(0)
+	}
+	wInt(int64(opt.Strategy))
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,19 @@
+// Package cache provides the decomposition cache of the hgpd serving
+// layer: a thread-safe LRU plus a canonical content hash for keying it.
+//
+// Building the decomposition tree distribution (§4 of the paper,
+// internal/treedecomp) dominates end-to-end solve latency, yet the
+// distribution is a pure function of (graph, Trees, Seed, FMPasses,
+// FlowRefine, Strategy) — per-tree sub-seeded RNG streams make it
+// independent of worker count and build order. That purity is what
+// makes caching sound: two requests with the same canonical key receive
+// bit-identical tree distributions, so a cache hit skips the embed
+// phase entirely without changing the response.
+//
+// Main entry points: New builds an LRU of bounded entry count with
+// hit/miss/eviction accounting (LRU.Stats); LRU.Get / LRU.Add are the
+// lookup and insert; DecompKey computes the canonical SHA-256 key of a
+// graph and its build options (vertex demands and the sorted edge list,
+// so vertex-identical graphs collide deliberately and any weight or
+// topology change misses).
+package cache

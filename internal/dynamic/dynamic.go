@@ -1,17 +1,3 @@
-// Package dynamic re-places drifting workloads — the operational reality
-// behind the paper's stream-processing motivation: rates and CPU demands
-// change, the placement must follow, but every migrated task costs state
-// transfer and a processing hiccup.
-//
-// Replace solves the drifted instance from scratch and then relabels the
-// hierarchy leaves of the fresh solution to maximize demand overlap with
-// the old placement. Relabeling permutes sibling subtrees only —
-// automorphisms of the regular hierarchy — so the HGP cost of the fresh
-// solution is preserved exactly while migration drops; the optimal
-// relabeling is computed bottom-up with a Hungarian matching at every
-// internal node. An optional migration-aware local search then trades
-// residual cost against further migration under an explicit exchange
-// rate.
 package dynamic
 
 import (

@@ -1,0 +1,12 @@
+// Package exact provides brute-force optimal solvers for tiny instances
+// of HGP, HGPT, and relaxed HGPT. They are the ground-truth oracles of
+// the test suite and the approximation-ratio experiments (E1, E4): every
+// algorithmic claim of the paper is checked against these on small
+// inputs.
+//
+// Main entry points: HGPBrute (optimal placement of a graph on a
+// hierarchy, Equation (1)), HGPTBrute (optimal leaf assignment of a
+// tree, Equation (3)), and RHGPTBrute (the relaxed tree optimum of
+// Definition 4, the quantity the signature DP of internal/hgpt must
+// match exactly).
+package exact

@@ -1,8 +1,3 @@
-// Package exact provides brute-force optimal solvers for tiny instances
-// of HGP, HGPT, and relaxed HGPT. They are the ground-truth oracles of
-// the test suite and the approximation-ratio experiments (E1, E4): every
-// algorithmic claim of the paper is checked against these on small
-// inputs.
 package exact
 
 import (

@@ -1,13 +1,3 @@
-// Package experiments implements the evaluation suite of this
-// reproduction. The paper (SPAA 2014) is theoretical and reports no
-// measurements, so each experiment here validates the *shape* of one of
-// its claims — optimality and violation bounds (Theorems 2, 4, 5),
-// structural lemmas (Lemmas 2, 4, 5, Observation 1), the embedding
-// property (Proposition 1), end-to-end approximation (Theorem 1) — or
-// benchmarks the algorithm against the related-work heuristics (§1.1)
-// and the stream-placement application (§1). EXPERIMENTS.md records the
-// outputs; cmd/hgpbench prints them; bench_test.go wraps each in a
-// testing.B target.
 package experiments
 
 import (

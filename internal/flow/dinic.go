@@ -1,8 +1,3 @@
-// Package flow implements Dinic's maximum-flow algorithm on weighted
-// directed networks. It is the combinatorial substrate behind the
-// balanced-cut heuristics of the decomposition-tree builder and the
-// verification paths of the test suite; the paper needs no LP solver —
-// all of its machinery is combinatorial.
 package flow
 
 import (

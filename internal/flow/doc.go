@@ -1,0 +1,11 @@
+// Package flow implements Dinic's maximum-flow algorithm on weighted
+// directed networks. It is the combinatorial substrate behind the
+// balanced-cut heuristics of the decomposition-tree builder and the
+// verification paths of the test suite; the paper needs no LP solver —
+// all of its machinery is combinatorial.
+//
+// Main entry points: NewNetwork builds a Network, AddArc/AddEdge add
+// capacity, MaxFlow computes the s–t maximum flow, and MinCutSide
+// extracts the source side of the induced minimum cut (what
+// treedecomp's flow-based refinement actually consumes).
+package flow

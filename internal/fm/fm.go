@@ -1,14 +1,3 @@
-// Package fm implements the Fiduccia–Mattheyses bisection refinement
-// heuristic in its classic form: per pass, every vertex may move once;
-// moves are chosen best-gain-first from priority queues even when the
-// gain is negative (that is what lets FM climb out of local minima the
-// greedy sweeps of simpler refiners cannot leave); at the end of the
-// pass the best prefix of the move sequence is kept. Balance is enforced
-// as a window on the weight of the "true" side.
-//
-// The embedding builder (internal/treedecomp) and the partitioning
-// baselines use this engine; its own tests pit it against exhaustive
-// search on small clusters.
 package fm
 
 import (

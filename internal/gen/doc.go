@@ -1,0 +1,14 @@
+// Package gen generates the synthetic instances used by the examples,
+// tests, and benchmark harness: classic graph families (grids, random
+// graphs, power-law graphs, planted communities), random trees for the
+// HGPT solver, and stream-processing operator DAGs modeled on the
+// workloads that motivate the paper (§1).
+//
+// Every generator takes an explicit *rand.Rand so experiments are
+// reproducible from a seed.
+//
+// Main entry points: Grid, Torus, ErdosRenyi, BarabasiAlbert, and
+// Community build graphs; UniformDemands and EqualDemands populate
+// vertex demands; RandomTree, Caterpillar, and BalancedTree build trees
+// for the tree-side solvers.
+package gen

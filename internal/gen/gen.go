@@ -1,11 +1,3 @@
-// Package gen generates the synthetic instances used by the examples,
-// tests, and benchmark harness: classic graph families (grids, random
-// graphs, power-law graphs, planted communities), random trees for the
-// HGPT solver, and stream-processing operator DAGs modeled on the
-// workloads that motivate the paper (§1).
-//
-// Every generator takes an explicit *rand.Rand so experiments are
-// reproducible from a seed.
 package gen
 
 import (

@@ -1,0 +1,95 @@
+package hgp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/treedecomp"
+)
+
+func testInstance(seed int64) (*Solver, *hierarchy.Hierarchy) {
+	return &Solver{Eps: 0.5, Trees: 3, Seed: seed}, hierarchy.MustNew([]int{2, 4}, []float64{8, 2, 0})
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	g := gen.Grid(8, 8, 1)
+	gen.EqualDemands(g, 0.5)
+	s, H := testInstance(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx, g, H); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// An expired deadline must surface promptly — the acceptance-criteria
+// shape of a dead client: the pipeline may not run to completion first.
+func TestSolveContextExpiredDeadlinePrompt(t *testing.T) {
+	g := gen.Grid(14, 14, 1)
+	gen.EqualDemands(g, 0.2)
+	H := hierarchy.MustNew([]int{4, 7, 7}, []float64{16, 8, 2, 0})
+	s := Solver{Eps: 0.5, Trees: 8, Seed: 1}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	start := time.Now()
+	_, err := s.SolveContext(ctx, g, H)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("expired-deadline solve took %v, want prompt return", el)
+	}
+}
+
+// Solving on a prebuilt decomposition (the server's warm-cache path)
+// must produce exactly the result of the all-in-one pipeline.
+func TestSolveDecompositionMatchesSolve(t *testing.T) {
+	g := gen.Community(rand.New(rand.NewSource(2)), 4, 4, 0.6, 0.05, 10, 1)
+	gen.EqualDemands(g, 0.75)
+	s, H := testInstance(3)
+
+	want, err := s.Solve(g, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := treedecomp.BuildContext(context.Background(), g, s.DecompOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SolveDecomposition(context.Background(), g, H, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || got.TreeCost != want.TreeCost ||
+		got.TreeIndex != want.TreeIndex || got.States != want.States {
+		t.Fatalf("SolveDecomposition %+v != Solve %+v", got, want)
+	}
+	for v := range want.Assignment {
+		if got.Assignment[v] != want.Assignment[v] {
+			t.Fatalf("assignment diverged at vertex %d", v)
+		}
+	}
+}
+
+func TestSolveDecompositionRejectsMismatchedGraph(t *testing.T) {
+	g := gen.Grid(4, 4, 1)
+	gen.EqualDemands(g, 0.5)
+	s, H := testInstance(1)
+	dec, err := treedecomp.BuildContext(context.Background(), g, s.DecompOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := gen.Grid(5, 5, 1)
+	gen.EqualDemands(other, 0.5)
+	if _, err := s.SolveDecomposition(context.Background(), other, H, dec); err == nil {
+		t.Fatal("want error for decomposition/graph size mismatch")
+	}
+	if _, err := s.SolveDecomposition(context.Background(), g, H, &treedecomp.Decomposition{}); err == nil {
+		t.Fatal("want error for empty decomposition")
+	}
+}

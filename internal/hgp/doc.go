@@ -1,0 +1,22 @@
+// Package hgp assembles the paper's end-to-end algorithm (Theorem 1):
+// embed the task graph G into a distribution of decomposition trees
+// (§4, internal/treedecomp), solve hierarchical partitioning optimally
+// on each tree with the signature dynamic program (§3, internal/hgpt),
+// map every tree solution back to G through the leaf bijection m_V, and
+// return the cheapest resulting placement.
+//
+// The guarantee shape: each tree solution's Equation (3) cost dominates
+// the mapped placement's true cost on G (Proposition 1), the tree DP is
+// cost-optimal (Theorem 2), and capacity is violated by at most
+// (1+ε)(1+h) (Theorem 5) — so solution quality degrades only with the
+// cut distortion of the tree distribution, which Räcke bounds by
+// O(log n) and this reproduction measures empirically (experiment E7).
+//
+// Main entry points: a Solver value configures the pipeline; Solve runs
+// it end to end; SolveContext is the same under a context.Context
+// (deadline/cancellation); SolveDecomposition runs only the per-tree
+// DPs against a pre-built (possibly cached) decomposition, with
+// DecompOptions exposing the build options that decomposition must have
+// been built with. All return a Result with the winning placement and
+// per-tree diagnostics.
+package hgp

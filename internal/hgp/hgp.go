@@ -1,19 +1,7 @@
-// Package hgp assembles the paper's end-to-end algorithm (Theorem 1):
-// embed the task graph G into a distribution of decomposition trees
-// (§4, internal/treedecomp), solve hierarchical partitioning optimally
-// on each tree with the signature dynamic program (§3, internal/hgpt),
-// map every tree solution back to G through the leaf bijection m_V, and
-// return the cheapest resulting placement.
-//
-// The guarantee shape: each tree solution's Equation (3) cost dominates
-// the mapped placement's true cost on G (Proposition 1), the tree DP is
-// cost-optimal (Theorem 2), and capacity is violated by at most
-// (1+ε)(1+h) (Theorem 5) — so solution quality degrades only with the
-// cut distortion of the tree distribution, which Räcke bounds by
-// O(log n) and this reproduction measures empirically (experiment E7).
 package hgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -79,11 +67,19 @@ type Result struct {
 	States int
 }
 
-// Solve runs the full pipeline on g and H.
+// Solve runs the full pipeline on g and H. Cancellable callers should
+// use SolveContext.
 func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
-	if g.N() == 0 {
-		return nil, errors.New("hgp: empty graph")
-	}
+	return s.SolveContext(context.Background(), g, H)
+}
+
+// DecompOptions returns the treedecomp build options the solver would
+// use, with the effective (defaulted) tree count and worker budget.
+// Callers that cache decompositions across solves key the cache on
+// exactly the fields of this value that shape the output distribution
+// (Trees, Seed, FMPasses, FlowRefine, Strategy — Workers never changes
+// the trees built).
+func (s Solver) DecompOptions() treedecomp.Options {
 	nTrees := s.Trees
 	if nTrees == 0 {
 		nTrees = 4
@@ -92,10 +88,51 @@ func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
-	dec := treedecomp.Build(g, treedecomp.Options{
+	return treedecomp.Options{
 		Trees: nTrees, Seed: s.Seed, FMPasses: s.FMPasses, FlowRefine: s.FlowRefine,
 		Workers: budget,
-	})
+	}
+}
+
+// SolveContext runs the full pipeline on g and H with cancellation:
+// once ctx is done, decomposition building and the per-tree DPs stop at
+// their next poll point and the context's error is returned.
+func (s Solver) SolveContext(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
+	if g.N() == 0 {
+		return nil, errors.New("hgp: empty graph")
+	}
+	dec, err := treedecomp.BuildContext(ctx, g, s.DecompOptions())
+	if err != nil {
+		return nil, fmt.Errorf("hgp: %w", err)
+	}
+	return s.SolveDecomposition(ctx, g, H, dec)
+}
+
+// SolveDecomposition runs the DP-and-map-back half of the pipeline on a
+// prebuilt decomposition of g — the entry point for callers that reuse
+// decompositions across solves (the hgpd server's LRU cache): building
+// the tree distribution dominates end-to-end latency, and it depends
+// only on (graph, Trees, Seed, FMPasses, FlowRefine), not on the
+// hierarchy or the DP parameters, so one decomposition serves every
+// (Eps, hierarchy) variation of the same graph. dec must have been
+// built from g (same vertex set); Solver fields used at build time
+// (Trees, Seed, FMPasses, FlowRefine) are ignored here.
+func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dec *treedecomp.Decomposition) (*Result, error) {
+	if g.N() == 0 {
+		return nil, errors.New("hgp: empty graph")
+	}
+	if len(dec.Trees) == 0 {
+		return nil, errors.New("hgp: decomposition has no trees")
+	}
+	for _, dt := range dec.Trees {
+		if len(dt.LeafOf) != g.N() {
+			return nil, fmt.Errorf("hgp: decomposition built for %d vertices, graph has %d", len(dt.LeafOf), g.N())
+		}
+	}
+	budget := s.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
 
 	// Solve the independent per-tree DPs concurrently; selection below
 	// is by fixed tree index, so results are deterministic regardless of
@@ -122,8 +159,12 @@ func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for ti := range work {
+				if err := ctx.Err(); err != nil {
+					outs[ti].err = err
+					continue
+				}
 				dt := dec.Trees[ti]
-				sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers}.Solve(dt.T, H)
+				sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers}.SolveContext(ctx, dt.T, H)
 				if err != nil {
 					outs[ti].err = fmt.Errorf("hgp: tree %d: %w", ti, err)
 					continue
@@ -150,6 +191,13 @@ func (s Solver) Solve(g *graph.Graph, H *hierarchy.Hierarchy) (*Result, error) {
 	}
 	close(work)
 	wg.Wait()
+
+	// A cancelled run may have finished some trees; returning a partial
+	// minimum would make the result depend on timing, so cancellation
+	// always surfaces as the context's error.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hgp: %w", err)
+	}
 
 	res := &Result{TreeIndex: -1, PerTreeCosts: make([]float64, 0, len(outs))}
 	var firstErr error

@@ -1,49 +1,17 @@
-// Package hgpt implements the paper's core contribution: hierarchical
-// graph partitioning on trees (HGPT, §3). The solver runs the signature
-// dynamic program of Theorem 4 over the relaxed problem (RHGPT,
-// Definition 4), reconstructs the optimal nice solution (Definition 6,
-// Theorem 3), and repacks it into a strict HGPT solution per Theorem 5,
-// violating Level-(j) capacities by at most (1+ε)(1+j).
-//
-// The DP state at a tree node v is the signature (D⁽¹⁾, …, D⁽ʰ⁾): the
-// scaled demand of the (v, j)-active set at every hierarchy level j
-// (Definition 8). Children tables are merged with the (j₁, j₂)-consistent
-// rule of Definition 9, paying boundary costs derived from Equation (4)
-// for every level at which a child edge is cut. Instead of looping over
-// all parent signatures and searching for consistent child pairs (the
-// paper's O(D^{2h+2}) bound), the implementation loops over realized
-// child signature pairs and derives the unique parent signature, keeping
-// tables sparse.
-//
-// Two refinements over the paper's literal presentation were required
-// for the computed optimum to match the brute-force Equation (3) optimum
-// (both verified against exhaustive search in internal/exact):
-//
-//  1. A cut child edge charges (cm(k−1)−cm(k))/2 once for the closed
-//     child-side set AND once more when the merged Level-(k) active
-//     region still contains v — the edge then lies on that region's
-//     boundary too (Lemma 4 forces the two mirrors apart). Equation (4)
-//     as printed charges only the child side.
-//  2. Definition 8 ties "active set exists" to D > 0, but a minimum cut
-//     (Definition 5) may route a set's mirror through a subtree holding
-//     none of its leaves, when the interior edges are cheaper than the
-//     subtree's root edge. The signature alphabet here therefore
-//     distinguishes, per level, "no region", "region with zero demand"
-//     (such an incursion), and "region with demand D". Zero-demand
-//     regions may open spontaneously at internal nodes and must merge
-//     upward — cutting them off is invalid (a mirror component with no
-//     member leaf cannot exist).
 package hgpt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"hierpart/internal/hierarchy"
 	"hierpart/internal/laminar"
+	"hierpart/internal/telemetry"
 	"hierpart/internal/tree"
 )
 
@@ -172,12 +140,24 @@ func (c sigCodec) decode(k uint64, out []int) {
 // dummy edges, which no finite-cost solution cuts) and leaf demands in
 // (0, 1]. It returns an error when a single leaf demand exceeds leaf
 // capacity, or when the scaled state space cannot be encoded.
+// Cancellable callers should use SolveContext.
 func (s Solver) Solve(t *tree.Tree, H *hierarchy.Hierarchy) (*Solution, error) {
+	return s.SolveContext(context.Background(), t, H)
+}
+
+// SolveContext is Solve with cancellation: the DP stops at the next
+// table completion (or shard completion, under the concurrent
+// scheduler) once ctx is done and returns the context's error, so a
+// dead client or an expired deadline stops burning the worker budget
+// mid-solve. On success the DP duration is recorded in
+// telemetry.Default under phase_dp_seconds.
+func (s Solver) SolveContext(ctx context.Context, t *tree.Tree, H *hierarchy.Hierarchy) (*Solution, error) {
+	start := time.Now()
 	dp, origOf, err := s.newRun(t, H)
 	if err != nil {
 		return nil, err
 	}
-	tabs, states, err := dp.runTables(s.Workers, s.MaxStates, !s.DisablePruning)
+	tabs, states, err := dp.runTables(ctx, s.Workers, s.MaxStates, !s.DisablePruning)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +197,7 @@ func (s Solver) Solve(t *tree.Tree, H *hierarchy.Hierarchy) (*Solution, error) {
 		return nil, err
 	}
 
+	telemetry.ObserveDuration("phase_dp_seconds", time.Since(start))
 	return &Solution{
 		Assignment:  assignment,
 		Relaxed:     relaxed,

@@ -1,6 +1,7 @@
 package hgpt
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -70,7 +71,7 @@ func TestShardedCrossMatchesSequential(t *testing.T) {
 		}
 		// Pruning off so every merge candidate survives into the
 		// comparison, not just the Pareto frontier.
-		seqTabs, seqStates, err := dpSeq.runTables(1, 0, false)
+		seqTabs, seqStates, err := dpSeq.runTables(context.Background(), 1, 0, false)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -79,7 +80,7 @@ func TestShardedCrossMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
-			parTabs, parStates, err := dpPar.runTables(w, 0, false)
+			parTabs, parStates, err := dpPar.runTables(context.Background(), w, 0, false)
 			if err != nil {
 				t.Fatalf("trial %d workers %d: %v", trial, w, err)
 			}
@@ -180,7 +181,7 @@ func TestReducedMergeMatchesExhaustive(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
-			got, _, err := d.runTables(1, 0, false)
+			got, _, err := d.runTables(context.Background(), 1, 0, false)
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}

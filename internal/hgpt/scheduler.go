@@ -1,6 +1,7 @@
 package hgpt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,11 +34,16 @@ var shardMinPairs = 2048
 // runTables computes the per-node DP tables of the binarized tree with
 // up to `workers` goroutines, returning the tables and the total state
 // count. workers ≤ 1 runs the plain sequential post-order walk.
-func (d *dpRun) runTables(workers, maxStates int, pruneOn bool) ([]map[uint64]entry, int, error) {
+// Cancellation is polled once per completed table (and per shard under
+// the scheduler): the granularity of one node's merge.
+func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn bool) ([]map[uint64]entry, int, error) {
 	if workers <= 1 {
 		tabs := make([]map[uint64]entry, d.bt.N())
 		states := 0
 		for _, v := range d.bt.PostOrder() {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			tabs[v] = d.table(v, tabs)
 			if pruneOn {
 				d.prune(tabs[v])
@@ -53,6 +59,7 @@ func (d *dpRun) runTables(workers, maxStates int, pruneOn bool) ([]map[uint64]en
 	n := d.bt.N()
 	s := &tableSched{
 		d:         d,
+		ctx:       ctx,
 		tabs:      make([]map[uint64]entry, n),
 		pending:   make([]int, n),
 		remaining: n,
@@ -96,6 +103,7 @@ func budgetErr(states, maxStates int) error {
 // mu, so readers of a ready node's child tables never race.
 type tableSched struct {
 	d         *dpRun
+	ctx       context.Context
 	tabs      []map[uint64]entry
 	workers   int
 	maxStates int
@@ -141,10 +149,32 @@ func (s *tableSched) enqueue(tasks ...func()) {
 	}
 }
 
+// cancelled reports whether the run's context is done, and on the first
+// observation records the context error and stops the pool. Every task
+// polls it before starting work, so cancellation latency is bounded by
+// the longest single node merge (or shard, when sharded).
+func (s *tableSched) cancelled() bool {
+	err := s.ctx.Err()
+	if err == nil {
+		return false
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.stop = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
 // nodeTask computes node v's table, sharding the two-child cross-product
 // when it is large enough to amortize the split.
 func (s *tableSched) nodeTask(v int) func() {
 	return func() {
+		if s.cancelled() {
+			return
+		}
 		d := s.d
 		kids := d.bt.Children(v)
 		if len(kids) == 2 {
@@ -182,6 +212,9 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 			hi = len(t1.keys)
 		}
 		tasks = append(tasks, func() {
+			if s.cancelled() {
+				return
+			}
 			out := make(map[uint64]entry, presize(hi-lo, len(t2.keys)))
 			d.crossInto(out, t1, w1, lo, hi, t2, w2)
 			partials[i] = out

@@ -1,0 +1,21 @@
+// Package hierarchy models the resource hierarchy tree H of the
+// hierarchical graph partitioning problem (SPAA 2014, §1).
+//
+// H is regular at each level: every Level-(j) node has exactly DEG(j)
+// children, the height is h, and the k leaves (CPU cores, in the paper's
+// motivating application) each have capacity 1. Level j is the number of
+// edges from the root, so the root is Level-(0) and leaves are Level-(h).
+// Each level j carries a cost multiplier cm(j) with
+// cm(0) ≥ cm(1) ≥ … ≥ cm(h): an edge of the task graph whose endpoints
+// are placed on leaves with lowest common ancestor at level j costs
+// cm(j) times its weight.
+//
+// Because H is regular, nodes never need to be materialized: a Level-(j)
+// node is identified by its index in 0..NumNodes(j)-1, and the ancestor
+// of leaf l at level j is l / LeavesPer(j).
+//
+// Main entry points: New (validating) and MustNew construct a Hierarchy
+// from degree and cost-multiplier vectors; accessors Height, Leaves,
+// Deg, CM, Cap, AncestorAt, and LeafRange answer the structural queries
+// the solvers ask.
+package hierarchy

@@ -1,0 +1,13 @@
+// Package hungarian solves the assignment problem: given an n×n cost
+// matrix, find the permutation assigning each row to a distinct column
+// with minimum total cost, in O(n³) (Kuhn–Munkres with potentials, the
+// Jonker–Volgenant style row-by-row shortest augmenting path variant).
+//
+// The dynamic repartitioner uses it to relabel hierarchy subtrees for
+// minimum migration; it is generally useful wherever parts must be
+// matched to slots.
+//
+// Main entry points: Solve (minimize) and Maximize, each returning the
+// optimal column-per-row permutation and its total value; +Inf entries
+// mark forbidden pairings.
+package hungarian

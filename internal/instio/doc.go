@@ -1,0 +1,12 @@
+// Package instio reads and writes problem instances: a plain-text edge
+// list for graphs (with demands), a METIS-like adjacency format, and a
+// JSON instance format bundling a graph with its hierarchy — the formats
+// spoken by the cmd/ tools and the hgpd HTTP API.
+//
+// Main entry points: ReadGraph/WriteGraph (plain text),
+// ReadMETIS/WriteMETIS, and ReadInstance/WriteInstance (JSON). The
+// Instance type is the JSON schema; Instance.Materialize validates a
+// decoded instance and constructs its graph and hierarchy, which is how
+// the hgpd request body (which embeds an Instance) shares this
+// package's validation. WriteAssignment emits a solved placement.
+package instio

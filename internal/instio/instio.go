@@ -1,7 +1,3 @@
-// Package instio reads and writes problem instances: a plain-text edge
-// list for graphs (with demands), a METIS-like adjacency format, and a
-// JSON instance format bundling a graph with its hierarchy — the formats
-// spoken by the cmd/ tools.
 package instio
 
 import (
@@ -226,6 +222,14 @@ func ReadInstance(r io.Reader) (*graph.Graph, *hierarchy.Hierarchy, error) {
 	if err := json.NewDecoder(r).Decode(&inst); err != nil {
 		return nil, nil, fmt.Errorf("instio: %w", err)
 	}
+	return inst.Materialize()
+}
+
+// Materialize validates the decoded instance and constructs its graph
+// and hierarchy — the shared path behind ReadInstance and callers that
+// embed an Instance inside a larger JSON document (the hgpd request
+// body).
+func (inst Instance) Materialize() (*graph.Graph, *hierarchy.Hierarchy, error) {
 	h, err := hierarchy.New(inst.Hierarchy.Deg, inst.Hierarchy.CM)
 	if err != nil {
 		return nil, nil, err

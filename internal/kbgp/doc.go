@@ -1,0 +1,17 @@
+// Package kbgp treats the classical k-balanced graph partitioning
+// problem as the h = 1 special case of HGP (the paper's framing: k-BGP
+// is HGP with a flat hierarchy, cm = [1, 0]). It provides
+//
+//   - Solve: the paper's pipeline specialized to a flat hierarchy, and
+//   - TreeOptimal: an independent, single-dimension dynamic program for
+//     the relaxed problem on trees, in the classical one-open-bin style
+//     (Hochbaum–Shmoys state folding) rather than the general signature
+//     machinery.
+//
+// Experiment E10 runs both implementations on the same instances: they
+// must agree exactly, which cross-checks the general DP's h = 1
+// behaviour on trees far beyond brute-force reach.
+//
+// Main entry points: Solve (graph → k-way assignment + cost) and
+// TreeOptimal (tree → relaxed optimal cost).
+package kbgp

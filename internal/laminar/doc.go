@@ -1,0 +1,12 @@
+// Package laminar represents solutions to the (relaxed) hierarchical
+// graph partitioning problem on trees as the family of collections
+// S⁽⁰⁾, …, S⁽ʰ⁾ of Definitions 3 and 4 of the paper, and validates
+// their structural properties: one root set, partition per level,
+// per-level capacities, refinement (with or without the DEG(j) bound —
+// the relaxation that makes the DP tractable), and H-node consistency.
+//
+// Main entry points: NewFamily builds an empty Family of Sets, Add
+// inserts a set at a level, Family.Validate checks every structural
+// property under Options, and Family.LeafAssignment extracts the
+// leaf-to-hierarchy-node placement a valid family induces.
+package laminar

@@ -1,9 +1,3 @@
-// Package laminar represents solutions to the (relaxed) hierarchical
-// graph partitioning problem on trees as the family of collections
-// S⁽⁰⁾, …, S⁽ʰ⁾ of Definitions 3 and 4 of the paper, and validates
-// their structural properties: one root set, partition per level,
-// per-level capacities, refinement (with or without the DEG(j) bound —
-// the relaxation that makes the DP tractable), and H-node consistency.
 package laminar
 
 import (

@@ -1,0 +1,10 @@
+// Package metrics defines the placement type shared by all partitioners
+// and the evaluation functions of the HGP objective: the LCA cost form
+// of Equation (1) and the mirror/cut form of Equation (3), whose
+// equality is Lemma 2 of the paper, plus load-balance and capacity
+// violation measurements.
+//
+// Main entry points: Assignment (leaf per vertex, with Validate),
+// CostLCA and CostMirror (the two cost forms), LeafLoads, Violation,
+// MaxViolation, and Imbalance.
+package metrics

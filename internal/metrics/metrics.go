@@ -1,8 +1,3 @@
-// Package metrics defines the placement type shared by all partitioners
-// and the evaluation functions of the HGP objective: the LCA cost form
-// of Equation (1) and the mirror/cut form of Equation (3), whose
-// equality is Lemma 2 of the paper, plus load-balance and capacity
-// violation measurements.
 package metrics
 
 import (

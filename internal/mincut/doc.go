@@ -1,0 +1,10 @@
+// Package mincut provides the Stoer–Wagner global minimum cut algorithm
+// and the Gomory–Hu all-pairs min-cut tree on weighted undirected
+// graphs. They are used by the decomposition-tree quality experiments
+// (E7) to compare tree cuts against true graph cuts, and as
+// verification oracles in tests.
+//
+// Main entry points: Global (Stoer–Wagner, returning a Result with the
+// cut value and one side) and GomoryHu (returning a GHTree answering
+// MinCut(u, v) queries and the global minimum via GlobalFromGH).
+package mincut

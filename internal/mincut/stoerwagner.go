@@ -1,7 +1,3 @@
-// Package mincut provides the Stoer–Wagner global minimum cut algorithm
-// on weighted undirected graphs. It is used by the decomposition-tree
-// quality experiments (E7) to compare tree cuts against true graph cuts,
-// and as a verification oracle in tests.
 package mincut
 
 import (

@@ -1,0 +1,25 @@
+// Package server implements hgpd's HTTP serving layer: a long-running
+// partitioning daemon that amortizes the expensive decomposition embed
+// (§4 of the paper) across requests and bounds worst-case work, which
+// Feldmann-style hardness results say cannot be eliminated — only
+// deadline-bounded and load-shed.
+//
+// Request lifecycle of POST /v1/partition:
+//
+//	decode+validate → admission (bounded queue, 429 on overflow)
+//	→ per-request deadline (context.Context, 504 on expiry)
+//	→ decomposition cache (internal/cache LRU; hit skips §4 entirely)
+//	→ per-tree signature DPs (§3, hgp.Solver.SolveDecomposition)
+//	→ respond (assignment, costs, per-tree diagnostics, phase timings)
+//
+// Shutdown is graceful: Drain flips /v1/healthz to "draining" and
+// rejects new solves with 503 while Shutdown waits for every in-flight
+// solve to finish.
+//
+// Main entry points: New builds a Server from a Config; Server.Handler
+// returns the http.Handler exposing /v1/partition, /v1/healthz,
+// /v1/stats (JSON or Prometheus text via ?format=prometheus), and
+// /debug/pprof/*; Server.Shutdown drains. Observability flows through
+// internal/telemetry (request counters, queue gauges, per-phase latency
+// histograms). API.md documents the wire format with runnable examples.
+package server

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"hierpart/internal/hgp"
+	"hierpart/internal/instio"
+	"hierpart/internal/telemetry"
+)
+
+// PartitionRequest is the POST /v1/partition body: an instio.Instance
+// (graph + hierarchy + cost multipliers) plus solver parameters and an
+// optional per-request deadline. Zero-valued solver fields take the
+// hgp.Solver defaults (Eps 0.5, Trees 4, FMPasses 4).
+type PartitionRequest struct {
+	instio.Instance
+	Eps        float64 `json:"eps,omitempty"`
+	Trees      int     `json:"trees,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	FMPasses   int     `json:"fm_passes,omitempty"`
+	FlowRefine bool    `json:"flow_refine,omitempty"`
+	MaxStates  int     `json:"max_states,omitempty"`
+	// TimeoutMS bounds this request's wall-clock budget; 0 uses the
+	// server default, values above the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// PartitionResponse is the POST /v1/partition success body.
+type PartitionResponse struct {
+	// Assignment places every graph vertex on a hierarchy leaf.
+	Assignment []int `json:"assignment"`
+	// Cost is the Equation (1) objective of the placement on G.
+	Cost float64 `json:"cost"`
+	// TreeCost is the winning tree's Equation (3) cost (≥ Cost for
+	// normalized cm, Proposition 1).
+	TreeCost float64 `json:"tree_cost"`
+	// TreeIndex identifies the winning decomposition tree.
+	TreeIndex int `json:"tree_index"`
+	// PerTreeCosts is the mapped cost of every tree's solution; null
+	// marks a tree whose solve failed (NaN is not representable in
+	// JSON).
+	PerTreeCosts []*float64 `json:"per_tree_costs"`
+	// Violation is the per-level relative capacity violation.
+	Violation []float64 `json:"violation"`
+	// States is the total DP state count across trees.
+	States int `json:"states"`
+	// CacheHit reports whether the decomposition came from the LRU —
+	// when true the embed phase was skipped entirely.
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedMS, DecomposeMS, SolveMS are wall-clock phase timings;
+	// DecomposeMS is 0 on a cache hit.
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	DecomposeMS float64 `json:"decompose_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+		return
+	}
+	if !s.admitInflight() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "daemon is draining; retry against another instance")
+		return
+	}
+	defer s.inflight.Done()
+	start := time.Now()
+	s.reg.Counter("partition_requests_total").Inc()
+
+	// Decode and validate before consuming any queue capacity: malformed
+	// requests must not push well-formed ones into load shedding.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req PartitionRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	if req.N > s.cfg.MaxVertices {
+		s.writeError(w, http.StatusBadRequest, "too_large",
+			fmt.Sprintf("graph has %d vertices, server limit is %d", req.N, s.cfg.MaxVertices))
+		return
+	}
+	g, H, err := req.Instance.Materialize()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_instance", err.Error())
+		return
+	}
+	if g.N() == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_instance", "graph has no vertices")
+		return
+	}
+	if req.Eps < 0 || req.Trees < 0 || req.FMPasses < 0 || req.MaxStates < 0 || req.TimeoutMS < 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "negative solver parameter")
+		return
+	}
+
+	// Admission: bounded waiting room, then a solve slot. The queue
+	// gauge counts requests past decode, waiting or running.
+	depth := s.queued.Add(1)
+	defer s.queued.Add(-1)
+	s.reg.Gauge("queue_depth").Set(depth)
+	if int(depth) > s.cfg.MaxConcurrent+s.cfg.MaxQueue {
+		s.reg.Counter("queue_rejections_total").Inc()
+		s.writeError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("admission queue full (%d running + %d waiting)", s.cfg.MaxConcurrent, s.cfg.MaxQueue))
+		return
+	}
+
+	// Per-request deadline, also cancelled when the client disconnects:
+	// a dead client stops burning the worker budget (the context is
+	// threaded through treedecomp.BuildContext and the hgpt scheduler).
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.finishTimeout(w, r, ctx, start, "while queued for a solve slot")
+		return
+	}
+
+	maxStates := req.MaxStates
+	if maxStates == 0 || maxStates > s.cfg.MaxStates {
+		maxStates = s.cfg.MaxStates
+	}
+	sv := hgp.Solver{
+		Eps: req.Eps, Trees: req.Trees, Seed: req.Seed,
+		FMPasses: req.FMPasses, FlowRefine: req.FlowRefine,
+		Workers: s.cfg.SolverWorkers, MaxStates: maxStates,
+	}
+	res, cacheHit, decompDur, solveDur, err := s.solve(ctx, g, H, sv)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.finishTimeout(w, r, ctx, start, "during the solve")
+		case strings.Contains(err.Error(), "state budget exceeded"):
+			s.reg.Counter("partition_errors_total").Inc()
+			s.writeError(w, http.StatusUnprocessableEntity, "state_budget_exceeded", err.Error())
+		default:
+			s.reg.Counter("partition_errors_total").Inc()
+			s.writeError(w, http.StatusInternalServerError, "solve_failed", err.Error())
+		}
+		return
+	}
+
+	perTree := make([]*float64, len(res.PerTreeCosts))
+	for i, c := range res.PerTreeCosts {
+		if !math.IsNaN(c) {
+			c := c
+			perTree[i] = &c
+		}
+	}
+	elapsed := time.Since(start)
+	s.reg.Counter("partition_ok_total").Inc()
+	s.reg.Counter("http_status_200_total").Inc()
+	s.reg.Histogram("request_seconds").Observe(elapsed.Seconds())
+	s.reg.Histogram("solve_seconds").Observe(solveDur.Seconds())
+	writeJSON(w, http.StatusOK, PartitionResponse{
+		Assignment:   res.Assignment,
+		Cost:         res.Cost,
+		TreeCost:     res.TreeCost,
+		TreeIndex:    res.TreeIndex,
+		PerTreeCosts: perTree,
+		Violation:    res.Violation,
+		States:       res.States,
+		CacheHit:     cacheHit,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		DecomposeMS:  float64(decompDur.Microseconds()) / 1000,
+		SolveMS:      float64(solveDur.Microseconds()) / 1000,
+	})
+}
+
+// finishTimeout classifies a context failure: a tripped per-request
+// deadline is 504 (the daemon gave up inside its budget), a client that
+// went away gets a best-effort 499-style close (the response will not
+// be read anyway).
+func (s *Server) finishTimeout(w http.ResponseWriter, r *http.Request, ctx context.Context, start time.Time, where string) {
+	s.reg.Counter("partition_errors_total").Inc()
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.reg.Counter("deadline_timeouts_total").Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			fmt.Sprintf("deadline expired %s after %s", where, time.Since(start).Round(time.Millisecond)))
+		return
+	}
+	// Client cancelled: nothing useful to send; record and close.
+	s.reg.Counter("client_cancelled_total").Inc()
+	s.writeError(w, 499, "client_closed_request", "client went away "+where)
+}
+
+// healthzResponse is the GET /v1/healthz body.
+type healthzResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET required")
+		return
+	}
+	st, code := "ok", http.StatusOK
+	if s.isDraining() {
+		st, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthzResponse{Status: st, UptimeSeconds: s.uptime()})
+}
+
+// StatsResponse is the GET /v1/stats JSON body.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queue         struct {
+		Depth       int64 `json:"depth"`
+		Concurrency int   `json:"concurrency"`
+		Capacity    int   `json:"capacity"` // waiting room beyond Concurrency
+	} `json:"queue"`
+	Cache   *cacheStats        `json:"cache,omitempty"` // omitted when caching is disabled
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+type cacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Len       int     `json:"len"`
+	Capacity  int     `json:"capacity"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET required")
+		return
+	}
+	// Mirror cache accounting into gauges so both output formats (and
+	// any scraper) see it.
+	if s.dec != nil {
+		cs := s.dec.Stats()
+		s.reg.Gauge("decomp_cache_len").Set(int64(cs.Len))
+		s.reg.Gauge("decomp_cache_evictions").Set(cs.Evictions)
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+		return
+	}
+	resp := StatsResponse{UptimeSeconds: s.uptime(), Metrics: s.reg.Snapshot()}
+	resp.Queue.Depth = s.queued.Load()
+	resp.Queue.Concurrency = s.cfg.MaxConcurrent
+	resp.Queue.Capacity = s.cfg.MaxQueue
+	if s.dec != nil {
+		cs := s.dec.Stats()
+		resp.Cache = &cacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Len: cs.Len, Capacity: cs.Capacity, HitRatio: cs.HitRatio,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierpart/internal/cache"
+	"hierpart/internal/graph"
+	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/telemetry"
+	"hierpart/internal/treedecomp"
+)
+
+// Config tunes the daemon. The zero value is serviceable: defaults are
+// filled in by New.
+type Config struct {
+	// MaxConcurrent is the number of solves running simultaneously.
+	// Zero means GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue is how many admitted requests may wait for a solve slot
+	// beyond the MaxConcurrent running ones; past that the daemon sheds
+	// load with 429. Zero means 64; negative means no waiting room.
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Zero means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request deadline regardless of what the
+	// request asks for. Zero means 5m.
+	MaxTimeout time.Duration
+	// CacheEntries bounds the decomposition LRU. Zero means 128;
+	// negative disables caching.
+	CacheEntries int
+	// SolverWorkers is the per-solve concurrency budget
+	// (hgp.Solver.Workers). Zero means GOMAXPROCS.
+	SolverWorkers int
+	// MaxStates caps the DP state budget per request; requests may ask
+	// for less but never more. Zero means 50 million (a guard against
+	// pathological instances, not a tuning knob).
+	MaxStates int
+	// MaxVertices rejects oversized graphs at decode time. Zero means
+	// 100000.
+	MaxVertices int
+	// MaxBodyBytes bounds the request body. Zero means 64 MiB.
+	MaxBodyBytes int64
+	// Registry receives the daemon's metrics. Nil means
+	// telemetry.Default.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 50_000_000
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 100_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}
+
+// Server is the daemon state: admission semaphore, decomposition cache,
+// metrics registry, and drain bookkeeping.
+type Server struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	dec   *cache.LRU // nil when caching is disabled
+	sem   chan struct{}
+	start time.Time
+	mux   *http.ServeMux
+
+	queued atomic.Int64
+
+	// drainMu orders the draining flag against the in-flight WaitGroup:
+	// handlers take the read side to (check draining, Add) atomically,
+	// Shutdown takes the write side to (set draining) before Wait, so
+	// Add can never race Wait.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// solve is the solving backend; tests stub it to control timing.
+	solve solveFunc
+}
+
+// solveFunc runs one partition solve. It reports the result, whether
+// the decomposition came from the cache, and the decompose/solve phase
+// durations.
+type solveFunc func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, s hgp.Solver) (res *hgp.Result, cacheHit bool, decompose, solve time.Duration, err error)
+
+// New builds a Server. Call Handler to obtain its http.Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.dec = cache.New(cfg.CacheEntries)
+	}
+	s.solve = s.cachedSolve
+	s.mux.HandleFunc("/v1/partition", s.handlePartition)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the daemon's http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain flips the daemon into draining mode: /v1/healthz reports
+// "draining" (so load balancers stop routing here) and new partition
+// requests are refused with 503. In-flight solves continue.
+func (s *Server) Drain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+}
+
+// Shutdown drains the daemon and blocks until every in-flight solve has
+// finished or ctx expires. It does not close listeners — pair it with
+// http.Server.Shutdown, which stops accepting connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// admitInflight registers the request with the drain bookkeeping,
+// returning false when the daemon is draining.
+func (s *Server) admitInflight() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) isDraining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// cachedSolve is the production solve backend: look the decomposition
+// up in the LRU by canonical key, build (and insert) on a miss, then
+// run the per-tree DPs on it.
+func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, bool, time.Duration, time.Duration, error) {
+	opts := sv.DecompOptions()
+	var (
+		dec       *treedecomp.Decomposition
+		cacheHit  bool
+		decompDur time.Duration
+	)
+	if s.dec != nil {
+		key := cache.DecompKey(g, opts)
+		if v, ok := s.dec.Get(key); ok {
+			dec = v.(*treedecomp.Decomposition)
+			cacheHit = true
+			s.reg.Counter("decomp_cache_hits_total").Inc()
+		} else {
+			s.reg.Counter("decomp_cache_misses_total").Inc()
+			t0 := time.Now()
+			built, err := treedecomp.BuildContext(ctx, g, opts)
+			if err != nil {
+				return nil, false, 0, 0, err
+			}
+			decompDur = time.Since(t0)
+			dec = built
+			s.dec.Add(key, dec)
+		}
+	} else {
+		t0 := time.Now()
+		built, err := treedecomp.BuildContext(ctx, g, opts)
+		if err != nil {
+			return nil, false, 0, 0, err
+		}
+		decompDur = time.Since(t0)
+		dec = built
+	}
+
+	t0 := time.Now()
+	res, err := sv.SolveDecomposition(ctx, g, H, dec)
+	if err != nil {
+		return nil, cacheHit, decompDur, time.Since(t0), err
+	}
+	return res, cacheHit, decompDur, time.Since(t0), nil
+}
+
+func (s *Server) uptime() float64 { return time.Since(s.start).Seconds() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error envelope of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.reg.Counter(fmt.Sprintf("http_status_%d_total", status)).Inc()
+	writeJSON(w, status, apiError{Error: msg, Code: code})
+}

@@ -1,0 +1,18 @@
+// Package stream models the parallelized data-stream-processing systems
+// that motivate the paper (§1: TidalRace at AT&T, IBM InfoSphere,
+// Storm): a DAG of operators with CPU demands and message rates, pinned
+// onto a hierarchical machine. Because production traces are
+// proprietary, the package generates the canonical topology shapes those
+// systems run — pipelines, fan-out/fan-in aggregation, diamonds,
+// word-count-style shuffles, and join trees — and provides an analytic
+// throughput simulator whose communication overhead grows with the
+// hierarchy distance between the endpoints' cores, which is exactly the
+// quantity the HGP objective minimizes (experiment E6).
+//
+// Main entry points: Pipeline, FanInAggregation, Diamond, WordCount,
+// and JoinTree build a Topology; Topology.CommGraph lowers it to the HGP
+// input; Simulate runs the discrete-event simulator (SimConfig →
+// SimResult), MaxStableRate binary-searches the saturation throughput,
+// and Drift perturbs a topology for the dynamic-repartitioning
+// experiments.
+package stream

@@ -1,0 +1,21 @@
+// Package telemetry is the repo's observability layer: allocation-free
+// atomic counters, gauges, and fixed-bucket histograms collected in a
+// Registry and rendered as JSON (for GET /v1/stats) or Prometheus text
+// exposition format (for scrapers).
+//
+// The paper proves worst-case bounds (Theorems 1–5) but a serving
+// deployment needs *realized* behaviour: how long the decomposition
+// embed (§4) and the signature DP (§3) actually take per request, how
+// often the decomposition cache hits, how deep the admission queue
+// runs. Instruments here are recorded from inside internal/treedecomp
+// and internal/hgpt (phase timings) and from internal/server (request
+// accounting), so production observability matches what the benchmark
+// suite measures offline.
+//
+// Main entry points: Default (the process-wide Registry), the
+// Registry.Counter / Registry.Gauge / Registry.Histogram get-or-create
+// accessors, ObserveDuration for phase timings, Registry.Snapshot for
+// JSON, and Registry.WritePrometheus for the text format. All
+// instruments are safe for concurrent use and never block the hot path
+// (lock-free atomics after creation).
+package telemetry

@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down (queue depth,
+// in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets are the histogram bucket upper bounds, in
+// seconds, used by Registry.Histogram: exponential from 100µs to ~100s,
+// sized for solve latencies that span tiny cached hits to multi-second
+// cold DP runs.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a fixed-bucket histogram with atomic counts. Observe is
+// lock-free; rendering reads are racy-but-monotone (each bucket count
+// is individually consistent), which is the standard trade for
+// scrape-style metrics.
+type Histogram struct {
+	bounds []float64 // bucket upper bounds, ascending; +Inf implied
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (an implicit +Inf bucket is appended).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// observations ≤ UpperBound (Prometheus "le" semantics).
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON renders the overflow bucket's bound as the string "+Inf"
+// (Prometheus convention) — encoding/json rejects infinite float64s.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if string(raw.LE) == `"+Inf"` {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.LE, &b.UpperBound)
+}
+
+// HistogramSnapshot is a point-in-time JSON-friendly view of a
+// Histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot renders the histogram with cumulative buckets and
+// bucket-interpolated quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	cum := int64(0)
+	s.Buckets = make([]Bucket, 0, len(h.counts))
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
+	}
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from cumulative buckets by linear
+// interpolation inside the bucket that crosses rank q·count (the
+// Prometheus histogram_quantile estimator).
+func (s HistogramSnapshot) quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	prevCum, prevUB := int64(0), 0.0
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return prevUB // best effort: lower bound of the overflow bucket
+			}
+			in := b.Count - prevCum
+			if in == 0 {
+				return b.UpperBound
+			}
+			frac := (rank - float64(prevCum)) / float64(in)
+			return prevUB + (b.UpperBound-prevUB)*frac
+		}
+		prevCum, prevUB = b.Count, b.UpperBound
+	}
+	return prevUB
+}
+
+// Registry is a named collection of instruments. Get-or-create
+// accessors take a lock only on first use of a name; the returned
+// instruments are lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry that library phase hooks
+// (treedecomp, hgpt, hgp) and the server record into.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with DefaultLatencyBuckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(DefaultLatencyBuckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ObserveDuration records d, in seconds, into the named histogram of
+// the Default registry — the hook the solver pipeline calls to expose
+// phase timings (phase_decompose_seconds, phase_dp_seconds, …).
+func ObserveDuration(name string, d time.Duration) {
+	Default.Histogram(name).Observe(d.Seconds())
+}
+
+// Snapshot is a point-in-time JSON-friendly view of a whole registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument currently registered.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counts)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counts {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), instruments sorted by name so the
+// output is diff-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, n := range sortedKeys(snap.Counters) {
+		p("# TYPE %s counter\n%s %d\n", n, n, snap.Counters[n])
+	}
+	for _, n := range sortedKeys(snap.Gauges) {
+		p("# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[n])
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := snap.Histograms[n]
+		p("# TYPE %s histogram\n", n)
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = fmt.Sprintf("%g", b.UpperBound)
+			}
+			p("%s_bucket{le=%q} %d\n", n, le, b.Count)
+		}
+		p("%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 106.5", h.Sum())
+	}
+	s := h.Snapshot()
+	wantCum := []int64{1, 3, 4, 5} // ≤1, ≤2, ≤4, ≤Inf
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+	// rank(p50) = 2.5 lands in the (1,2] bucket.
+	if s.P50 <= 1 || s.P50 > 2 {
+		t.Fatalf("p50 = %g, want in (1,2]", s.P50)
+	}
+	// rank(p99) = 4.95 lands in the overflow bucket → clamps to its lower bound.
+	if s.P99 != 4 {
+		t.Fatalf("p99 = %g, want 4 (overflow clamp)", s.P99)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := NewHistogram([]float64{1}).Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestObserveDurationDefault(t *testing.T) {
+	name := "test_observe_duration_seconds"
+	before := Default.Histogram(name).Count()
+	ObserveDuration(name, 3*time.Millisecond)
+	h := Default.Histogram(name)
+	if h.Count() != before+1 {
+		t.Fatalf("count = %d, want %d", h.Count(), before+1)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b_depth").Set(-2)
+	r.Histogram("c_seconds").Observe(0.003)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 3\n",
+		"# TYPE b_depth gauge\nb_depth -2\n",
+		"# TYPE c_seconds histogram\n",
+		`c_seconds_bucket{le="+Inf"} 1`,
+		"c_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if math.Abs(r.Histogram("h").Sum()-8.0) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want 8", r.Histogram("h").Sum())
+	}
+}

@@ -1,8 +1,3 @@
-// Package tree provides the rooted, edge-weighted tree type shared by
-// the HGPT dynamic program (§3 of the paper) and the decomposition-tree
-// embedding (§4). Leaves carry demands (they are the jobs); edges carry
-// non-negative weights, with +Inf permitted for the dummy edges
-// introduced by binarisation and by the node→leaf reduction.
 package tree
 
 import (

@@ -1,0 +1,71 @@
+package treedecomp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hierpart/internal/gen"
+)
+
+// BuildContext with a background context must emit exactly the trees
+// Build emits — the context plumbing may not perturb the RNG streams.
+func TestBuildContextMatchesBuild(t *testing.T) {
+	g := gen.Community(rand.New(rand.NewSource(3)), 4, 8, 0.5, 0.05, 8, 1)
+	gen.UniformDemands(rand.New(rand.NewSource(4)), g, 0.1, 0.9)
+	opt := Options{Trees: 3, Seed: 7, FMPasses: 2}
+
+	want := Build(g, opt)
+	got, err := BuildContext(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trees) != len(want.Trees) {
+		t.Fatalf("tree count %d != %d", len(got.Trees), len(want.Trees))
+	}
+	for i := range got.Trees {
+		a, b := got.Trees[i], want.Trees[i]
+		if a.T.N() != b.T.N() {
+			t.Fatalf("tree %d: node count %d != %d", i, a.T.N(), b.T.N())
+		}
+		for v := range a.LeafOf {
+			if a.LeafOf[v] != b.LeafOf[v] {
+				t.Fatalf("tree %d: LeafOf[%d] = %d != %d", i, v, a.LeafOf[v], b.LeafOf[v])
+			}
+		}
+	}
+}
+
+func TestBuildContextCancelled(t *testing.T) {
+	g := gen.Grid(12, 12, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := BuildContext(ctx, g, Options{Trees: 4, Seed: 1, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestBuildContextExpiredDeadlineReturnsPromptly(t *testing.T) {
+	g := gen.Grid(16, 16, 1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	_, err := BuildContext(ctx, g, Options{Trees: 8, Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("expired-deadline build took %v, want prompt return", el)
+	}
+}
+
+func TestBuildContextEmptyGraphError(t *testing.T) {
+	if _, err := BuildContext(context.Background(), gen.Grid(0, 0, 1), Options{}); err == nil {
+		t.Fatal("want error for empty graph")
+	}
+}

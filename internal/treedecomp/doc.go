@@ -1,0 +1,28 @@
+// Package treedecomp embeds a graph into a distribution of decomposition
+// trees (§4 of the paper). A decomposition tree T is a hierarchical
+// partition of V(G): every tree node is a vertex cluster, leaves are
+// single vertices (the node mapping m_V restricted to leaves is the
+// bijection the paper requires), and the weight of the edge between a
+// cluster and its parent is the total graph weight leaving the cluster —
+// exactly the definition under Theorem 6, which makes Proposition 1
+// (tree cuts dominate graph cuts) hold by construction for every tree
+// this package emits.
+//
+// Substitution note (documented in DESIGN.md): the paper invokes Räcke's
+// optimal congestion-minimizing decomposition (STOC'08), which guarantees
+// O(log n) expected cut distortion. Reproducing that machinery
+// (multiplicative-weight updates over exponentially many trees) is out of
+// scope; instead the distribution is built from randomized recursive
+// balanced bisection (BFS-grown seed regions refined with
+// Fiduccia–Mattheyses-style moves). The downstream HGPT dynamic program
+// is oblivious to the tree's origin, and the realized distortion is
+// measured empirically by experiment E7 rather than assumed.
+//
+// Main entry points: Build constructs a Decomposition (a set of
+// DecompTrees with their leaf bijections) from Options; BuildContext is
+// the same under a context.Context (deadline/cancellation — what hgpd
+// uses). Each tree is built from an independent sub-seeded RNG stream,
+// so the distribution is a pure function of the Options and independent
+// of the worker count — the property that makes caching decompositions
+// by (graph, Options) hash sound.
+package treedecomp

@@ -1,34 +1,19 @@
-// Package treedecomp embeds a graph into a distribution of decomposition
-// trees (§4 of the paper). A decomposition tree T is a hierarchical
-// partition of V(G): every tree node is a vertex cluster, leaves are
-// single vertices (the node mapping m_V restricted to leaves is the
-// bijection the paper requires), and the weight of the edge between a
-// cluster and its parent is the total graph weight leaving the cluster —
-// exactly the definition under Theorem 6, which makes Proposition 1
-// (tree cuts dominate graph cuts) hold by construction for every tree
-// this package emits.
-//
-// Substitution note (documented in DESIGN.md): the paper invokes Räcke's
-// optimal congestion-minimizing decomposition (STOC'08), which guarantees
-// O(log n) expected cut distortion. Reproducing that machinery
-// (multiplicative-weight updates over exponentially many trees) is out of
-// scope; instead the distribution is built from randomized recursive
-// balanced bisection (BFS-grown seed regions refined with
-// Fiduccia–Mattheyses-style moves). The downstream HGPT dynamic program
-// is oblivious to the tree's origin, and the realized distortion is
-// measured empirically by experiment E7 rather than assumed.
 package treedecomp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"hierpart/internal/fm"
 	"hierpart/internal/graph"
 	"hierpart/internal/mincut"
+	"hierpart/internal/telemetry"
 	"hierpart/internal/tree"
 )
 
@@ -92,11 +77,29 @@ type Decomposition struct {
 // sub-seeded RNG, derived from opt.Seed before any construction starts:
 // tree i's randomness no longer depends on trees 0..i−1, which is what
 // makes the build order — and therefore the worker count — irrelevant
-// to the result. It panics if g has no vertices.
+// to the result. It panics if g has no vertices. Cancellable callers
+// (servers with per-request deadlines) should use BuildContext instead.
 func Build(g *graph.Graph, opt Options) *Decomposition {
-	if g.N() == 0 {
-		panic("treedecomp: empty graph")
+	d, err := BuildContext(context.Background(), g, opt)
+	if err != nil {
+		// Background contexts never cancel, so the only error is the
+		// empty-graph precondition — keep Build's historical contract.
+		panic("treedecomp: " + err.Error())
 	}
+	return d
+}
+
+// BuildContext is Build with cancellation: construction stops at the
+// next cluster split once ctx is done and the context's error is
+// returned, so a caller whose deadline expired (or whose client hung
+// up) stops burning CPU mid-decomposition. An empty graph is an error
+// rather than a panic. On success the build duration is recorded in
+// telemetry.Default under phase_decompose_seconds.
+func BuildContext(ctx context.Context, g *graph.Graph, opt Options) (*Decomposition, error) {
+	if g.N() == 0 {
+		return nil, errors.New("empty graph")
+	}
+	start := time.Now()
 	nTrees := opt.Trees
 	if nTrees == 0 {
 		nTrees = 1
@@ -119,37 +122,47 @@ func Build(g *graph.Graph, opt Options) *Decomposition {
 		workers = nTrees
 	}
 	d := &Decomposition{Trees: make([]*DecompTree, nTrees)}
+	errs := make([]error, nTrees)
 	build := func(i int) {
-		d.Trees[i] = buildOne(g, rand.New(rand.NewSource(seeds[i])), passes, opt.FlowRefine, opt.Strategy)
+		d.Trees[i], errs[i] = buildOne(ctx, g, rand.New(rand.NewSource(seeds[i])), passes, opt.FlowRefine, opt.Strategy)
 	}
 	if workers == 1 {
 		for i := 0; i < nTrees; i++ {
 			build(i)
 		}
-		return d
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					build(i)
+				}
+			}()
+		}
+		for i := 0; i < nTrees; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				build(i)
-			}
-		}()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	for i := 0; i < nTrees; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return d
+	telemetry.ObserveDuration("phase_decompose_seconds", time.Since(start))
+	return d, nil
 }
 
-func buildOne(g *graph.Graph, rng *rand.Rand, passes int, flowRef bool, strat Strategy) *DecompTree {
+func buildOne(ctx context.Context, g *graph.Graph, rng *rand.Rand, passes int, flowRef bool, strat Strategy) (*DecompTree, error) {
 	if strat == FRT {
-		return buildFRT(g, rng)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return buildFRT(g, rng), nil
 	}
 	dt := &DecompTree{
 		T:      tree.New(),
@@ -159,12 +172,15 @@ func buildOne(g *graph.Graph, rng *rand.Rand, passes int, flowRef bool, strat St
 	for v := range all {
 		all[v] = v
 	}
-	b := &builder{g: g, rng: rng, passes: passes, flowRef: flowRef, strat: strat, dt: dt}
-	b.attach(dt.T.Root(), all)
-	return dt
+	b := &builder{ctx: ctx, g: g, rng: rng, passes: passes, flowRef: flowRef, strat: strat, dt: dt}
+	if err := b.attach(dt.T.Root(), all); err != nil {
+		return nil, err
+	}
+	return dt, nil
 }
 
 type builder struct {
+	ctx     context.Context
 	g       *graph.Graph
 	rng     *rand.Rand
 	passes  int
@@ -176,20 +192,27 @@ type builder struct {
 // attach populates the subtree rooted at the (already created) tree node
 // for the given cluster. For singleton clusters the node *is* the leaf;
 // callers create child nodes with the correct boundary edge weight.
-func (b *builder) attach(node int, cluster []int) {
+// Cancellation is polled once per cluster, the unit of bisection work.
+func (b *builder) attach(node int, cluster []int) error {
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
 	if len(cluster) == 1 {
 		v := cluster[0]
 		b.dt.T.SetLabel(node, v)
 		b.dt.T.SetDemand(node, b.g.Demand(v))
 		b.dt.LeafOf[v] = node
-		return
+		return nil
 	}
 	left, right := b.bisect(cluster)
 	for _, part := range [][]int{left, right} {
 		w := b.boundary(part)
 		child := b.dt.T.AddChild(node, w)
-		b.attach(child, part)
+		if err := b.attach(child, part); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // boundary returns the total graph weight leaving the vertex set.
