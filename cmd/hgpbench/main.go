@@ -1,9 +1,10 @@
-// Command hgpbench runs the reproduction's experiment suite (E1–E21,
+// Command hgpbench runs the reproduction's experiment suite (E1–E22,
 // F1–F2; see EXPERIMENTS.md) and prints the result tables.
 //
 // Usage:
 //
 //	hgpbench [-quick] [-seed N] [-only E5,E6] [-csv] [-workers N]
+//	         [-budget 100ms] [-tier baseline]
 //	         [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // -workers bounds the solver's concurrency budget (0 = GOMAXPROCS).
@@ -31,6 +32,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E5,F1); empty = all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "solver concurrency budget (0 = GOMAXPROCS for the pipeline); tables are identical at every worker count")
+	budget := flag.Duration("budget", 0, "per-solve wall-clock budget for the E22 anytime ladder (0 = the default sweep)")
+	tier := flag.String("tier", "", "restrict the E22 ladder to one rung: full_dp, capped_dp, or baseline (empty = whole ladder)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -65,7 +68,7 @@ func main() {
 		}
 	}()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, Budget: *budget, Tier: *tier}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -98,6 +101,7 @@ func main() {
 		{"E19", experiments.E19EpsSweep},
 		{"E20", experiments.E20AblationPruning},
 		{"E21", experiments.E21AtScale},
+		{"E22", experiments.E22AnytimeLadder},
 		{"F1", experiments.F1BadSetSplit},
 		{"F2", experiments.F2ActiveSets},
 	}

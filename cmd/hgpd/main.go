@@ -31,7 +31,9 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on any per-request deadline")
 		workers     = flag.Int("workers", 0, "per-solve worker budget (0 = GOMAXPROCS)")
 		maxStates   = flag.Int("max-states", 50_000_000, "per-request DP state budget ceiling")
-		maxVertices = flag.Int("max-vertices", 100_000, "reject graphs larger than this")
+		maxVertices = flag.Int("max-vertices", 100_000, "reject graphs with more vertices than this (413)")
+		maxEdges    = flag.Int("max-edges", 2_000_000, "reject graphs with more edges than this (413)")
+		noDegrade   = flag.Bool("no-degrade", false, "disable the anytime degradation ladder daemon-wide (missed deadlines become 504s)")
 		drainWait   = flag.Duration("drain-wait", time.Minute, "how long shutdown waits for in-flight solves")
 	)
 	flag.Parse()
@@ -42,14 +44,16 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxConcurrent:  *concurrency,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheEntries:   *cacheSize,
-		SolverWorkers:  *workers,
-		MaxStates:      *maxStates,
-		MaxVertices:    *maxVertices,
+		MaxConcurrent:      *concurrency,
+		MaxQueue:           *queue,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		CacheEntries:       *cacheSize,
+		SolverWorkers:      *workers,
+		MaxStates:          *maxStates,
+		MaxVertices:        *maxVertices,
+		MaxEdges:           *maxEdges,
+		DisableDegradation: *noDegrade,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -324,9 +324,29 @@ func TestE21AtScale(t *testing.T) {
 	}
 }
 
+func TestE22LadderNeverErrors(t *testing.T) {
+	tab := E22AnytimeLadder(quickCfg())
+	checkTable(t, tab)
+	for _, r := range tab.Rows {
+		// Every budget row must carry a real tier — the ladder's contract
+		// is an answer at any budget, never an error row.
+		switch r[1] {
+		case "full_dp", "capped_dp", "baseline":
+		default:
+			t.Fatalf("E22 budget %s: tier %q", r[0], r[1])
+		}
+		// The winning rung must sit inside the (1+eps) capacity guarantee
+		// (eps = 0.25 here): feasibility-first selection must never let a
+		// capacity-cheating rung through when a DP tier could finish.
+		if v := parseF(t, r[7]); v > 1.25+1e-9 {
+			t.Fatalf("E22 budget %s: violation %v beyond 1+eps", r[0], v)
+		}
+	}
+}
+
 func TestAllProducesEveryTable(t *testing.T) {
 	tabs := All(quickCfg())
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "F1", "F2"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "F1", "F2"}
 	if len(tabs) != len(want) {
 		t.Fatalf("All returned %d tables", len(tabs))
 	}

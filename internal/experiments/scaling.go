@@ -193,6 +193,7 @@ func All(cfg Config) []*Table {
 		E19EpsSweep(cfg),
 		E20AblationPruning(cfg),
 		E21AtScale(cfg),
+		E22AnytimeLadder(cfg),
 		F1BadSetSplit(cfg),
 		F2ActiveSets(cfg),
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+	"time"
 )
 
 // Table is one experiment's result table.
@@ -59,6 +60,13 @@ type Config struct {
 	// tree DPs). Tables are identical at every worker count; only the
 	// wall-clock changes.
 	Workers int
+	// Budget, when non-zero, replaces E22's default deadline sweep with
+	// this single per-solve budget (the hgpbench -budget flag). Timing-
+	// dependent rows are inherently non-reproducible across machines.
+	Budget time.Duration
+	// Tier, when non-empty, restricts E22's ladder to one rung
+	// ("full_dp", "capped_dp", or "baseline" — the hgpbench -tier flag).
+	Tier string
 }
 
 func (c Config) pick(quick, full int) int {

@@ -1,0 +1,15 @@
+// Package faultinject is a deterministic, seed-driven fault injector
+// for the solver and serving layers: chaos batteries install an
+// Injector that makes named hook points (treedecomp splits, hgpt DP
+// tables, the server's decomposition-cache lookups, solve entry) stall,
+// error, panic, or spike allocations, so degradation and recovery paths
+// can be exercised on demand.
+//
+// Production cost is one atomic pointer load per hook visit when no
+// injector is active — the only state outside fault tests. Each hook
+// point draws from its own sub-seeded RNG stream, so its fire/skip
+// sequence depends only on the injector seed and the point's visit
+// count, not on goroutine interleaving across points.
+//
+// Main entry points: New, (*Injector).On, Activate, Fire.
+package faultinject

@@ -1,0 +1,207 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point identifies an instrumented site in the solver or serving path.
+// Hook points sit at the natural cancellation-poll granularity of each
+// layer, so an injected fault exercises exactly the code path a real
+// slow phase, error, or panic would take.
+type Point string
+
+const (
+	// TreedecompSplit fires once per cluster bisection during
+	// decomposition building (treedecomp.builder.attach).
+	TreedecompSplit Point = "treedecomp.split"
+	// HgptTable fires once per completed DP table, in both the
+	// sequential post-order walk and every scheduler task.
+	HgptTable Point = "hgpt.table"
+	// CacheLookup fires on every decomposition-cache consultation in the
+	// server's solve path, before the LRU is touched.
+	CacheLookup Point = "cache.lookup"
+	// ServerSolve fires at the top of every admitted partition solve.
+	ServerSolve Point = "server.solve"
+)
+
+// Points lists every hook point compiled into the binary, for batteries
+// that want to inject at all of them.
+var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve}
+
+// Fault describes what happens when a hook point fires. Zero-valued
+// actions are skipped; several may be combined in one Fault (e.g. a
+// delay followed by an error).
+type Fault struct {
+	// Prob is the chance, per visit, that this fault fires ∈ [0, 1].
+	// 1 fires on every visit.
+	Prob float64
+	// Count caps how many times the fault may fire; 0 means unlimited.
+	Count int
+	// Delay stalls the visiting goroutine, waking early if ctx dies —
+	// a forced slow phase.
+	Delay time.Duration
+	// AllocBytes allocates (and immediately drops) this much memory on
+	// fire — an allocation-pressure spike.
+	AllocBytes int
+	// Err is returned from Fire after the delay/alloc actions; the hook
+	// site propagates it like any phase error.
+	Err error
+	// PanicMsg, when non-empty, makes the hook panic — simulating a
+	// solver bug — after the other actions.
+	PanicMsg string
+}
+
+// Injector is a deterministic, seed-driven fault source. Each hook
+// point draws from its own RNG stream (sub-seeded from the injector
+// seed), so a point's fire/skip decision sequence depends only on the
+// seed and that point's visit count — not on how visits from different
+// points interleave under concurrency.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	rules  map[Point][]*ruleState
+	rngs   map[Point]*rand.Rand
+	visits map[Point]int64
+	fires  map[Point]int64
+}
+
+type ruleState struct {
+	f     Fault
+	fired int
+}
+
+// New returns an empty injector; register faults with On.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:   seed,
+		rules:  map[Point][]*ruleState{},
+		rngs:   map[Point]*rand.Rand{},
+		visits: map[Point]int64{},
+		fires:  map[Point]int64{},
+	}
+}
+
+// On registers f at point p (in addition to any faults already there).
+// It returns the injector for chaining.
+func (in *Injector) On(p Point, f Fault) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[p] = append(in.rules[p], &ruleState{f: f})
+	return in
+}
+
+// Visits returns how many times point p has been consulted, and Fires
+// how many times any fault fired there — the battery's evidence that a
+// hook point is actually wired into the production path.
+func (in *Injector) Visits(p Point) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.visits[p]
+}
+
+// Fires returns how many times a fault fired at p.
+func (in *Injector) Fires(p Point) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[p]
+}
+
+// pointRNG returns p's dedicated RNG stream, creating it on first use
+// from a sub-seed that depends only on (injector seed, point name).
+func (in *Injector) pointRNG(p Point) *rand.Rand {
+	if r, ok := in.rngs[p]; ok {
+		return r
+	}
+	sub := in.seed
+	for _, c := range []byte(p) {
+		sub = sub*1099511628211 + int64(c) // FNV-style fold
+	}
+	r := rand.New(rand.NewSource(sub))
+	in.rngs[p] = r
+	return r
+}
+
+// fire decides which registered fault (if any) fires on this visit and
+// returns a copy of it. Decisions and bookkeeping happen under the
+// lock; the fault's actions run outside it.
+func (in *Injector) fire(p Point) (Fault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.visits[p]++
+	rng := in.pointRNG(p)
+	for _, rs := range in.rules[p] {
+		if rs.f.Count > 0 && rs.fired >= rs.f.Count {
+			continue
+		}
+		if rs.f.Prob < 1 && rng.Float64() >= rs.f.Prob {
+			continue
+		}
+		rs.fired++
+		in.fires[p]++
+		return rs.f, true
+	}
+	return Fault{}, false
+}
+
+// active is the process-wide injector consulted by the production hook
+// points. When nil (the default, and the only state outside fault
+// tests), Fire is a single atomic load.
+var active atomic.Pointer[Injector]
+
+// Activate installs in as the process-wide injector and returns a
+// function that removes it again. Tests must call the returned restore
+// (typically via t.Cleanup) so faults never leak across tests.
+func Activate(in *Injector) (restore func()) {
+	active.Store(in)
+	return func() { active.CompareAndSwap(in, nil) }
+}
+
+// Enabled reports whether an injector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire is the production hook: a no-op returning nil unless an injector
+// is active and one of p's faults fires. A fired fault's actions run in
+// order — delay (cancellable by ctx), allocation spike, then the error
+// return or panic. ctx may be nil when the call site has no context.
+func Fire(ctx context.Context, p Point) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	f, ok := in.fire(p)
+	if !ok {
+		return nil
+	}
+	if f.Delay > 0 {
+		if ctx == nil {
+			time.Sleep(f.Delay)
+		} else {
+			t := time.NewTimer(f.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+	}
+	if f.AllocBytes > 0 {
+		spike := make([]byte, f.AllocBytes)
+		// Touch one byte per page so the allocation is real memory
+		// pressure, not a lazily-mapped no-op.
+		for i := 0; i < len(spike); i += 4096 {
+			spike[i] = 1
+		}
+		_ = spike
+	}
+	if f.PanicMsg != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", p, f.PanicMsg))
+	}
+	return f.Err
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireNoInjectorIsNoop(t *testing.T) {
+	if err := Fire(context.Background(), HgptTable); err != nil {
+		t.Fatalf("Fire with no injector = %v, want nil", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no injector")
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1).On(TreedecompSplit, Fault{Prob: 1, Err: boom})
+	t.Cleanup(Activate(in))
+
+	if err := Fire(context.Background(), TreedecompSplit); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	// Other points stay clean.
+	if err := Fire(context.Background(), HgptTable); err != nil {
+		t.Fatalf("unregistered point fired: %v", err)
+	}
+	if in.Visits(TreedecompSplit) != 1 || in.Fires(TreedecompSplit) != 1 {
+		t.Fatalf("visits/fires = %d/%d, want 1/1", in.Visits(TreedecompSplit), in.Fires(TreedecompSplit))
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1).On(ServerSolve, Fault{Prob: 1, Count: 2, Err: boom})
+	t.Cleanup(Activate(in))
+	got := 0
+	for i := 0; i < 10; i++ {
+		if Fire(nil, ServerSolve) != nil {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("fired %d times, want 2 (Count cap)", got)
+	}
+}
+
+func TestProbabilisticFiringIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed).On(HgptTable, Fault{Prob: 0.5, Err: errors.New("x")})
+		restore := Activate(in)
+		defer restore()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire(nil, HgptTable) != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire sequences (suspicious)")
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	in := New(1).On(CacheLookup, Fault{Prob: 1, Delay: time.Minute})
+	t.Cleanup(Activate(in))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Fire(ctx, CacheLookup)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Fire = %v, want deadline error", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("delayed fault ignored cancellation (%v)", el)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(1).On(HgptTable, Fault{Prob: 1, PanicMsg: "injected"})
+	t.Cleanup(Activate(in))
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "injected") {
+			t.Fatalf("recover = %v, want injected panic", r)
+		}
+	}()
+	_ = Fire(context.Background(), HgptTable)
+	t.Fatal("Fire must have panicked")
+}
+
+func TestRestoreDeactivates(t *testing.T) {
+	in := New(1).On(ServerSolve, Fault{Prob: 1, Err: errors.New("x")})
+	restore := Activate(in)
+	if !Enabled() {
+		t.Fatal("injector not active")
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("restore left injector active")
+	}
+	if err := Fire(nil, ServerSolve); err != nil {
+		t.Fatalf("Fire after restore = %v", err)
+	}
+}
+
+func TestAllocSpike(t *testing.T) {
+	in := New(1).On(ServerSolve, Fault{Prob: 1, AllocBytes: 1 << 20})
+	t.Cleanup(Activate(in))
+	if err := Fire(context.Background(), ServerSolve); err != nil {
+		t.Fatalf("alloc-only fault returned %v", err)
+	}
+}

@@ -41,6 +41,22 @@ type Solver struct {
 	// MaxStates is passed through to each tree DP (see
 	// hgpt.Solver.MaxStates). Zero means unlimited.
 	MaxStates int
+	// AllowPartial changes what a cancelled SolveDecomposition returns:
+	// instead of only the context's error, a run that has at least one
+	// fully solved tree surrenders its current incumbent — the best
+	// mapped placement among completed trees — marked Partial with
+	// TreesDone recording how many trees finished. Which trees complete
+	// before cancellation depends on timing, so partial results are not
+	// deterministic per seed; the flag exists for anytime callers
+	// (internal/anytime) that prefer a valid placement over an error.
+	// Completed (uncancelled) runs are unaffected and stay bit-identical.
+	AllowPartial bool
+	// OnIncumbent, when non-nil, is called (serialized, from solver
+	// goroutines) each time a tree DP completes and improves the best
+	// placement so far, with a snapshot of the current incumbent. The
+	// callback must not mutate the result or block for long — it runs
+	// inside the solve's critical path.
+	OnIncumbent func(*Result)
 }
 
 // Result is the output of Solve.
@@ -65,6 +81,13 @@ type Result struct {
 	Violation []float64
 	// States is the total DP state count across all trees.
 	States int
+	// Partial marks an incumbent surrendered by a cancelled solve (see
+	// Solver.AllowPartial): only TreesDone of the requested trees
+	// completed, and PerTreeCosts records NaN for the rest.
+	Partial bool
+	// TreesDone counts the trees whose DP finished (equals the tree
+	// count on a complete run).
+	TreesDone int
 }
 
 // Solve runs the full pipeline on g and H. Cancellable callers should
@@ -139,19 +162,44 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 	// completion order. The worker budget splits between the tree level
 	// and the node level inside each DP: treeWorkers × nodeWorkers ≤
 	// budget, so the two layers of parallelism cannot oversubscribe.
-	type treeOut struct {
-		assign   metrics.Assignment
-		cost     float64
-		treeCost float64
-		states   int
-		err      error
-	}
 	outs := make([]treeOut, len(dec.Trees))
 	treeWorkers := budget
 	if treeWorkers > len(dec.Trees) {
 		treeWorkers = len(dec.Trees)
 	}
 	nodeWorkers := budget / treeWorkers
+
+	// Incumbent checkpointing (AllowPartial / OnIncumbent): the running
+	// best mapped placement over trees completed so far, so cancellation
+	// can surrender it instead of discarding finished work.
+	var incMu sync.Mutex
+	treesDone := 0
+	var incumbent *Result
+	record := func(ti int) {
+		if !s.AllowPartial && s.OnIncumbent == nil {
+			return
+		}
+		incMu.Lock()
+		defer incMu.Unlock()
+		o := &outs[ti]
+		treesDone++
+		if incumbent == nil || o.cost < incumbent.Cost ||
+			(o.cost == incumbent.Cost && ti < incumbent.TreeIndex) {
+			incumbent = &Result{
+				Assignment: o.assign,
+				Cost:       o.cost,
+				TreeCost:   o.treeCost,
+				TreeIndex:  ti,
+				Violation:  metrics.Violation(g, H, o.assign),
+				Partial:    true,
+				TreesDone:  treesDone,
+			}
+			if s.OnIncumbent != nil {
+				s.OnIncumbent(incumbent)
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < treeWorkers; w++ {
@@ -163,25 +211,9 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 					outs[ti].err = err
 					continue
 				}
-				dt := dec.Trees[ti]
-				sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers}.SolveContext(ctx, dt.T, H)
-				if err != nil {
-					outs[ti].err = fmt.Errorf("hgp: tree %d: %w", ti, err)
-					continue
-				}
-				assign := metrics.NewAssignment(g.N())
-				for leaf, hl := range sol.Assignment {
-					assign[dt.T.Label(leaf)] = hl
-				}
-				if !assign.Complete() {
-					outs[ti].err = fmt.Errorf("hgp: tree %d solution left vertices unassigned", ti)
-					continue
-				}
-				outs[ti] = treeOut{
-					assign:   assign,
-					cost:     metrics.CostLCA(g, H, assign),
-					treeCost: sol.Cost,
-					states:   sol.States,
+				outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers)
+				if outs[ti].err == nil {
+					record(ti)
 				}
 			}
 		}()
@@ -192,24 +224,84 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 	close(work)
 	wg.Wait()
 
-	// A cancelled run may have finished some trees; returning a partial
-	// minimum would make the result depend on timing, so cancellation
-	// always surfaces as the context's error.
 	if err := ctx.Err(); err != nil {
+		// A cancelled run may have finished some trees. By default a
+		// partial minimum would make the result depend on timing, so
+		// cancellation surfaces as the context's error — unless the
+		// caller opted into anytime semantics, in which case the best
+		// incumbent (when one exists) is surrendered instead.
+		if s.AllowPartial {
+			if res, _ := s.gather(g, H, outs); res != nil {
+				res.Partial = true
+				return res, nil
+			}
+		}
 		return nil, fmt.Errorf("hgp: %w", err)
 	}
 
+	res, firstErr := s.gather(g, H, outs)
+	if res == nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+type treeOut struct {
+	assign   metrics.Assignment
+	cost     float64
+	treeCost float64
+	states   int
+	err      error
+}
+
+// solveTree runs one tree's DP and maps its solution back onto the
+// graph, converting a panic anywhere below (a solver bug, or an
+// injected fault) into that tree's error so one bad tree cannot take
+// down the caller — the remaining trees still produce a usable result.
+func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dt *treedecomp.DecompTree, ti, nodeWorkers int) (out treeOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = treeOut{err: fmt.Errorf("hgp: tree %d: panic: %v", ti, r)}
+		}
+	}()
+	sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers}.SolveContext(ctx, dt.T, H)
+	if err != nil {
+		return treeOut{err: fmt.Errorf("hgp: tree %d: %w", ti, err)}
+	}
+	assign := metrics.NewAssignment(g.N())
+	for leaf, hl := range sol.Assignment {
+		assign[dt.T.Label(leaf)] = hl
+	}
+	if !assign.Complete() {
+		return treeOut{err: fmt.Errorf("hgp: tree %d solution left vertices unassigned", ti)}
+	}
+	return treeOut{
+		assign:   assign,
+		cost:     metrics.CostLCA(g, H, assign),
+		treeCost: sol.Cost,
+		states:   sol.States,
+	}
+}
+
+// gather folds the per-tree outcomes into the final Result: the
+// minimum-cost completed tree wins (fixed index order, so complete runs
+// are deterministic), errored or unfinished trees record NaN in
+// PerTreeCosts. It returns nil and the first tree error when no tree
+// completed.
+func (s Solver) gather(g *graph.Graph, H *hierarchy.Hierarchy, outs []treeOut) (*Result, error) {
 	res := &Result{TreeIndex: -1, PerTreeCosts: make([]float64, 0, len(outs))}
 	var firstErr error
-	for ti, o := range outs {
-		if o.err != nil {
-			if firstErr == nil {
+	for ti := range outs {
+		o := &outs[ti]
+		if o.err != nil || o.assign == nil {
+			if o.err != nil && firstErr == nil {
 				firstErr = o.err
 			}
 			res.PerTreeCosts = append(res.PerTreeCosts, math.NaN())
 			continue
 		}
 		res.States += o.states
+		res.TreesDone++
 		res.PerTreeCosts = append(res.PerTreeCosts, o.cost)
 		if res.TreeIndex == -1 || o.cost < res.Cost {
 			res.Assignment = o.assign

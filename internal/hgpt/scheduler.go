@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"hierpart/internal/faultinject"
 )
 
 // Concurrent DP scheduling. The binarized tree's tables form a
@@ -44,7 +46,11 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
-			tabs[v] = d.table(v, tabs)
+			tab, err := d.safeTable(ctx, v, tabs)
+			if err != nil {
+				return nil, 0, err
+			}
+			tabs[v] = tab
 			if pruneOn {
 				d.prune(tabs[v])
 			}
@@ -98,6 +104,23 @@ func budgetErr(states, maxStates int) error {
 	return fmt.Errorf("hgpt: DP state budget exceeded (%d > %d); increase Eps or MaxStates", states, maxStates)
 }
 
+// safeTable computes node v's table with the per-table fault hook and
+// panic containment: a panic below (a DP bug, or an injected fault)
+// becomes an error instead of unwinding the caller — under the
+// concurrent scheduler that caller is a worker goroutine whose unwind
+// would kill the whole process.
+func (d *dpRun) safeTable(ctx context.Context, v int, tabs []map[uint64]entry) (tab map[uint64]entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hgpt: panic computing table for node %d: %v", v, r)
+		}
+	}()
+	if err := faultinject.Fire(ctx, faultinject.HgptTable); err != nil {
+		return nil, err
+	}
+	return d.table(v, tabs), nil
+}
+
 // tableSched is the dependency-counting scheduler state. tabs[v] is
 // written exactly once, before pending[parent(v)] is decremented under
 // mu, so readers of a ready node's child tables never race.
@@ -133,8 +156,32 @@ func (s *tableSched) loop() {
 		t := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
 		s.mu.Unlock()
-		t()
+		s.run(t)
 	}
+}
+
+// run executes one task with panic containment: an unwinding worker
+// goroutine would kill the process, so a panic (DP bug or injected
+// fault) is converted into the run's error and the pool stops.
+func (s *tableSched) run(t func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.fail(fmt.Errorf("hgpt: panic in DP task: %v", r))
+		}
+	}()
+	t()
+}
+
+// fail records err as the run's error (first one wins) and stops the
+// pool.
+func (s *tableSched) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.stop = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // enqueue appends tasks and wakes enough workers to take them.
@@ -184,7 +231,12 @@ func (s *tableSched) nodeTask(v int) func() {
 				return
 			}
 		}
-		s.complete(v, d.table(v, s.tabs))
+		tab, err := d.safeTable(s.ctx, v, s.tabs)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.complete(v, tab)
 	}
 }
 
@@ -213,6 +265,10 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 		}
 		tasks = append(tasks, func() {
 			if s.cancelled() {
+				return
+			}
+			if err := faultinject.Fire(s.ctx, faultinject.HgptTable); err != nil {
+				s.fail(err)
 				return
 			}
 			out := make(map[uint64]entry, presize(hi-lo, len(t2.keys)))

@@ -8,9 +8,14 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
+	"hierpart/internal/anytime"
+	"hierpart/internal/faultinject"
+	"hierpart/internal/graph"
 	"hierpart/internal/hgp"
+	"hierpart/internal/hierarchy"
 	"hierpart/internal/instio"
 	"hierpart/internal/telemetry"
 )
@@ -30,6 +35,12 @@ type PartitionRequest struct {
 	// TimeoutMS bounds this request's wall-clock budget; 0 uses the
 	// server default, values above the server maximum are clamped.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoDegrade opts this request out of the degradation ladder: only
+	// the full pipeline runs, and a missed deadline is a 504 rather
+	// than a degraded 200. Use it when a lower-quality placement is
+	// worse than no placement (e.g. offline jobs that will simply
+	// retry with a bigger budget).
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 // PartitionResponse is the POST /v1/partition success body.
@@ -55,10 +66,35 @@ type PartitionResponse struct {
 	// when true the embed phase was skipped entirely.
 	CacheHit bool `json:"cache_hit"`
 	// ElapsedMS, DecomposeMS, SolveMS are wall-clock phase timings;
-	// DecomposeMS is 0 on a cache hit.
+	// DecomposeMS is 0 on a cache hit. For a ladder response they
+	// describe the winning tier (0/0 for a baseline win — that tier
+	// has no decompose or DP phase).
 	ElapsedMS   float64 `json:"elapsed_ms"`
 	DecomposeMS float64 `json:"decompose_ms"`
 	SolveMS     float64 `json:"solve_ms"`
+	// Degradation reports how the anytime ladder resolved this request;
+	// omitted when the request opted out with no_degrade (or the daemon
+	// disables degradation).
+	Degradation *DegradationResponse `json:"degradation,omitempty"`
+}
+
+// DegradationResponse is the `degradation` block of a ladder response:
+// which tier produced the placement, whether that is a degradation from
+// the full pipeline, and the per-tier post-mortems.
+type DegradationResponse struct {
+	// Tier names the rung that produced the returned placement:
+	// "full_dp", "capped_dp", or "baseline".
+	Tier string `json:"tier"`
+	// Degraded is true when the caller got anything less than the full
+	// pipeline's complete answer.
+	Degraded bool `json:"degraded"`
+	// Partial marks a full_dp result assembled from the trees that
+	// finished before the deadline (TreesDone of them) rather than all
+	// requested trees.
+	Partial   bool `json:"partial,omitempty"`
+	TreesDone int  `json:"trees_done,omitempty"`
+	// Tiers holds one report per ladder rung, in tier order.
+	Tiers []anytime.TierReport `json:"tiers"`
 }
 
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
@@ -85,8 +121,13 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.N > s.cfg.MaxVertices {
-		s.writeError(w, http.StatusBadRequest, "too_large",
+		s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
 			fmt.Sprintf("graph has %d vertices, server limit is %d", req.N, s.cfg.MaxVertices))
+		return
+	}
+	if len(req.Edges) > s.cfg.MaxEdges {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("graph has %d edges, server limit is %d", len(req.Edges), s.cfg.MaxEdges))
 		return
 	}
 	g, H, err := req.Instance.Materialize()
@@ -145,7 +186,66 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		FMPasses: req.FMPasses, FlowRefine: req.FlowRefine,
 		Workers: s.cfg.SolverWorkers, MaxStates: maxStates,
 	}
-	res, cacheHit, decompDur, solveDur, err := s.solve(ctx, g, H, sv)
+	if err := faultinject.Fire(ctx, faultinject.ServerSolve); err != nil {
+		s.reg.Counter("partition_errors_total").Inc()
+		s.writeError(w, http.StatusInternalServerError, "solve_failed", err.Error())
+		return
+	}
+
+	var (
+		res       *hgp.Result
+		cacheHit  bool
+		decompDur time.Duration
+		solveDur  time.Duration
+		degResp   *DegradationResponse
+	)
+	if req.NoDegrade || s.cfg.DisableDegradation {
+		res, cacheHit, decompDur, solveDur, err = s.solve(ctx, g, H, sv)
+	} else {
+		// The ladder path: full pipeline, capped DP, and the heuristic
+		// baseline race under the request's deadline; the best feasible
+		// placement available wins. The DP tiers run through s.solve so
+		// they share the decomposition cache and singleflight group;
+		// TierFromContext attributes each backend call's cache outcome
+		// and phase timings to its tier, so the response reports the
+		// winning tier's numbers.
+		type tierPhases struct {
+			hit          bool
+			decomp, slve time.Duration
+		}
+		var phaseMu sync.Mutex
+		phases := map[anytime.Tier]tierPhases{}
+		var out *anytime.Outcome
+		out, err = anytime.Solve(ctx, g, H, anytime.Options{
+			Solver: sv,
+			SolveDP: func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, error) {
+				r, hit, d, sd, serr := s.solve(ctx, g, H, sv)
+				if tier, ok := anytime.TierFromContext(ctx); ok && serr == nil {
+					phaseMu.Lock()
+					phases[tier] = tierPhases{hit: hit, decomp: d, slve: sd}
+					phaseMu.Unlock()
+				}
+				return r, serr
+			},
+		})
+		if err == nil {
+			res = out.Result
+			phaseMu.Lock()
+			ph := phases[out.Tier]
+			phaseMu.Unlock()
+			cacheHit, decompDur, solveDur = ph.hit, ph.decomp, ph.slve
+			degResp = &DegradationResponse{
+				Tier:      out.Tier.String(),
+				Degraded:  out.Degraded,
+				Partial:   res.Partial,
+				TreesDone: res.TreesDone,
+				Tiers:     out.Reports[:],
+			}
+			if out.Degraded {
+				s.reg.Counter(fmt.Sprintf("degraded_total{tier=%q}", out.Tier.String())).Inc()
+			}
+		}
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -153,6 +253,13 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		case strings.Contains(err.Error(), "state budget exceeded"):
 			s.reg.Counter("partition_errors_total").Inc()
 			s.writeError(w, http.StatusUnprocessableEntity, "state_budget_exceeded", err.Error())
+		case strings.Contains(err.Error(), "panic"):
+			// The solver pools contain panics into errors (one bad tree
+			// degrades, all trees failing surfaces here); count them so
+			// an injected or real mid-DP panic is observable.
+			s.reg.Counter("panics_total").Inc()
+			s.reg.Counter("partition_errors_total").Inc()
+			s.writeError(w, http.StatusInternalServerError, "solver_panic", err.Error())
 		default:
 			s.reg.Counter("partition_errors_total").Inc()
 			s.writeError(w, http.StatusInternalServerError, "solve_failed", err.Error())
@@ -184,6 +291,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
 		DecomposeMS:  float64(decompDur.Microseconds()) / 1000,
 		SolveMS:      float64(solveDur.Microseconds()) / 1000,
+		Degradation:  degResp,
 	})
 }
 

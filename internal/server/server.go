@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hierpart/internal/cache"
+	"hierpart/internal/faultinject"
 	"hierpart/internal/graph"
 	"hierpart/internal/hgp"
 	"hierpart/internal/hierarchy"
@@ -45,11 +46,20 @@ type Config struct {
 	// for less but never more. Zero means 50 million (a guard against
 	// pathological instances, not a tuning knob).
 	MaxStates int
-	// MaxVertices rejects oversized graphs at decode time. Zero means
-	// 100000.
+	// MaxVertices rejects oversized graphs at decode time with 413.
+	// Zero means 100000.
 	MaxVertices int
+	// MaxEdges rejects oversized edge lists at decode time with 413,
+	// before any admission cost is paid. Zero means 2 million.
+	MaxEdges int
 	// MaxBodyBytes bounds the request body. Zero means 64 MiB.
 	MaxBodyBytes int64
+	// DisableDegradation turns the anytime ladder off daemon-wide:
+	// every request runs only the full pipeline and a missed deadline
+	// is a 504 instead of a degraded 200. Individual requests opt out
+	// with the no_degrade field; this flag is for fleets that prefer
+	// fail-fast semantics everywhere.
+	DisableDegradation bool
 	// Registry receives the daemon's metrics. Nil means
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -80,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxVertices <= 0 {
 		c.MaxVertices = 100_000
 	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 2_000_000
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
@@ -92,12 +105,15 @@ func (c Config) withDefaults() Config {
 // Server is the daemon state: admission semaphore, decomposition cache,
 // metrics registry, and drain bookkeeping.
 type Server struct {
-	cfg   Config
-	reg   *telemetry.Registry
-	dec   *cache.LRU // nil when caching is disabled
-	sem   chan struct{}
-	start time.Time
-	mux   *http.ServeMux
+	cfg Config
+	reg *telemetry.Registry
+	dec *cache.LRU // nil when caching is disabled
+	// flight coalesces concurrent decomposition builds for the same
+	// cache key: a miss storm runs one build, not N.
+	flight cache.Group
+	sem    chan struct{}
+	start  time.Time
+	mux    *http.ServeMux
 
 	queued atomic.Int64
 
@@ -143,8 +159,28 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the daemon's http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's http.Handler: the route mux wrapped in
+// panic recovery, so a panicking handler produces a 500 (and a
+// panics_total tick) instead of killing the connection — and, combined
+// with the recover containment inside the solver pools, a panicking
+// solve never kills the daemon.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // net/http's own abort sentinel; not ours to swallow
+				}
+				s.reg.Counter("panics_total").Inc()
+				s.writeError(w, http.StatusInternalServerError, "internal_panic",
+					fmt.Sprintf("internal panic: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Drain flips the daemon into draining mode: /v1/healthz reports
 // "draining" (so load balancers stop routing here) and new partition
@@ -192,9 +228,13 @@ func (s *Server) isDraining() bool {
 }
 
 // cachedSolve is the production solve backend: look the decomposition
-// up in the LRU by canonical key, build (and insert) on a miss, then
-// run the per-tree DPs on it.
+// up in the LRU by canonical key, build (and insert) on a miss —
+// coalescing concurrent identical misses into one build via the
+// singleflight group — then run the per-tree DPs on it.
 func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, bool, time.Duration, time.Duration, error) {
+	if err := faultinject.Fire(ctx, faultinject.CacheLookup); err != nil {
+		return nil, false, 0, 0, err
+	}
 	opts := sv.DecompOptions()
 	var (
 		dec       *treedecomp.Decomposition
@@ -210,13 +250,23 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 		} else {
 			s.reg.Counter("decomp_cache_misses_total").Inc()
 			t0 := time.Now()
-			built, err := treedecomp.BuildContext(ctx, g, opts)
+			v, shared, err := s.flight.Do(ctx, key, func() (any, error) {
+				built, err := treedecomp.BuildContext(ctx, g, opts)
+				if err != nil {
+					return nil, err
+				}
+				s.reg.Counter("decomp_builds_total").Inc()
+				s.dec.Add(key, built)
+				return built, nil
+			})
 			if err != nil {
 				return nil, false, 0, 0, err
 			}
 			decompDur = time.Since(t0)
-			dec = built
-			s.dec.Add(key, dec)
+			dec = v.(*treedecomp.Decomposition)
+			if shared {
+				s.reg.Counter("decomp_coalesced_total").Inc()
+			}
 		}
 	} else {
 		t0 := time.Now()

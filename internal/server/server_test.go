@@ -36,6 +36,10 @@ func testRequest() PartitionRequest {
 	req.Edges = append(req.Edges, [3]float64{0, 4, 1})
 	req.Seed = 1
 	req.Trees = 2
+	// These unit tests pin down the no-degrade path's exact semantics
+	// (single backend call, precise cache counters, 504 on deadline);
+	// the ladder path has its own tests and the chaos battery.
+	req.NoDegrade = true
 	return req
 }
 
@@ -158,7 +162,7 @@ func TestPartitionCacheSharedAcrossEps(t *testing.T) {
 }
 
 func TestPartitionMalformed(t *testing.T) {
-	s := newTestServer(t, Config{MaxVertices: 100})
+	s := newTestServer(t, Config{MaxVertices: 100, MaxEdges: 2})
 	cases := []struct {
 		name string
 		body any
@@ -170,7 +174,8 @@ func TestPartitionMalformed(t *testing.T) {
 		{"bad hierarchy (increasing cm)", `{"hierarchy": {"deg": [2], "cm": [0, 1]}, "n": 2}`, http.StatusBadRequest},
 		{"edge out of range", `{"hierarchy": {"deg": [2], "cm": [1, 0]}, "n": 2, "edges": [[0, 5, 1]]}`, http.StatusBadRequest},
 		{"negative timeout", `{"hierarchy": {"deg": [2], "cm": [1, 0]}, "n": 2, "timeout_ms": -1}`, http.StatusBadRequest},
-		{"too many vertices", `{"hierarchy": {"deg": [2], "cm": [1, 0]}, "n": 500}`, http.StatusBadRequest},
+		{"too many vertices", `{"hierarchy": {"deg": [2], "cm": [1, 0]}, "n": 500}`, http.StatusRequestEntityTooLarge},
+		{"too many edges", `{"hierarchy": {"deg": [2], "cm": [1, 0]}, "n": 3, "edges": [[0,1,1],[1,2,1],[0,2,1]]}`, http.StatusRequestEntityTooLarge},
 	}
 	for _, tc := range cases {
 		rec := postPartition(t, s.Handler(), tc.body)
@@ -243,6 +248,7 @@ func TestPartitionDeadlineInterruptsRealSolve(t *testing.T) {
 	req.Trees = 8
 	req.Eps = 0.1
 	req.TimeoutMS = 1
+	req.NoDegrade = true // a 1ms budget must 504, not degrade to the baseline tier
 	start := time.Now()
 	rec := postPartition(t, s.Handler(), req)
 	if rec.Code != http.StatusGatewayTimeout {

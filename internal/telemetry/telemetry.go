@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -294,11 +295,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	// Labeled instruments are registered under their full series name
+	// (`degraded_total{tier="baseline"}`); the TYPE header must name the
+	// metric family — the part before the label set — and appear once per
+	// family. Sorting groups a family's series together, so emitting the
+	// header on each family change is enough.
+	typed := map[string]bool{}
+	typeLine := func(name, kind string) {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !typed[base] {
+			typed[base] = true
+			p("# TYPE %s %s\n", base, kind)
+		}
+	}
 	for _, n := range sortedKeys(snap.Counters) {
-		p("# TYPE %s counter\n%s %d\n", n, n, snap.Counters[n])
+		typeLine(n, "counter")
+		p("%s %d\n", n, snap.Counters[n])
 	}
 	for _, n := range sortedKeys(snap.Gauges) {
-		p("# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[n])
+		typeLine(n, "gauge")
+		p("%s %d\n", n, snap.Gauges[n])
 	}
 	hnames := make([]string, 0, len(snap.Histograms))
 	for n := range snap.Histograms {

@@ -3,6 +3,7 @@ package treedecomp
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hierpart/internal/faultinject"
 	"hierpart/internal/fm"
 	"hierpart/internal/graph"
 	"hierpart/internal/mincut"
@@ -124,6 +126,14 @@ func BuildContext(ctx context.Context, g *graph.Graph, opt Options) (*Decomposit
 	d := &Decomposition{Trees: make([]*DecompTree, nTrees)}
 	errs := make([]error, nTrees)
 	build := func(i int) {
+		// A panic while building one tree (a construction bug, or an
+		// injected fault) must not kill the process when trees build on
+		// worker goroutines — it surfaces as that tree's error instead.
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("treedecomp: tree %d: panic: %v", i, r)
+			}
+		}()
 		d.Trees[i], errs[i] = buildOne(ctx, g, rand.New(rand.NewSource(seeds[i])), passes, opt.FlowRefine, opt.Strategy)
 	}
 	if workers == 1 {
@@ -162,6 +172,9 @@ func buildOne(ctx context.Context, g *graph.Graph, rng *rand.Rand, passes int, f
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := faultinject.Fire(ctx, faultinject.TreedecompSplit); err != nil {
+			return nil, err
+		}
 		return buildFRT(g, rng), nil
 	}
 	dt := &DecompTree{
@@ -195,6 +208,9 @@ type builder struct {
 // Cancellation is polled once per cluster, the unit of bisection work.
 func (b *builder) attach(node int, cluster []int) error {
 	if err := b.ctx.Err(); err != nil {
+		return err
+	}
+	if err := faultinject.Fire(b.ctx, faultinject.TreedecompSplit); err != nil {
 		return err
 	}
 	if len(cluster) == 1 {
