@@ -1,4 +1,4 @@
-// Command hgpbench runs the reproduction's experiment suite (E1–E22,
+// Command hgpbench runs the reproduction's experiment suite (E1–E23,
 // F1–F2; see EXPERIMENTS.md) and prints the result tables.
 //
 // Usage:
@@ -102,6 +102,7 @@ func main() {
 		{"E20", experiments.E20AblationPruning},
 		{"E21", experiments.E21AtScale},
 		{"E22", experiments.E22AnytimeLadder},
+		{"E23", experiments.E23WarmRestart},
 		{"F1", experiments.F1BadSetSplit},
 		{"F2", experiments.F2ActiveSets},
 	}

@@ -3,8 +3,11 @@
 // deadline), GET /v1/healthz, GET /v1/stats (JSON or Prometheus text),
 // and /debug/pprof/*, amortizing decomposition builds across requests
 // with an LRU cache and shedding load with 429 when the admission queue
-// fills. See API.md for the wire format and DESIGN.md for the serving
-// architecture.
+// fills. With -state-dir the cache is durable across restarts; with
+// -adaptive the solve ceiling follows observed latency AIMD-style; with
+// -max-heap-bytes a memory-pressure breaker degrades service before the
+// kernel OOM-kills the process. See API.md for the wire format and
+// DESIGN.md for the serving architecture.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,7 +27,7 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr        = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the resolved address is logged)")
 		concurrency = flag.Int("concurrency", 0, "max simultaneous solves (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "waiting room beyond -concurrency before shedding 429 (-1 = none)")
 		cacheSize   = flag.Int("cache", 128, "decomposition LRU entries (-1 = disable caching)")
@@ -35,6 +39,11 @@ func main() {
 		maxEdges    = flag.Int("max-edges", 2_000_000, "reject graphs with more edges than this (413)")
 		noDegrade   = flag.Bool("no-degrade", false, "disable the anytime degradation ladder daemon-wide (missed deadlines become 504s)")
 		drainWait   = flag.Duration("drain-wait", time.Minute, "how long shutdown waits for in-flight solves")
+
+		stateDir     = flag.String("state-dir", "", "directory for durable cache snapshots (empty = memory-only cache)")
+		snapInterval = flag.Duration("snapshot-interval", 2*time.Second, "how often the background flusher snapshots staged cache entries")
+		adaptive     = flag.Bool("adaptive", false, "AIMD concurrency limiter: move the solve ceiling with observed latency vs. deadline headroom")
+		maxHeap      = flag.Int64("max-heap-bytes", 0, "memory-pressure breaker threshold on the live heap (0 = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -42,8 +51,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if err := validateFlags(*concurrency, *queue, *cacheSize, *timeout, *maxTimeout,
+		*workers, *maxStates, *maxVertices, *maxEdges, *drainWait,
+		*stateDir, *snapInterval, *maxHeap); err != nil {
+		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
+		os.Exit(2)
+	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxConcurrent:      *concurrency,
 		MaxQueue:           *queue,
 		DefaultTimeout:     *timeout,
@@ -54,16 +69,30 @@ func main() {
 		MaxVertices:        *maxVertices,
 		MaxEdges:           *maxEdges,
 		DisableDegradation: *noDegrade,
+		StateDir:           *stateDir,
+		SnapshotInterval:   *snapInterval,
+		Adaptive:           *adaptive,
+		MaxHeapBytes:       *maxHeap,
 	})
+	if err != nil {
+		log.Fatalf("hgpd: %v", err)
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works:
+	// the resolved address is logged before serving begins, and tests or
+	// supervisors can parse it instead of racing a port guess.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hgpd: listen: %v", err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("hgpd listening on %s", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("hgpd listening on %s", ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -75,7 +104,8 @@ func main() {
 	}
 
 	// Graceful shutdown: flip healthz to draining and refuse new solves,
-	// wait for in-flight ones, then close listeners.
+	// wait for in-flight ones (then flush cache snapshots), then close
+	// listeners.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -85,4 +115,45 @@ func main() {
 		log.Printf("hgpd: http shutdown: %v", err)
 	}
 	log.Printf("hgpd stopped")
+}
+
+// validateFlags rejects nonsensical flag values at startup with a clear
+// error instead of letting withDefaults silently reinterpret them.
+// -queue and -cache keep their documented -1 = disabled convention;
+// everything else must be non-negative, and duration/size flags that
+// something divides by or sleeps on must be strictly positive.
+func validateFlags(concurrency, queue, cacheSize int, timeout, maxTimeout time.Duration,
+	workers, maxStates, maxVertices, maxEdges int, drainWait time.Duration,
+	stateDir string, snapInterval time.Duration, maxHeap int64) error {
+	switch {
+	case concurrency < 0:
+		return fmt.Errorf("-concurrency %d: must be >= 0 (0 = GOMAXPROCS)", concurrency)
+	case queue < -1:
+		return fmt.Errorf("-queue %d: must be >= -1 (-1 = no waiting room)", queue)
+	case cacheSize < -1:
+		return fmt.Errorf("-cache %d: must be >= -1 (-1 = disable caching)", cacheSize)
+	case timeout <= 0:
+		return fmt.Errorf("-timeout %v: must be > 0", timeout)
+	case maxTimeout <= 0:
+		return fmt.Errorf("-max-timeout %v: must be > 0", maxTimeout)
+	case maxTimeout < timeout:
+		return fmt.Errorf("-max-timeout %v: must be >= -timeout (%v)", maxTimeout, timeout)
+	case workers < 0:
+		return fmt.Errorf("-workers %d: must be >= 0 (0 = GOMAXPROCS)", workers)
+	case maxStates <= 0:
+		return fmt.Errorf("-max-states %d: must be > 0", maxStates)
+	case maxVertices <= 0:
+		return fmt.Errorf("-max-vertices %d: must be > 0", maxVertices)
+	case maxEdges <= 0:
+		return fmt.Errorf("-max-edges %d: must be > 0", maxEdges)
+	case drainWait <= 0:
+		return fmt.Errorf("-drain-wait %v: must be > 0", drainWait)
+	case snapInterval <= 0:
+		return fmt.Errorf("-snapshot-interval %v: must be > 0", snapInterval)
+	case maxHeap < 0:
+		return fmt.Errorf("-max-heap-bytes %d: must be >= 0 (0 = breaker disabled)", maxHeap)
+	case stateDir != "" && cacheSize == -1:
+		return fmt.Errorf("-state-dir requires caching: -cache must not be -1")
+	}
+	return nil
 }

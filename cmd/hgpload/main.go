@@ -1,0 +1,281 @@
+// Command hgpload is a load generator for hgpd: it drives POST
+// /v1/partition in closed-loop (a fixed worker pool, each worker
+// issuing its next request when the previous one returns) or open-loop
+// (a fixed arrival rate, independent of response times — the shape that
+// actually exposes queueing collapse) mode, classifies every response,
+// and prints a JSON summary with latency percentiles.
+//
+// With -strict and/or the -slo-* flags it doubles as an assertion
+// harness: transport errors, unexpected statuses (5xx without a
+// machine-readable shed_reason), a p99 over budget, or a success rate
+// under target exit non-zero, so CI and soak tests can gate on it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// loadRequest is the POST /v1/partition body hgpload sends: the
+// two-clique synthetic instance (8 vertices, strong intra-clique edges,
+// one weak bridge) with a rotating decomposition seed so the daemon
+// sees a mix of cache hits and misses.
+func loadRequest(seed int64, trees, timeoutMS int) []byte {
+	type hierarchySpec struct {
+		Deg []int     `json:"deg"`
+		CM  []float64 `json:"cm"`
+	}
+	body := map[string]any{
+		"hierarchy":  hierarchySpec{Deg: []int{2, 4}, CM: []float64{8, 2, 0}},
+		"n":          8,
+		"demands":    []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		"seed":       seed,
+		"trees":      trees,
+		"timeout_ms": timeoutMS,
+	}
+	var edges [][3]float64
+	for b := 0; b < 8; b += 4 {
+		for i := b; i < b+4; i++ {
+			for j := i + 1; j < b+4; j++ {
+				edges = append(edges, [3]float64{float64(i), float64(j), 10})
+			}
+		}
+	}
+	edges = append(edges, [3]float64{0, 4, 1})
+	body["edges"] = edges
+	buf, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// sample is one completed request, as recorded by a worker.
+type sample struct {
+	status  int
+	shed    string
+	latency time.Duration
+	err     bool
+}
+
+// Summary is the JSON report printed on stdout.
+type Summary struct {
+	Mode            string             `json:"mode"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	Requests        int                `json:"requests"`
+	OK              int                `json:"ok"` // HTTP 200
+	Errors          int                `json:"errors"`
+	Unexpected      int                `json:"unexpected"` // 5xx without shed_reason, or unknown status
+	Statuses        map[string]int     `json:"statuses"`
+	ShedReasons     map[string]int     `json:"shed_reasons"`
+	Throughput      float64            `json:"throughput_rps"` // 200s per second
+	LatencyMS       map[string]float64 `json:"latency_ms"`     // over 200s: p50/p90/p99/max
+}
+
+func main() {
+	var (
+		target    = flag.String("addr", "http://127.0.0.1:8080", "hgpd base URL")
+		mode      = flag.String("mode", "closed", `"closed" (worker pool) or "open" (fixed arrival rate)`)
+		workers   = flag.Int("workers", 4, "closed-loop worker count")
+		rate      = flag.Float64("rate", 20, "open-loop arrivals per second")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		seeds     = flag.Int("seeds", 4, "rotate this many decomposition seeds (cache hit/miss mix)")
+		trees     = flag.Int("trees", 2, "trees per request")
+		timeoutMS = flag.Int("timeout-ms", 2000, "per-request deadline sent to the daemon")
+		strict    = flag.Bool("strict", false, "exit 1 on any transport error or unexpected status")
+		sloP99    = flag.Duration("slo-p99", 0, "exit 1 when the p99 latency of 200s exceeds this (0 = no assertion)")
+		sloOK     = flag.Float64("slo-success", 0, "exit 1 when the fraction of requests answered 200 is below this")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || (*mode != "closed" && *mode != "open") || *workers < 1 || *rate <= 0 ||
+		*duration <= 0 || *seeds < 1 || *timeoutMS < 0 {
+		fmt.Fprintln(os.Stderr, "usage: hgpload [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	// Pre-marshal one body per seed; workers round-robin through them.
+	bodies := make([][]byte, *seeds)
+	for i := range bodies {
+		bodies[i] = loadRequest(int64(i+1), *trees, *timeoutMS)
+	}
+	client := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 10*time.Second}
+	url := *target + "/v1/partition"
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	// shoot issues one request. Its return value is the backoff a
+	// closed-loop worker should honor before its next shot: the daemon's
+	// Retry-After on a shed (capped), a short pause after a transport
+	// error (so a dead daemon is polled, not hammered), zero otherwise.
+	shoot := func(seq int) time.Duration {
+		body := bodies[seq%len(bodies)]
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			record(sample{err: true, latency: time.Since(t0)})
+			return 50 * time.Millisecond
+		}
+		var envelope struct {
+			ShedReason string `json:"shed_reason"`
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		_ = json.Unmarshal(raw, &envelope)
+		record(sample{status: resp.StatusCode, shed: envelope.ShedReason, latency: time.Since(t0)})
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			backoff := 50 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					backoff = time.Duration(secs) * time.Second
+				}
+			}
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			return backoff
+		}
+		return 0
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	switch *mode {
+	case "closed":
+		var seq int64
+		var seqMu sync.Mutex
+		next := func() int {
+			seqMu.Lock()
+			defer seqMu.Unlock()
+			seq++
+			return int(seq)
+		}
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					remaining := time.Until(deadline)
+					if remaining <= 0 {
+						return
+					}
+					if backoff := shoot(next()); backoff > 0 {
+						if backoff > remaining {
+							backoff = remaining
+						}
+						time.Sleep(backoff)
+					}
+				}
+			}()
+		}
+	case "open":
+		interval := time.Duration(float64(time.Second) / *rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		seq := 0
+		for now := range ticker.C {
+			if now.After(deadline) {
+				break
+			}
+			seq++
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				shoot(n)
+			}(seq)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := Summary{
+		Mode:            *mode,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        len(samples),
+		Statuses:        map[string]int{},
+		ShedReasons:     map[string]int{},
+		LatencyMS:       map[string]float64{},
+	}
+	var okLat []time.Duration
+	for _, s := range samples {
+		if s.err {
+			sum.Errors++
+			continue
+		}
+		sum.Statuses[fmt.Sprint(s.status)]++
+		if s.shed != "" {
+			sum.ShedReasons[s.shed]++
+		}
+		switch {
+		case s.status == http.StatusOK:
+			sum.OK++
+			okLat = append(okLat, s.latency)
+		case s.status == http.StatusTooManyRequests, s.status == http.StatusGatewayTimeout:
+			// Sheds and deadline misses: expected under overload.
+		case s.status == http.StatusServiceUnavailable && s.shed != "":
+			// Tagged 503 (breaker_open, draining): a deliberate shed.
+		default:
+			sum.Unexpected++
+		}
+	}
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(okLat)-1))
+			return float64(okLat[idx].Microseconds()) / 1000
+		}
+		sum.LatencyMS["p50"] = pct(0.50)
+		sum.LatencyMS["p90"] = pct(0.90)
+		sum.LatencyMS["p99"] = pct(0.99)
+		sum.LatencyMS["max"] = float64(okLat[len(okLat)-1].Microseconds()) / 1000
+		sum.Throughput = float64(sum.OK) / elapsed.Seconds()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sum)
+
+	// SLO gate.
+	failed := false
+	if *strict && (sum.Errors > 0 || sum.Unexpected > 0) {
+		fmt.Fprintf(os.Stderr, "hgpload: strict: %d transport errors, %d unexpected responses\n",
+			sum.Errors, sum.Unexpected)
+		failed = true
+	}
+	if *sloP99 > 0 {
+		p99 := time.Duration(sum.LatencyMS["p99"] * float64(time.Millisecond))
+		if len(okLat) == 0 || p99 > *sloP99 {
+			fmt.Fprintf(os.Stderr, "hgpload: SLO: p99 %v exceeds budget %v (or no successes)\n", p99, *sloP99)
+			failed = true
+		}
+	}
+	if *sloOK > 0 {
+		got := 0.0
+		if sum.Requests > 0 {
+			got = float64(sum.OK) / float64(sum.Requests)
+		}
+		if got < *sloOK {
+			fmt.Fprintf(os.Stderr, "hgpload: SLO: success rate %.3f below target %.3f\n", got, *sloOK)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,437 @@
+package diskstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hierpart/internal/faultinject"
+	"hierpart/internal/telemetry"
+	"hierpart/internal/treedecomp"
+)
+
+// Entry file layout: a fixed header followed by the encoded payload.
+//
+//	magic           8 bytes  "HGPSNAP\x01"
+//	format version  uint32   formatVersion
+//	stream version  uint32   treedecomp.RNGStreamVersion at write time
+//	payload length  uint64
+//	payload sha256  32 bytes
+//	payload         <length> bytes (encode.go)
+//
+// The stream version rides in every entry so a daemon built against a
+// different randomness stream rejects the whole snapshot generation:
+// serving another stream's trees would silently break the "same key ⇒
+// same distribution" contract the cache is built on.
+const (
+	magic         = "HGPSNAP\x01"
+	formatVersion = 1
+	headerLen     = len(magic) + 4 + 4 + 8 + sha256.Size
+
+	entrySuffix = ".snap"
+	tempSuffix  = ".tmp"
+)
+
+// Store is a content-addressed on-disk snapshot of a decomposition
+// cache: one file per entry, named by the entry's canonical SHA-256
+// cache key. Writes are atomic (temp file, fsync, rename), reads
+// validate a versioned header and a payload checksum, and anything
+// that fails validation is skipped — never served, never fatal.
+type Store struct {
+	dir string
+	reg *telemetry.Registry
+
+	// maxEntries bounds the on-disk generation; older entries beyond it
+	// are pruned at flush time. ≤ 0 means unbounded.
+	maxEntries int
+
+	mu        sync.Mutex
+	pending   map[string]*treedecomp.Decomposition
+	lastFlush time.Time
+	bytes     int64
+	entries   int
+
+	flushCh chan struct{}
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+// Open prepares dir as a snapshot store (creating it if needed).
+// maxEntries bounds how many entries the store keeps on disk; reg
+// (nil means telemetry.Default) receives the store's counters and
+// gauges. No background work starts until StartFlusher.
+func Open(dir string, maxEntries int, reg *telemetry.Registry) (*Store, error) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s := &Store{
+		dir:        dir,
+		reg:        reg,
+		maxEntries: maxEntries,
+		pending:    map[string]*treedecomp.Decomposition{},
+	}
+	s.refreshAccounting()
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entryPath maps a cache key to its snapshot file. Keys are hex SHA-256
+// digests; anything else would be a caller bug, but sanitize anyway so
+// a corrupted key can never escape the store directory.
+func (s *Store) entryPath(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'f', r >= 'A' && r <= 'F':
+			return r
+		}
+		return -1
+	}, key)
+	return filepath.Join(s.dir, clean+entrySuffix)
+}
+
+// Save writes one entry atomically: encode, write to a temp file, fsync,
+// rename over the final name. A crash at any point leaves either the old
+// entry, no entry, or a stray temp file (ignored and removed on load) —
+// never a half-written entry under the final name.
+func (s *Store) Save(key string, d *treedecomp.Decomposition) error {
+	payload := encodeDecomposition(d)
+	if err := faultinject.Fire(nil, faultinject.DiskWrite); err != nil {
+		s.reg.Counter("snapshot_save_errors_total").Inc()
+		return fmt.Errorf("diskstore: write %s: %w", key, err)
+	}
+
+	buf := make([]byte, 0, headerLen+len(payload))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, treedecomp.RNGStreamVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+
+	final := s.entryPath(key)
+	tmp := final + tempSuffix
+	if err := s.commit(tmp, final, buf); err != nil {
+		s.reg.Counter("snapshot_save_errors_total").Inc()
+		os.Remove(tmp)
+		return fmt.Errorf("diskstore: write %s: %w", key, err)
+	}
+	s.reg.Counter("snapshot_saved_total").Inc()
+	return nil
+}
+
+func (s *Store) commit(tmp, final string, buf []byte) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := faultinject.Fire(nil, faultinject.DiskSync); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// Load reads and validates one entry. The boolean reports whether a
+// valid entry was found; invalid entries (corrupt, truncated, version
+// mismatch) return false with the per-reason counters ticked, exactly
+// like LoadAll, so callers treat them as cache misses.
+func (s *Store) Load(key string) (*treedecomp.Decomposition, bool) {
+	d, err := s.loadFile(s.entryPath(key))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.skip(err)
+		}
+		return nil, false
+	}
+	return d, true
+}
+
+// errVersionMismatch tags entries written under a different format or
+// RNG-stream version — structurally sound, but not this binary's to
+// serve.
+var errVersionMismatch = errors.New("version mismatch")
+
+func (s *Store) loadFile(path string) (*treedecomp.Decomposition, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerLen {
+		return nil, fmt.Errorf("diskstore: %s: truncated header (%d bytes)", filepath.Base(path), len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("diskstore: %s: bad magic", filepath.Base(path))
+	}
+	off := len(magic)
+	format := binary.LittleEndian.Uint32(raw[off:])
+	stream := binary.LittleEndian.Uint32(raw[off+4:])
+	plen := binary.LittleEndian.Uint64(raw[off+8:])
+	if format != formatVersion || stream != treedecomp.RNGStreamVersion {
+		return nil, fmt.Errorf("diskstore: %s: format %d stream %d, want %d/%d: %w",
+			filepath.Base(path), format, stream, formatVersion, treedecomp.RNGStreamVersion, errVersionMismatch)
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], raw[off+16:])
+	payload := raw[headerLen:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("diskstore: %s: payload %d bytes, header says %d", filepath.Base(path), len(payload), plen)
+	}
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("diskstore: %s: checksum mismatch", filepath.Base(path))
+	}
+	return decodeDecomposition(payload)
+}
+
+func (s *Store) skip(err error) {
+	if errors.Is(err, errVersionMismatch) {
+		s.reg.Counter("snapshot_version_mismatch_total").Inc()
+	} else {
+		s.reg.Counter("snapshot_corrupt_total").Inc()
+	}
+}
+
+// LoadAll streams every valid entry to fn, newest first, stopping after
+// limit entries (≤ 0 means all). Corrupt, truncated, or version-
+// mismatched entries are skipped with a counter — a damaged snapshot
+// directory degrades to a colder start, never a failed one. Stray temp
+// files from interrupted writes are removed.
+func (s *Store) LoadAll(limit int, fn func(key string, d *treedecomp.Decomposition)) error {
+	files, err := s.listEntries()
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, f := range files {
+		if limit > 0 && loaded >= limit {
+			break
+		}
+		d, err := s.loadFile(filepath.Join(s.dir, f.name))
+		if err != nil {
+			s.skip(err)
+			continue
+		}
+		fn(strings.TrimSuffix(f.name, entrySuffix), d)
+		loaded++
+		s.reg.Counter("snapshot_loaded_total").Inc()
+	}
+	s.refreshAccounting()
+	return nil
+}
+
+type entryFile struct {
+	name  string
+	mtime time.Time
+	size  int64
+}
+
+// listEntries returns the snapshot entries newest-first and deletes
+// stray temp files as it goes.
+func (s *Store) listEntries() ([]entryFile, error) {
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var files []entryFile
+	for _, de := range dirents {
+		name := de.Name()
+		if strings.HasSuffix(name, tempSuffix) {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, entrySuffix) || de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entryFile{name: name, mtime: info.ModTime(), size: info.Size()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.After(files[j].mtime)
+		}
+		return files[i].name < files[j].name
+	})
+	return files, nil
+}
+
+// refreshAccounting recounts the on-disk generation into the
+// snapshot_entries / snapshot_bytes gauges.
+func (s *Store) refreshAccounting() {
+	files, err := s.listEntries()
+	if err != nil {
+		return
+	}
+	var bytes int64
+	for _, f := range files {
+		bytes += f.size
+	}
+	s.mu.Lock()
+	s.entries, s.bytes = len(files), bytes
+	s.mu.Unlock()
+	s.reg.Gauge("snapshot_entries").Set(int64(len(files)))
+	s.reg.Gauge("snapshot_bytes").Set(bytes)
+}
+
+// prune deletes the oldest entries beyond maxEntries.
+func (s *Store) prune() {
+	if s.maxEntries <= 0 {
+		return
+	}
+	files, err := s.listEntries()
+	if err != nil {
+		return
+	}
+	for _, f := range files[min(len(files), s.maxEntries):] {
+		os.Remove(filepath.Join(s.dir, f.name))
+	}
+}
+
+// Enqueue schedules an entry for the background flusher. It never
+// blocks the serving path: the entry is staged in memory and written at
+// the next flush tick (or Flush call). Without a running flusher the
+// entry simply waits for an explicit Flush.
+func (s *Store) Enqueue(key string, d *treedecomp.Decomposition) {
+	s.mu.Lock()
+	s.pending[key] = d
+	s.mu.Unlock()
+	select {
+	case s.flushChan() <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Store) flushChan() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flushCh == nil {
+		s.flushCh = make(chan struct{}, 1)
+	}
+	return s.flushCh
+}
+
+// Flush writes every staged entry now and prunes the generation to
+// maxEntries. It returns the first write error (later entries are still
+// attempted).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = map[string]*treedecomp.Decomposition{}
+	s.mu.Unlock()
+
+	var firstErr error
+	keys := make([]string, 0, len(batch))
+	for k := range batch {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := s.Save(k, batch[k]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(batch) > 0 {
+		s.prune()
+	}
+	s.refreshAccounting()
+	s.mu.Lock()
+	s.lastFlush = time.Now()
+	s.mu.Unlock()
+	return firstErr
+}
+
+// StartFlusher runs a background goroutine that batches Enqueue'd
+// entries and writes them at most once per interval. Call Close to stop
+// it (with a final flush).
+func (s *Store) StartFlusher(interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	s.mu.Lock()
+	if s.stopCh != nil {
+		s.mu.Unlock()
+		return // already running
+	}
+	s.stopCh = make(chan struct{})
+	s.doneCh = make(chan struct{})
+	stop, done := s.stopCh, s.doneCh
+	s.mu.Unlock()
+	kick := s.flushChan()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-kick:
+				// Coalesce: wait out the rest of the interval so a burst
+				// of inserts becomes one write batch, not N.
+				select {
+				case <-time.After(interval):
+				case <-stop:
+					return
+				}
+				_ = s.Flush()
+			case <-ticker.C:
+				_ = s.Flush()
+			}
+		}
+	}()
+}
+
+// Close stops the flusher (if running) and performs a final synchronous
+// flush so no staged entry is lost on a graceful shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	stop, done := s.stopCh, s.doneCh
+	s.stopCh, s.doneCh = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return s.Flush()
+}
+
+// Stats is a point-in-time view of the store.
+type Stats struct {
+	Entries   int       `json:"entries"`
+	Bytes     int64     `json:"bytes"`
+	Pending   int       `json:"pending"`
+	LastFlush time.Time `json:"last_flush"`
+}
+
+// Stats reports the store's accounting. Callers exposing it as metrics
+// typically also derive an age gauge from LastFlush.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Entries: s.entries, Bytes: s.bytes, Pending: len(s.pending), LastFlush: s.lastFlush}
+}

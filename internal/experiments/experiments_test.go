@@ -344,9 +344,28 @@ func TestE22LadderNeverErrors(t *testing.T) {
 	}
 }
 
+func TestE23WarmRestart(t *testing.T) {
+	tab := E23WarmRestart(quickCfg())
+	checkTable(t, tab)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E23: want one row per family, got %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		// Timings are machine-dependent; assert only that every trial
+		// completed (no error text in the timing cells) and the latencies
+		// are real measurements.
+		if parseF(t, r[3]) <= 0 || parseF(t, r[5]) <= 0 {
+			t.Fatalf("E23 %s: non-positive latency row %v", r[0], r)
+		}
+		if parseF(t, r[7]) <= 0 {
+			t.Fatalf("E23 %s: cold/warm ratio must be positive: %v", r[0], r)
+		}
+	}
+}
+
 func TestAllProducesEveryTable(t *testing.T) {
 	tabs := All(quickCfg())
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "F1", "F2"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "F1", "F2"}
 	if len(tabs) != len(want) {
 		t.Fatalf("All returned %d tables", len(tabs))
 	}

@@ -194,6 +194,7 @@ func All(cfg Config) []*Table {
 		E20AblationPruning(cfg),
 		E21AtScale(cfg),
 		E22AnytimeLadder(cfg),
+		E23WarmRestart(cfg),
 		F1BadSetSplit(cfg),
 		F2ActiveSets(cfg),
 	}

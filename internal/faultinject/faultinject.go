@@ -27,11 +27,18 @@ const (
 	CacheLookup Point = "cache.lookup"
 	// ServerSolve fires at the top of every admitted partition solve.
 	ServerSolve Point = "server.solve"
+	// DiskWrite fires before every snapshot-entry write in the
+	// decomposition disk store (diskstore.Store.Save), after the payload
+	// is encoded but before any byte reaches the filesystem.
+	DiskWrite Point = "disk.write"
+	// DiskSync fires before the snapshot store's fsync-then-rename
+	// commit step — the window where a crash leaves only the temp file.
+	DiskSync Point = "disk.sync"
 )
 
 // Points lists every hook point compiled into the binary, for batteries
 // that want to inject at all of them.
-var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve}
+var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve, DiskWrite, DiskSync}
 
 // Fault describes what happens when a hook point fires. Zero-valued
 // actions are skipped; several may be combined in one Fault (e.g. a

@@ -144,8 +144,8 @@ func TestChaosBattery(t *testing.T) {
 		t.Fatalf("only %d/%d requests returned 200 under chaos: %v", codes[http.StatusOK], rounds, codes)
 	}
 	// No stuck solve slots or phantom queue entries.
-	if n := len(s.sem); n != 0 {
-		t.Fatalf("%d solve slots still held after the battery", n)
+	if _, inUse, waiting := s.lim.snapshot(); inUse != 0 || waiting != 0 {
+		t.Fatalf("%d solve slots held, %d waiters queued after the battery", inUse, waiting)
 	}
 	if q := s.queued.Load(); q != 0 {
 		t.Fatalf("queue gauge stuck at %d", q)
@@ -209,8 +209,8 @@ func TestCancellationStorm(t *testing.T) {
 	}
 	wg.Wait()
 
-	if n := len(s.sem); n != 0 {
-		t.Fatalf("%d solve slots still held after the storm", n)
+	if _, inUse, waiting := s.lim.snapshot(); inUse != 0 || waiting != 0 {
+		t.Fatalf("%d solve slots held, %d waiters queued after the storm", inUse, waiting)
 	}
 	if q := s.queued.Load(); q != 0 {
 		t.Fatalf("queue gauge stuck at %d", q)

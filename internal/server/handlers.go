@@ -103,7 +103,8 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admitInflight() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining", "daemon is draining; retry against another instance")
+		s.writeShed(w, http.StatusServiceUnavailable, "draining", shedDraining,
+			"daemon is draining; retry against another instance", time.Second)
 		return
 	}
 	defer s.inflight.Done()
@@ -144,21 +145,10 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: bounded waiting room, then a solve slot. The queue
-	// gauge counts requests past decode, waiting or running.
-	depth := s.queued.Add(1)
-	defer s.queued.Add(-1)
-	s.reg.Gauge("queue_depth").Set(depth)
-	if int(depth) > s.cfg.MaxConcurrent+s.cfg.MaxQueue {
-		s.reg.Counter("queue_rejections_total").Inc()
-		s.writeError(w, http.StatusTooManyRequests, "queue_full",
-			fmt.Sprintf("admission queue full (%d running + %d waiting)", s.cfg.MaxConcurrent, s.cfg.MaxQueue))
-		return
-	}
-
 	// Per-request deadline, also cancelled when the client disconnects:
 	// a dead client stops burning the worker budget (the context is
-	// threaded through treedecomp.BuildContext and the hgpt scheduler).
+	// threaded through treedecomp.BuildContext and the hgpt scheduler),
+	// and the limiter orders its waiting room by this deadline.
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -169,13 +159,49 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.finishTimeout(w, r, ctx, start, "while queued for a solve slot")
+	// The memory-pressure breaker decides the service mode before any
+	// solve capacity is spent: floor-only service while open, a single
+	// full-service probe when half-open.
+	mode := s.brk.admit()
+	s.publishBreakerGauges()
+	if mode == modeFloor && (req.NoDegrade || s.cfg.DisableDegradation) {
+		_, _, retry := s.brk.snapshot()
+		s.writeShed(w, http.StatusServiceUnavailable, "breaker_open", shedBreakerOpen,
+			"memory pressure: full-service requests are shed while the breaker is open", retry)
 		return
 	}
+
+	// Admission: the deadline-ordered waiting room, then a solve slot.
+	// The queue gauge counts requests past decode, waiting or running.
+	depth := s.queued.Add(1)
+	defer s.queued.Add(-1)
+	s.reg.Gauge("queue_depth").Set(depth)
+	if err := s.lim.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.reg.Counter("queue_rejections_total").Inc()
+			ceiling, _, waiting := s.lim.snapshot()
+			s.writeShed(w, http.StatusTooManyRequests, "queue_full", shedQueueFull,
+				fmt.Sprintf("admission queue full (%d running + %d waiting)", ceiling, waiting), time.Second)
+		case errors.Is(err, errShedExpired):
+			s.reg.Counter("partition_errors_total").Inc()
+			s.reg.Counter("deadline_timeouts_total").Inc()
+			s.writeShed(w, http.StatusGatewayTimeout, "deadline_exceeded", shedDeadlineExpired,
+				fmt.Sprintf("deadline expired in the waiting room after %s; no solve slot was occupied",
+					time.Since(start).Round(time.Millisecond)), 0)
+		default:
+			s.finishTimeout(w, r, ctx, start, "while queued for a solve slot")
+		}
+		return
+	}
+	slotStart := time.Now()
+	defer func() {
+		held := time.Since(slotStart)
+		s.lim.release()
+		s.lim.observe(held, timeout, ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded))
+		ceiling, _, _ := s.lim.snapshot()
+		s.reg.Gauge("limiter_ceiling").Set(int64(ceiling))
+	}()
 
 	maxStates := req.MaxStates
 	if maxStates == 0 || maxStates > s.cfg.MaxStates {
@@ -202,6 +228,15 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if req.NoDegrade || s.cfg.DisableDegradation {
 		res, cacheHit, decompDur, solveDur, err = s.solve(ctx, g, H, sv)
 	} else {
+		ladderOpts := anytime.Options{Solver: sv}
+		if mode == modeFloor {
+			// Breaker open: run only the ladder's floor rung. The baseline
+			// tier allocates no DP tables, so serving it degrades quality
+			// instead of deepening the memory pressure that tripped us.
+			floor := anytime.TierBaseline
+			ladderOpts.Only = &floor
+			s.reg.Counter("breaker_floor_served_total").Inc()
+		}
 		// The ladder path: full pipeline, capped DP, and the heuristic
 		// baseline race under the request's deadline; the best feasible
 		// placement available wins. The DP tiers run through s.solve so
@@ -215,19 +250,17 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 		var phaseMu sync.Mutex
 		phases := map[anytime.Tier]tierPhases{}
+		ladderOpts.SolveDP = func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, error) {
+			r, hit, d, sd, serr := s.solve(ctx, g, H, sv)
+			if tier, ok := anytime.TierFromContext(ctx); ok && serr == nil {
+				phaseMu.Lock()
+				phases[tier] = tierPhases{hit: hit, decomp: d, slve: sd}
+				phaseMu.Unlock()
+			}
+			return r, serr
+		}
 		var out *anytime.Outcome
-		out, err = anytime.Solve(ctx, g, H, anytime.Options{
-			Solver: sv,
-			SolveDP: func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, error) {
-				r, hit, d, sd, serr := s.solve(ctx, g, H, sv)
-				if tier, ok := anytime.TierFromContext(ctx); ok && serr == nil {
-					phaseMu.Lock()
-					phases[tier] = tierPhases{hit: hit, decomp: d, slve: sd}
-					phaseMu.Unlock()
-				}
-				return r, serr
-			},
-		})
+		out, err = anytime.Solve(ctx, g, H, ladderOpts)
 		if err == nil {
 			res = out.Result
 			phaseMu.Lock()
@@ -245,6 +278,13 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 				s.reg.Counter(fmt.Sprintf("degraded_total{tier=%q}", out.Tier.String())).Inc()
 			}
 		}
+	}
+	if mode == modeProbe {
+		// Half-open probe: a successful full-service request (with the
+		// heap back under the ceiling) closes the breaker; anything else
+		// re-opens it and restarts the cooldown.
+		s.brk.probeDone(err == nil)
+		s.publishBreakerGauges()
 	}
 	if err != nil {
 		switch {
@@ -335,11 +375,44 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Queue         struct {
 		Depth       int64 `json:"depth"`
-		Concurrency int   `json:"concurrency"`
-		Capacity    int   `json:"capacity"` // waiting room beyond Concurrency
+		Concurrency int   `json:"concurrency"` // configured ceiling (MaxConcurrent)
+		Capacity    int   `json:"capacity"`    // waiting room beyond Concurrency
+		Ceiling     int   `json:"ceiling"`     // current (AIMD-adjusted) ceiling
+		InUse       int   `json:"in_use"`      // solve slots held right now
+		Waiting     int   `json:"waiting"`     // waiting-room occupancy
+		Adaptive    bool  `json:"adaptive"`
 	} `json:"queue"`
-	Cache   *cacheStats        `json:"cache,omitempty"` // omitted when caching is disabled
-	Metrics telemetry.Snapshot `json:"metrics"`
+	Breaker   *breakerStats      `json:"breaker,omitempty"`   // omitted when the breaker is disabled
+	Snapshots *snapshotStats     `json:"snapshots,omitempty"` // omitted when the cache is memory-only
+	Cache     *cacheStats        `json:"cache,omitempty"`     // omitted when caching is disabled
+	Metrics   telemetry.Snapshot `json:"metrics"`
+}
+
+// breakerStats is the `breaker` block of /v1/stats.
+type breakerStats struct {
+	State             string  `json:"state"` // "closed", "open", or "half_open"
+	Trips             int64   `json:"trips"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"` // cooldown remaining when open
+}
+
+// snapshotStats is the `snapshots` block of /v1/stats: the on-disk
+// durability of the decomposition cache.
+type snapshotStats struct {
+	Entries          int     `json:"entries"`
+	Bytes            int64   `json:"bytes"`
+	Pending          int     `json:"pending"` // staged, not yet flushed
+	LastFlushAgeSecs float64 `json:"last_flush_age_seconds,omitempty"`
+}
+
+func breakerStateName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
 }
 
 type cacheStats struct {
@@ -363,6 +436,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("decomp_cache_len").Set(int64(cs.Len))
 		s.reg.Gauge("decomp_cache_evictions").Set(cs.Evictions)
 	}
+	ceiling, inUse, waiting := s.lim.snapshot()
+	s.reg.Gauge("limiter_ceiling").Set(int64(ceiling))
+	s.reg.Gauge("limiter_in_use").Set(int64(inUse))
+	s.reg.Gauge("limiter_waiting").Set(int64(waiting))
+	s.publishBreakerGauges()
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
@@ -372,6 +450,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Queue.Depth = s.queued.Load()
 	resp.Queue.Concurrency = s.cfg.MaxConcurrent
 	resp.Queue.Capacity = s.cfg.MaxQueue
+	resp.Queue.Ceiling, resp.Queue.InUse, resp.Queue.Waiting = s.lim.snapshot()
+	resp.Queue.Adaptive = s.cfg.Adaptive
+	if s.brk != nil {
+		state, trips, retry := s.brk.snapshot()
+		resp.Breaker = &breakerStats{
+			State: breakerStateName(state), Trips: trips,
+			RetryAfterSeconds: retry.Seconds(),
+		}
+	}
+	if s.store != nil {
+		ds := s.store.Stats()
+		resp.Snapshots = &snapshotStats{
+			Entries: ds.Entries, Bytes: ds.Bytes, Pending: ds.Pending,
+		}
+		if !ds.LastFlush.IsZero() {
+			resp.Snapshots.LastFlushAgeSecs = time.Since(ds.LastFlush).Seconds()
+		}
+	}
 	if s.dec != nil {
 		cs := s.dec.Stats()
 		resp.Cache = &cacheStats{

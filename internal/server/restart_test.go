@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hierpart/internal/telemetry"
+)
+
+// waitSnapshots polls until dir holds at least n .snap entries.
+func waitSnapshots(t *testing.T, dir string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state dir has %d snapshots, want >= %d", len(matches), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The restart acceptance path, minus the process boundary (the soak test
+// covers that): a request populates the durable cache, a second server
+// opened on the same state dir serves the repeat request as a cache hit
+// with zero decomposition builds and a byte-identical placement.
+func TestServerWarmRestartAfterShutdown(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := telemetry.NewRegistry()
+	s1 := newTestServer(t, Config{StateDir: dir, Registry: reg1})
+	first := decodeResponse(t, postPartition(t, s1.Handler(), testRequest()))
+	if first.CacheHit {
+		t.Fatal("cold request must miss")
+	}
+	// Shutdown flushes staged entries even though the flusher interval
+	// (default 2s) never elapsed.
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitSnapshots(t, dir, 1)
+
+	reg2 := telemetry.NewRegistry()
+	s2 := newTestServer(t, Config{StateDir: dir, Registry: reg2})
+	t.Cleanup(func() { s2.Shutdown(context.Background()) })
+	if got := reg2.Gauge("snapshot_warm_entries").Value(); got != 1 {
+		t.Fatalf("snapshot_warm_entries = %d, want 1", got)
+	}
+	rec := postPartition(t, s2.Handler(), testRequest())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm request status = %d (body %s)", rec.Code, rec.Body.String())
+	}
+	warm := decodeResponse(t, rec)
+	if !warm.CacheHit {
+		t.Fatal("first repeat request after restart must be a cache hit")
+	}
+	if got := reg2.Counter("decomp_builds_total").Value(); got != 0 {
+		t.Fatalf("decomp_builds_total = %d after warm restart, want 0", got)
+	}
+	if got := reg2.Counter("decomp_cache_hits_total").Value(); got != 1 {
+		t.Fatalf("decomp_cache_hits_total = %d, want 1", got)
+	}
+	// The reloaded decomposition is bit-identical, so the (deterministic)
+	// DP must reproduce the placement exactly.
+	if warm.Cost != first.Cost || fmt.Sprint(warm.Assignment) != fmt.Sprint(first.Assignment) {
+		t.Fatalf("warm result diverged across restart: %+v vs %+v", warm, first)
+	}
+}
+
+// The ungraceful variant: the first server is abandoned without Shutdown
+// (a stand-in for SIGKILL — only the background flusher ran). The warm
+// entry must still be there.
+func TestServerWarmRestartAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{StateDir: dir, SnapshotInterval: 10 * time.Millisecond,
+		Registry: telemetry.NewRegistry()})
+	postPartition(t, s1.Handler(), testRequest())
+	waitSnapshots(t, dir, 1)
+	// No Shutdown: s1's flusher goroutine is orphaned, like the process
+	// it models. (It idles on its ticker; waitGoroutines-based tests
+	// take their own baselines, so it cannot fail them.)
+
+	reg2 := telemetry.NewRegistry()
+	s2 := newTestServer(t, Config{StateDir: dir, Registry: reg2})
+	t.Cleanup(func() { s2.Shutdown(context.Background()) })
+	warm := decodeResponse(t, postPartition(t, s2.Handler(), testRequest()))
+	if !warm.CacheHit {
+		t.Fatal("repeat request after kill+restart must be a cache hit")
+	}
+	if got := reg2.Counter("decomp_builds_total").Value(); got != 0 {
+		t.Fatalf("decomp_builds_total = %d, want 0", got)
+	}
+}
+
+// A corrupt snapshot in the state dir must not prevent startup: the
+// entry is skipped (and counted), the request rebuilds, and the rebuilt
+// entry replaces the damaged one.
+func TestServerRestartSkipsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{StateDir: dir, Registry: telemetry.NewRegistry()})
+	postPartition(t, s1.Handler(), testRequest())
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly 1 snapshot, got %v (%v)", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(matches[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := telemetry.NewRegistry()
+	s2 := newTestServer(t, Config{StateDir: dir, Registry: reg2})
+	t.Cleanup(func() { s2.Shutdown(context.Background()) })
+	if got := reg2.Counter("snapshot_corrupt_total").Value(); got != 1 {
+		t.Fatalf("snapshot_corrupt_total = %d, want 1", got)
+	}
+	if got := reg2.Gauge("snapshot_warm_entries").Value(); got != 0 {
+		t.Fatalf("snapshot_warm_entries = %d, want 0", got)
+	}
+	rec := postPartition(t, s2.Handler(), testRequest())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after corrupt snapshot = %d", rec.Code)
+	}
+	if decodeResponse(t, rec).CacheHit {
+		t.Fatal("corrupt snapshot must not satisfy the request")
+	}
+	if got := reg2.Counter("decomp_builds_total").Value(); got != 1 {
+		t.Fatalf("decomp_builds_total = %d, want 1 (rebuild)", got)
+	}
+}
+
+// StateDir without caching is a configuration error, reported by New.
+func TestStateDirRequiresCaching(t *testing.T) {
+	_, err := New(Config{StateDir: t.TempDir(), CacheEntries: -1, Registry: telemetry.NewRegistry()})
+	if err == nil {
+		t.Fatal("New must reject StateDir with caching disabled")
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hierpart/internal/cache"
+	"hierpart/internal/cache/diskstore"
 	"hierpart/internal/faultinject"
 	"hierpart/internal/graph"
 	"hierpart/internal/hgp"
@@ -60,6 +62,30 @@ type Config struct {
 	// with the no_degrade field; this flag is for fleets that prefer
 	// fail-fast semantics everywhere.
 	DisableDegradation bool
+	// StateDir, when non-empty, makes the decomposition cache durable:
+	// entries are snapshotted to this directory by a background flusher
+	// and loaded back on startup, so a killed-and-restarted daemon
+	// serves its first repeat request from a warm cache. Requires
+	// caching to be enabled.
+	StateDir string
+	// SnapshotInterval is how often the background flusher writes staged
+	// cache entries to StateDir. Zero means 2s.
+	SnapshotInterval time.Duration
+	// Adaptive enables the AIMD concurrency limiter: the solve ceiling
+	// starts at MaxConcurrent and moves with observed solve latency vs.
+	// deadline headroom (halve under deadline pressure, +1 per
+	// ceiling-worth of headroomy completions). Off, the ceiling is
+	// pinned at MaxConcurrent.
+	Adaptive bool
+	// MaxHeapBytes arms the memory-pressure circuit breaker: when the
+	// live heap exceeds it the daemon serves only the degradation
+	// ladder's floor tier (sheding no-degrade requests with 503) until
+	// pressure subsides, probing half-open after BreakerCooldown. Zero
+	// disables the breaker.
+	MaxHeapBytes int64
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe. Zero means 2s.
+	BreakerCooldown time.Duration
 	// Registry receives the daemon's metrics. Nil means
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -96,14 +122,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 2 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
 	return c
 }
 
-// Server is the daemon state: admission semaphore, decomposition cache,
-// metrics registry, and drain bookkeeping.
+// Server is the daemon state: admission limiter, circuit breaker,
+// decomposition cache (and its on-disk snapshot store), metrics
+// registry, and drain bookkeeping.
 type Server struct {
 	cfg Config
 	reg *telemetry.Registry
@@ -111,9 +144,16 @@ type Server struct {
 	// flight coalesces concurrent decomposition builds for the same
 	// cache key: a miss storm runs one build, not N.
 	flight cache.Group
-	sem    chan struct{}
-	start  time.Time
-	mux    *http.ServeMux
+	// lim gates solves: concurrency ceiling (AIMD-adaptive when
+	// cfg.Adaptive) plus a deadline-ordered waiting room.
+	lim *limiter
+	// brk is the memory-pressure circuit breaker; nil when disabled.
+	brk *breaker
+	// store snapshots cache entries to cfg.StateDir; nil when the cache
+	// is memory-only.
+	store *diskstore.Store
+	start time.Time
+	mux   *http.ServeMux
 
 	queued atomic.Int64
 
@@ -134,19 +174,36 @@ type Server struct {
 // durations.
 type solveFunc func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, s hgp.Solver) (res *hgp.Result, cacheHit bool, decompose, solve time.Duration, err error)
 
-// New builds a Server. Call Handler to obtain its http.Handler.
-func New(cfg Config) *Server {
+// New builds a Server. Call Handler to obtain its http.Handler. The
+// error is non-nil only when Config.StateDir cannot be prepared (or is
+// set with caching disabled); a damaged snapshot inside a healthy
+// directory is skipped, never fatal.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		reg:   cfg.Registry,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		lim:   newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, cfg.Adaptive),
+		brk:   newBreaker(cfg.MaxHeapBytes, cfg.BreakerCooldown),
 		start: time.Now(),
 		mux:   http.NewServeMux(),
 	}
 	if cfg.CacheEntries > 0 {
 		s.dec = cache.New(cfg.CacheEntries)
 	}
+	if cfg.StateDir != "" {
+		if s.dec == nil {
+			return nil, fmt.Errorf("server: StateDir requires caching (CacheEntries > 0)")
+		}
+		store, err := diskstore.Open(cfg.StateDir, cfg.CacheEntries, s.reg)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = store
+		s.warmStart()
+		store.StartFlusher(cfg.SnapshotInterval)
+	}
+	s.reg.Gauge("limiter_ceiling").Set(int64(cfg.MaxConcurrent))
 	s.solve = s.cachedSolve
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -156,7 +213,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
+}
+
+// warmStart loads the snapshot store into the decomposition LRU, oldest
+// first so the LRU's recency order matches the snapshot generation's.
+// Invalid entries were already skipped (and counted) by the store.
+func (s *Server) warmStart() {
+	type kv struct {
+		key string
+		dec *treedecomp.Decomposition
+	}
+	var entries []kv
+	if err := s.store.LoadAll(s.cfg.CacheEntries, func(key string, d *treedecomp.Decomposition) {
+		entries = append(entries, kv{key, d})
+	}); err != nil {
+		return
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		s.dec.Add(entries[i].key, entries[i].dec)
+	}
+	s.reg.Gauge("snapshot_warm_entries").Set(int64(len(entries)))
 }
 
 // Handler returns the daemon's http.Handler: the route mux wrapped in
@@ -192,8 +269,10 @@ func (s *Server) Drain() {
 }
 
 // Shutdown drains the daemon and blocks until every in-flight solve has
-// finished or ctx expires. It does not close listeners — pair it with
-// http.Server.Shutdown, which stops accepting connections.
+// finished or ctx expires, then flushes and closes the snapshot store
+// (staged cache entries survive a graceful restart even when the
+// flusher's interval never elapsed). It does not close listeners — pair
+// it with http.Server.Shutdown, which stops accepting connections.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
 	done := make(chan struct{})
@@ -201,12 +280,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.inflight.Wait()
 		close(done)
 	}()
+	var drainErr error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+		drainErr = fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	return drainErr
 }
 
 // admitInflight registers the request with the drain bookkeeping,
@@ -257,6 +342,11 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 				}
 				s.reg.Counter("decomp_builds_total").Inc()
 				s.dec.Add(key, built)
+				if s.store != nil {
+					// Stage for the background flusher: the expensive
+					// build outlives this process.
+					s.store.Enqueue(key, built)
+				}
 				return built, nil
 			})
 			if err != nil {
@@ -297,12 +387,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // apiError is the uniform error envelope of every non-2xx response.
+// ShedReason is present only on load-shedding responses (429/503/504):
+// a machine-readable tag clients can branch on without parsing Error.
 type apiError struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error      string `json:"error"`
+	Code       string `json:"code"`
+	ShedReason string `json:"shed_reason,omitempty"`
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
 	s.reg.Counter(fmt.Sprintf("http_status_%d_total", status)).Inc()
 	writeJSON(w, status, apiError{Error: msg, Code: code})
+}
+
+// writeShed emits a load-shedding response: the uniform error envelope
+// plus shed_reason, a Retry-After hint (whole seconds, rounded up) when
+// one is known, and a shed_total{reason=...} tick.
+func (s *Server) writeShed(w http.ResponseWriter, status int, code, reason, msg string, retryAfter time.Duration) {
+	s.reg.Counter(fmt.Sprintf("shed_total{reason=%q}", reason)).Inc()
+	s.reg.Counter(fmt.Sprintf("http_status_%d_total", status)).Inc()
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, apiError{Error: msg, Code: code, ShedReason: reason})
+}
+
+// publishBreakerGauges mirrors the breaker into the registry so both
+// stats formats see its state transitions as they happen.
+func (s *Server) publishBreakerGauges() {
+	if s.brk == nil {
+		return
+	}
+	state, trips, _ := s.brk.snapshot()
+	s.reg.Gauge("breaker_state").Set(int64(state))
+	s.reg.Gauge("breaker_trips").Set(trips)
 }

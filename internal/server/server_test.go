@@ -48,7 +48,11 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func postPartition(t *testing.T, h http.Handler, body any) *httptest.ResponseRecorder {

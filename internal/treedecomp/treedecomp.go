@@ -19,6 +19,20 @@ import (
 	"hierpart/internal/tree"
 )
 
+// RNGStreamVersion identifies the per-seed randomness stream of Build:
+// two builds with equal Options produce bit-identical decompositions
+// only when they ran under the same stream version. Bump it whenever
+// the mapping from (Seed, Options) to the emitted tree distribution
+// changes (the per-tree sub-seed derivation, the bisection RNG
+// consumption order, …). Persistent caches of decompositions key their
+// snapshots on this so a binary with a different stream never serves
+// another version's trees as its own (internal/cache/diskstore).
+//
+// Version history: 1 = seed-chained tree RNGs (PR 0); 2 = per-tree
+// sub-seeded streams + sorted BarabasiAlbert attachment iteration
+// (PR 1).
+const RNGStreamVersion = 2
+
 // Strategy selects how clusters are split during tree construction.
 type Strategy int
 
