@@ -102,9 +102,11 @@ func (s *Store) entryPath(key string) string {
 }
 
 // Save writes one entry atomically: encode, write to a temp file, fsync,
-// rename over the final name. A crash at any point leaves either the old
-// entry, no entry, or a stray temp file (ignored and removed on load) —
-// never a half-written entry under the final name.
+// rename over the final name, fsync the directory. A crash at any point
+// leaves either the old entry, no entry, or a stray temp file (ignored
+// and removed on load) — never a half-written entry under the final
+// name — and once Save returns the entry survives power loss, not just
+// process death.
 func (s *Store) Save(key string, d *treedecomp.Decomposition) error {
 	payload := encodeDecomposition(d)
 	if err := faultinject.Fire(nil, faultinject.DiskWrite); err != nil {
@@ -152,7 +154,27 @@ func (s *Store) commit(tmp, final string, buf []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, final)
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	// The rename is only crash-durable once the directory entry itself is
+	// on disk; without this a power loss can forget a "saved" entry even
+	// though its contents were fsynced.
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory so renames and removals survive
+// power loss, not just process death.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads and validates one entry. The boolean reports whether a
@@ -307,8 +329,12 @@ func (s *Store) prune() {
 	if err != nil {
 		return
 	}
-	for _, f := range files[min(len(files), s.maxEntries):] {
+	pruned := files[min(len(files), s.maxEntries):]
+	for _, f := range pruned {
 		os.Remove(filepath.Join(s.dir, f.name))
+	}
+	if len(pruned) > 0 {
+		_ = s.syncDir() // make the deletions crash-durable too
 	}
 }
 
@@ -337,7 +363,10 @@ func (s *Store) flushChan() chan struct{} {
 
 // Flush writes every staged entry now and prunes the generation to
 // maxEntries. It returns the first write error (later entries are still
-// attempted).
+// attempted). Entries whose write failed are re-staged for the next
+// flush — a transient error (ENOSPC, an injected disk fault) delays
+// durability rather than silently dropping the entry — unless a newer
+// Enqueue for the same key superseded them in the meantime.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	batch := s.pending
@@ -345,15 +374,28 @@ func (s *Store) Flush() error {
 	s.mu.Unlock()
 
 	var firstErr error
+	var failed []string
 	keys := make([]string, 0, len(batch))
 	for k := range batch {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if err := s.Save(k, batch[k]); err != nil && firstErr == nil {
-			firstErr = err
+		if err := s.Save(k, batch[k]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			failed = append(failed, k)
 		}
+	}
+	if len(failed) > 0 {
+		s.mu.Lock()
+		for _, k := range failed {
+			if _, superseded := s.pending[k]; !superseded {
+				s.pending[k] = batch[k]
+			}
+		}
+		s.mu.Unlock()
 	}
 	if len(batch) > 0 {
 		s.prune()

@@ -323,6 +323,42 @@ func TestDiskFaultInjection(t *testing.T) {
 	}
 }
 
+// A transient write fault during Flush must not drop the staged entry:
+// it is re-staged and written by the next flush once the fault clears.
+func TestFlushRestagesFailedEntries(t *testing.T) {
+	s, err := Open(t.TempDir(), 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, key := testDecomp(t, 77)
+	s.Enqueue(key, d)
+
+	injected := errors.New("injected disk fault")
+	restore := faultinject.Activate(faultinject.New(1).
+		On(faultinject.DiskWrite, faultinject.Fault{Prob: 1, Err: injected}))
+	flushErr := s.Flush()
+	restore()
+	if !errors.Is(flushErr, injected) {
+		t.Fatalf("Flush = %v, want injected fault", flushErr)
+	}
+	if st := s.Stats(); st.Pending != 1 {
+		t.Fatalf("pending after failed flush = %d, want 1 (entry dropped)", st.Pending)
+	}
+
+	// The fault cleared: the next flush writes the re-staged entry.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Pending != 0 {
+		t.Fatalf("pending after recovery flush = %d, want 0", st.Pending)
+	}
+	got, ok := s.Load(key)
+	if !ok {
+		t.Fatal("entry must be loadable after the recovery flush")
+	}
+	sameDecomp(t, d, got)
+}
+
 func TestStrayTempFilesRemovedOnLoad(t *testing.T) {
 	s, err := Open(t.TempDir(), 0, telemetry.NewRegistry())
 	if err != nil {

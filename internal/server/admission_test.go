@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hierpart/internal/faultinject"
 	"hierpart/internal/telemetry"
 )
 
@@ -335,6 +336,52 @@ func TestBreakerFloorsAndRecovers(t *testing.T) {
 	}
 	if rec := postPartition(t, s.Handler(), testRequest()); rec.Code != http.StatusOK {
 		t.Fatalf("post-recovery status = %d", rec.Code)
+	}
+}
+
+// A half-open probe request that dies before the solve (here: an
+// injected ServerSolve fault; the same applies to queue-full sheds,
+// waiting-room deadline expiry, and client cancels) must still settle
+// the probe. If the probing flag leaked, the breaker could never close
+// and the daemon would serve floor-only responses until restart.
+func TestBreakerProbeSettlesOnEarlyExit(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg, MaxHeapBytes: 1000, BreakerCooldown: 30 * time.Millisecond})
+	heap := uint64(2000)
+	var mu sync.Mutex
+	s.brk.readHeap = func() uint64 { mu.Lock(); defer mu.Unlock(); return heap }
+
+	// Trip the breaker (no-degrade request → 503 breaker_open).
+	if rec := postPartition(t, s.Handler(), testRequest()); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("trip request = %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+
+	// Pressure subsides; after the cooldown the next request is the
+	// probe — and it dies before the solve on an injected fault.
+	mu.Lock()
+	heap = 100
+	mu.Unlock()
+	time.Sleep(40 * time.Millisecond)
+	restore := faultinject.Activate(faultinject.New(1).
+		On(faultinject.ServerSolve, faultinject.Fault{Prob: 1, Count: 1, Err: errors.New("injected")}))
+	defer restore()
+	if rec := postPartition(t, s.Handler(), testRequest()); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("faulted probe = %d, want 500 (body %s)", rec.Code, rec.Body.String())
+	}
+
+	// The dead probe must have settled as a failure: breaker re-opened
+	// with a fresh cooldown, not half-open with the probe slot leaked.
+	if state, _, _ := s.brk.snapshot(); state != breakerOpen {
+		t.Fatalf("state after dead probe = %d, want open", state)
+	}
+
+	// After the next cooldown a fresh probe runs and closes the breaker.
+	time.Sleep(40 * time.Millisecond)
+	if rec := postPartition(t, s.Handler(), testRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("recovery probe = %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+	if state, _, _ := s.brk.snapshot(); state != breakerClosed {
+		t.Fatalf("state after recovery probe = %d, want closed", state)
 	}
 }
 

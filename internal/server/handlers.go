@@ -164,6 +164,24 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	// full-service probe when half-open.
 	mode := s.brk.admit()
 	s.publishBreakerGauges()
+	// A probe must settle on every exit path: if it is shed before the
+	// solve (queue full, deadline expired while queued, client cancel,
+	// injected fault) and probeDone never ran, the half-open slot would
+	// leak and the breaker could never close — floor-only service until
+	// restart. The deferred settlement reports failure unless the solve
+	// path already settled with its real outcome.
+	probeSettled := false
+	settleProbe := func(ok bool) {
+		if probeSettled {
+			return
+		}
+		probeSettled = true
+		s.brk.probeDone(ok)
+		s.publishBreakerGauges()
+	}
+	if mode == modeProbe {
+		defer settleProbe(false)
+	}
 	if mode == modeFloor && (req.NoDegrade || s.cfg.DisableDegradation) {
 		_, _, retry := s.brk.snapshot()
 		s.writeShed(w, http.StatusServiceUnavailable, "breaker_open", shedBreakerOpen,
@@ -173,16 +191,15 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: the deadline-ordered waiting room, then a solve slot.
 	// The queue gauge counts requests past decode, waiting or running.
-	depth := s.queued.Add(1)
-	defer s.queued.Add(-1)
-	s.reg.Gauge("queue_depth").Set(depth)
+	s.reg.Gauge("queue_depth").Set(s.queued.Add(1))
+	defer func() { s.reg.Gauge("queue_depth").Set(s.queued.Add(-1)) }()
 	if err := s.lim.acquire(ctx); err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
 			s.reg.Counter("queue_rejections_total").Inc()
-			ceiling, _, waiting := s.lim.snapshot()
+			_, inUse, waiting := s.lim.snapshot()
 			s.writeShed(w, http.StatusTooManyRequests, "queue_full", shedQueueFull,
-				fmt.Sprintf("admission queue full (%d running + %d waiting)", ceiling, waiting), time.Second)
+				fmt.Sprintf("admission queue full (%d running + %d waiting)", inUse, waiting), time.Second)
 		case errors.Is(err, errShedExpired):
 			s.reg.Counter("partition_errors_total").Inc()
 			s.reg.Counter("deadline_timeouts_total").Inc()
@@ -283,8 +300,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		// Half-open probe: a successful full-service request (with the
 		// heap back under the ceiling) closes the breaker; anything else
 		// re-opens it and restarts the cooldown.
-		s.brk.probeDone(err == nil)
-		s.publishBreakerGauges()
+		settleProbe(err == nil)
 	}
 	if err != nil {
 		switch {
