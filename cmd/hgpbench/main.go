@@ -4,10 +4,16 @@
 // Usage:
 //
 //	hgpbench [-quick] [-seed N] [-only E5,E6] [-csv] [-workers N]
+//	         [-prune] [-json out.json]
 //	         [-budget 100ms] [-tier baseline]
 //	         [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // -workers bounds the solver's concurrency budget (0 = GOMAXPROCS).
+// -prune turns on incumbent portfolio pruning in every pipeline solve;
+// tables are identical either way (the pruning identity battery), only
+// solve-time columns move. -json additionally writes the tables, with
+// per-experiment wall-clock, as one machine-readable JSON document —
+// the format benchmark baselines (BENCH_PR5.json) are recorded in.
 // Tables are identical at every worker count: each decomposition tree
 // draws from its own sub-seeded RNG stream, so only -seed changes the
 // numbers. (That per-seed stream changed when intra-solver parallelism
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +39,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E5,F1); empty = all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "solver concurrency budget (0 = GOMAXPROCS for the pipeline); tables are identical at every worker count")
+	prune := flag.Bool("prune", false, "incumbent portfolio pruning in pipeline solves; tables are identical either way, only solve-time columns move")
+	jsonOut := flag.String("json", "", "also write results as machine-readable JSON to this file")
 	budget := flag.Duration("budget", 0, "per-solve wall-clock budget for the E22 anytime ladder (0 = the default sweep)")
 	tier := flag.String("tier", "", "restrict the E22 ladder to one rung: full_dp, capped_dp, or baseline (empty = whole ladder)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -68,7 +77,7 @@ func main() {
 		}
 	}()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, Budget: *budget, Tier: *tier}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, Prune: *prune, Budget: *budget, Tier: *tier}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -106,6 +115,10 @@ func main() {
 		{"F1", experiments.F1BadSetSplit},
 		{"F2", experiments.F2ActiveSets},
 	}
+	report := jsonReport{
+		Schema: "hgpbench/1", Seed: *seed, Quick: *quick,
+		Workers: *workers, Prune: *prune, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	ran := 0
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] {
@@ -113,6 +126,7 @@ func main() {
 		}
 		start := time.Now()
 		tab := r.run(cfg)
+		wall := time.Since(start)
 		if *csvOut {
 			if err := tab.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "hgpbench:", err)
@@ -120,12 +134,50 @@ func main() {
 			}
 		} else {
 			fmt.Print(tab.Format())
-			fmt.Printf("   (%s in %s)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("   (%s in %s)\n\n", r.id, wall.Round(time.Millisecond))
 		}
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: tab.ID, Title: tab.Title, Columns: tab.Columns, Rows: tab.Rows,
+			Notes: tab.Notes, WallMS: float64(wall.Microseconds()) / 1000,
+		})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "hgpbench: no experiments matched -only filter")
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgpbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hgpbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonReport is the -json output document: the run's configuration plus
+// every table it produced, with per-experiment wall-clock. Rows stay
+// strings (exactly the cells the text table shows) so the document is
+// stable across schema-free float formatting differences.
+type jsonReport struct {
+	Schema      string           `json:"schema"` // "hgpbench/1"
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Workers     int              `json:"workers"`
+	Prune       bool             `json:"prune"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
+	WallMS  float64    `json:"wall_ms"`
 }

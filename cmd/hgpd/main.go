@@ -31,6 +31,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 0, "max simultaneous solves (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "waiting room beyond -concurrency before shedding 429 (-1 = none)")
 		cacheSize   = flag.Int("cache", 128, "decomposition LRU entries (-1 = disable caching)")
+		resultCache = flag.Int("result-cache", 256, "full-result LRU entries: repeat requests skip decomposition and DP (-1 = disable)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on any per-request deadline")
 		workers     = flag.Int("workers", 0, "per-solve worker budget (0 = GOMAXPROCS)")
@@ -51,7 +52,7 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := validateFlags(*concurrency, *queue, *cacheSize, *timeout, *maxTimeout,
+	if err := validateFlags(*concurrency, *queue, *cacheSize, *resultCache, *timeout, *maxTimeout,
 		*workers, *maxStates, *maxVertices, *maxEdges, *drainWait,
 		*stateDir, *snapInterval, *maxHeap); err != nil {
 		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
@@ -64,6 +65,7 @@ func main() {
 		DefaultTimeout:     *timeout,
 		MaxTimeout:         *maxTimeout,
 		CacheEntries:       *cacheSize,
+		ResultCacheEntries: *resultCache,
 		SolverWorkers:      *workers,
 		MaxStates:          *maxStates,
 		MaxVertices:        *maxVertices,
@@ -122,7 +124,7 @@ func main() {
 // -queue and -cache keep their documented -1 = disabled convention;
 // everything else must be non-negative, and duration/size flags that
 // something divides by or sleeps on must be strictly positive.
-func validateFlags(concurrency, queue, cacheSize int, timeout, maxTimeout time.Duration,
+func validateFlags(concurrency, queue, cacheSize, resultCache int, timeout, maxTimeout time.Duration,
 	workers, maxStates, maxVertices, maxEdges int, drainWait time.Duration,
 	stateDir string, snapInterval time.Duration, maxHeap int64) error {
 	switch {
@@ -132,6 +134,8 @@ func validateFlags(concurrency, queue, cacheSize int, timeout, maxTimeout time.D
 		return fmt.Errorf("-queue %d: must be >= -1 (-1 = no waiting room)", queue)
 	case cacheSize < -1:
 		return fmt.Errorf("-cache %d: must be >= -1 (-1 = disable caching)", cacheSize)
+	case resultCache < -1:
+		return fmt.Errorf("-result-cache %d: must be >= -1 (-1 = disable)", resultCache)
 	case timeout <= 0:
 		return fmt.Errorf("-timeout %v: must be > 0", timeout)
 	case maxTimeout <= 0:

@@ -3,7 +3,8 @@
 // issuing its next request when the previous one returns) or open-loop
 // (a fixed arrival rate, independent of response times — the shape that
 // actually exposes queueing collapse) mode, classifies every response,
-// and prints a JSON summary with latency percentiles.
+// and prints a JSON summary with latency percentiles and the fraction of
+// 200s the daemon answered from its full-solve result cache.
 //
 // With -strict and/or the -slo-* flags it doubles as an assertion
 // harness: transport errors, unexpected statuses (5xx without a
@@ -61,10 +62,11 @@ func loadRequest(seed int64, trees, timeoutMS int) []byte {
 
 // sample is one completed request, as recorded by a worker.
 type sample struct {
-	status  int
-	shed    string
-	latency time.Duration
-	err     bool
+	status    int
+	shed      string
+	latency   time.Duration
+	err       bool
+	resultHit bool // 200 served from the daemon's full-solve result cache
 }
 
 // Summary is the JSON report printed on stdout.
@@ -79,6 +81,12 @@ type Summary struct {
 	ShedReasons     map[string]int     `json:"shed_reasons"`
 	Throughput      float64            `json:"throughput_rps"` // 200s per second
 	LatencyMS       map[string]float64 `json:"latency_ms"`     // over 200s: p50/p90/p99/max
+	// ResultCacheHits counts 200s the daemon answered from its full-solve
+	// result cache (result_cache_hit in the response); the ratio is over
+	// all 200s, so with rotating seeds it converges to (seeds-1)/seeds
+	// once every distinct instance has been solved once.
+	ResultCacheHits     int     `json:"result_cache_hits"`
+	ResultCacheHitRatio float64 `json:"result_cache_hit_ratio"`
 }
 
 func main() {
@@ -133,12 +141,14 @@ func main() {
 			return 50 * time.Millisecond
 		}
 		var envelope struct {
-			ShedReason string `json:"shed_reason"`
+			ShedReason     string `json:"shed_reason"`
+			ResultCacheHit bool   `json:"result_cache_hit"`
 		}
 		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		_ = json.Unmarshal(raw, &envelope)
-		record(sample{status: resp.StatusCode, shed: envelope.ShedReason, latency: time.Since(t0)})
+		record(sample{status: resp.StatusCode, shed: envelope.ShedReason,
+			latency: time.Since(t0), resultHit: envelope.ResultCacheHit})
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 			backoff := 50 * time.Millisecond
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -226,6 +236,9 @@ func main() {
 		switch {
 		case s.status == http.StatusOK:
 			sum.OK++
+			if s.resultHit {
+				sum.ResultCacheHits++
+			}
 			okLat = append(okLat, s.latency)
 		case s.status == http.StatusTooManyRequests, s.status == http.StatusGatewayTimeout:
 			// Sheds and deadline misses: expected under overload.
@@ -246,6 +259,9 @@ func main() {
 		sum.LatencyMS["p99"] = pct(0.99)
 		sum.LatencyMS["max"] = float64(okLat[len(okLat)-1].Microseconds()) / 1000
 		sum.Throughput = float64(sum.OK) / elapsed.Seconds()
+	}
+	if sum.OK > 0 {
+		sum.ResultCacheHitRatio = float64(sum.ResultCacheHits) / float64(sum.OK)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

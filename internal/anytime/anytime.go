@@ -222,6 +222,12 @@ func Solve(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, opts Opt
 
 	fullSv := opts.Solver
 	fullSv.AllowPartial = true
+	// The DP rungs run under a deadline, so they adopt portfolio pruning:
+	// the returned placement is bit-identical (pinned by the hgp identity
+	// battery) but multi-tree solves finish sooner, which is exactly what
+	// a race against the clock wants. Derived below, the capped rung
+	// inherits the flag.
+	fullSv.Prune = true
 	fullTrees := fullSv.Trees
 	if fullTrees == 0 {
 		fullTrees = 4

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
 	"hierpart/internal/treedecomp"
 )
 
@@ -148,5 +149,51 @@ func DecompKey(g *graph.Graph, opt treedecomp.Options) string {
 		wInt(0)
 	}
 	wInt(int64(opt.Strategy))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ResultKey returns the canonical cache key for a FULL solve result —
+// decomposition plus DP plus gather — so a repeat request can skip both
+// phases. It extends DecompKey's identity (graph, tree-distribution
+// options) with everything else that determines the returned placement:
+// the hierarchy shape (deg and cm level by level) and the solver's Eps
+// and MaxStates.
+//
+// Deliberately excluded, because the returned result is bit-identical
+// across them (keying on them would only fragment the cache):
+//
+//   - Workers — per-tree sub-seeded RNGs and the order-independent DP
+//     make every worker count produce the same result;
+//   - the portfolio-pruning toggle — the identity battery
+//     (hgp.TestPruneIdentityBattery and the at-scale variant) pins
+//     pruned results bit-identical to unpruned ones. PerTreeCosts
+//     sentinels differ (+Inf for pruned trees), so cached results keep
+//     whichever sentinel pattern the first solve produced.
+func ResultKey(g *graph.Graph, H *hierarchy.Hierarchy, opt treedecomp.Options, eps float64, maxStates int) string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+
+	// Domain-separate from DecompKey so the two key spaces can never
+	// collide, then fold in the decomposition identity.
+	h.Write([]byte("result\x00"))
+	h.Write([]byte(DecompKey(g, opt)))
+
+	wInt(int64(H.Height()))
+	for j := 0; j < H.Height(); j++ {
+		wInt(int64(H.Deg(j)))
+	}
+	for j := 0; j <= H.Height(); j++ {
+		wFloat(H.CM(j))
+	}
+	wFloat(eps)
+	wInt(int64(maxStates))
 	return hex.EncodeToString(h.Sum(nil))
 }

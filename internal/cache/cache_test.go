@@ -7,6 +7,7 @@ import (
 
 	"hierpart/internal/gen"
 	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
 	"hierpart/internal/treedecomp"
 )
 
@@ -155,5 +156,71 @@ func TestDecompKeyStableAcrossGenerators(t *testing.T) {
 	b := gen.Grid(6, 6, 1)
 	if DecompKey(a, treedecomp.Options{Trees: 2}) != DecompKey(b, treedecomp.Options{Trees: 2}) {
 		t.Fatal("identical graphs must key identically")
+	}
+}
+
+// TestResultKeyInvalidation pins the result-cache contract (satellite:
+// invalidation tests): every request field that changes the returned
+// placement must change the key, and fields that provably do not
+// (Workers) must not, so warm traffic keeps hitting across worker-count
+// changes.
+func TestResultKeyInvalidation(t *testing.T) {
+	g := gen.Grid(4, 4, 2)
+	gen.EqualDemands(g, 0.3)
+	h := hierarchy.MustNew([]int{2, 2}, []float64{9, 2, 0})
+	opt := treedecomp.Options{Trees: 3, Seed: 7}
+	base := ResultKey(g, h, opt, 0.5, 0)
+
+	if got := ResultKey(g, h, opt, 0.5, 0); got != base {
+		t.Fatal("identical inputs must produce identical keys")
+	}
+
+	// Workers shapes neither the decomposition distribution nor the DP
+	// result, so it is not part of the key at all: two requests differing
+	// only in Workers share one cache slot by construction.
+	wOpt := opt
+	wOpt.Workers = 8
+	if got := ResultKey(g, h, wOpt, 0.5, 0); got != base {
+		t.Fatal("Workers change must still hit the cached result")
+	}
+
+	miss := map[string]string{}
+	miss["eps"] = ResultKey(g, h, opt, 0.25, 0)
+	miss["max_states"] = ResultKey(g, h, opt, 0.5, 100000)
+	tOpt := opt
+	tOpt.Trees = 4
+	miss["trees"] = ResultKey(g, h, tOpt, 0.5, 0)
+	sOpt := opt
+	sOpt.Seed = 8
+	miss["seed"] = ResultKey(g, h, sOpt, 0.5, 0)
+	stOpt := opt
+	stOpt.Strategy = treedecomp.MinCutSplit
+	miss["strategy"] = ResultKey(g, h, stOpt, 0.5, 0)
+	miss["hierarchy_cm"] = ResultKey(g, hierarchy.MustNew([]int{2, 2}, []float64{9, 3, 0}), opt, 0.5, 0)
+	miss["hierarchy_deg"] = ResultKey(g, hierarchy.MustNew([]int{4, 1}, []float64{9, 2, 0}), opt, 0.5, 0)
+
+	g2 := gen.Grid(4, 4, 2)
+	gen.EqualDemands(g2, 0.35)
+	miss["demands"] = ResultKey(g2, h, opt, 0.5, 0)
+
+	seen := map[string]string{base: "base"}
+	for field, k := range miss {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("changing %s collided with %s", field, prev)
+		}
+		seen[k] = field
+	}
+}
+
+// TestResultKeyDisjointFromDecompKey: the two key spaces are
+// domain-separated — a result key can never alias a decomposition key
+// even for the same request.
+func TestResultKeyDisjointFromDecompKey(t *testing.T) {
+	g := gen.Grid(3, 3, 2)
+	gen.EqualDemands(g, 0.3)
+	h := hierarchy.FlatKWay(4)
+	opt := treedecomp.Options{Trees: 2, Seed: 1}
+	if ResultKey(g, h, opt, 0.5, 0) == DecompKey(g, opt) {
+		t.Fatal("result key aliases decomposition key")
 	}
 }

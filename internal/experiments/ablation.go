@@ -116,7 +116,7 @@ func E12AblationTrees(cfg Config) *Table {
 	idxSum := make([]float64, len(counts))
 	for ci, trees := range counts {
 		for ti, g := range graphs {
-			res, err := hgp.Solver{Eps: 0.5, Trees: trees, Seed: int64(ti), Workers: cfg.Workers}.Solve(g, h)
+			res, err := hgp.Solver{Eps: 0.5, Trees: trees, Seed: int64(ti), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 			if err != nil {
 				continue
 			}
@@ -169,7 +169,7 @@ func E13AblationRefinement(cfg Config) *Table {
 			}
 		}
 		sortFloats(all)
-		res, err := hgp.Solver{Eps: 0.5, Trees: 2, Seed: 5, FMPasses: passes, Workers: cfg.Workers}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 2, Seed: 5, FMPasses: passes, Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 		cost := math.NaN()
 		if err == nil {
 			cost = res.Cost
@@ -254,7 +254,7 @@ func E16AblationFlowRefine(cfg Config) *Table {
 			for _, d := range all {
 				sum += d
 			}
-			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: 7, FlowRefine: fr, Workers: cfg.Workers}.Solve(g, h)
+			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: 7, FlowRefine: fr, Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 			cost := math.NaN()
 			if err == nil {
 				cost = res.Cost
@@ -397,7 +397,7 @@ func E18DynamicRepartition(cfg Config) *Table {
 	topo := stream.FanInAggregation(rng, 6, 3, 0.3, 0.55, 40)
 	g := topo.CommGraph()
 	quantizeDemands(g, 1.0/16)
-	solver := hgp.Solver{Eps: 0.5, Trees: 3, Seed: 7, Workers: cfg.Workers}
+	solver := hgp.Solver{Eps: 0.5, Trees: 3, Seed: 7, Workers: cfg.Workers, Prune: cfg.Prune}
 	base, err := solver.Solve(g, h)
 	if err != nil {
 		t.AddRow("err: " + err.Error())
@@ -410,13 +410,13 @@ func E18DynamicRepartition(cfg Config) *Table {
 		prevTopo = stream.Drift(rng, prevTopo, 0.25)
 		g2 := prevTopo.CommGraph()
 		stay := metrics.CostLCA(g2, h, base.Assignment)
-		scratch, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: int64(100 + epoch), Workers: cfg.Workers}.Solve(g2, h)
+		scratch, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: int64(100 + epoch), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g2, h)
 		if err != nil {
 			t.AddRow(epoch, "err: "+err.Error())
 			continue
 		}
 		dyn, err := dynamic.Replace(g2, h, cur, dynamic.Options{
-			Solver: hgp.Solver{Eps: 0.5, Trees: 3, Seed: int64(100 + epoch), Workers: cfg.Workers},
+			Solver: hgp.Solver{Eps: 0.5, Trees: 3, Seed: int64(100 + epoch), Workers: cfg.Workers, Prune: cfg.Prune},
 		})
 		if err != nil {
 			t.AddRow(epoch, "err: "+err.Error())

@@ -36,7 +36,7 @@ func E22AnytimeLadder(cfg Config) *Table {
 	g := gen.Community(rng, 4, 16*scale, 0.5, 0.02, 10, 1)
 	gen.EqualDemands(g, 0.6*float64(h.Leaves())/float64(g.N()))
 
-	sv := hgp.Solver{Eps: 0.25, Trees: 4, Seed: cfg.Seed + 22, Workers: cfg.Workers}
+	sv := hgp.Solver{Eps: 0.25, Trees: 4, Seed: cfg.Seed + 22, Workers: cfg.Workers, Prune: cfg.Prune}
 	opts := anytime.Options{Solver: sv}
 	if cfg.Tier != "" {
 		tier, err := anytime.ParseTier(cfg.Tier)

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 	"time"
 
 	"hierpart/internal/baseline"
@@ -11,6 +13,7 @@ import (
 	"hierpart/internal/hierarchy"
 	"hierpart/internal/metrics"
 	"hierpart/internal/stream"
+	"hierpart/internal/treedecomp"
 )
 
 // quantizeDemands rounds every demand up to a multiple of q. Few
@@ -72,7 +75,7 @@ func E5VsBaselines(cfg Config) *Table {
 		for i := 0; i < trials; i++ {
 			g := wl.mk()
 			n = g.N()
-			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
+			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 			if err != nil {
 				continue
 			}
@@ -131,7 +134,7 @@ func E6StreamThroughput(cfg Config) *Table {
 	for _, tc := range topos {
 		topo := tc.mk()
 		g := topo.CommGraph()
-		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 		if err != nil {
 			t.AddRow(tc.name, topo.N(), "err: "+err.Error())
 			continue
@@ -174,7 +177,7 @@ func E9CMSweep(cfg Config) *Table {
 		h := hierarchy.MustNew([]int{4, 4}, []float64{steep, 1, 0})
 		var hgpC, oblC float64
 		for i := 0; i < trials; i++ {
-			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
+			res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 			if err != nil {
 				continue
 			}
@@ -219,7 +222,7 @@ func E15DESStability(cfg Config) *Table {
 	for _, tc := range topos {
 		topo := tc.mk()
 		g := topo.CommGraph()
-		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 3, Seed: rng.Int63(), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 		if err != nil {
 			t.AddRow(tc.name, topo.N(), "err: "+err.Error())
 			continue
@@ -253,8 +256,10 @@ func E21AtScale(cfg Config) *Table {
 		ID:    "E21",
 		Title: "At-scale comparison on 64 cores (ratio to HGP pipeline; >1 = worse)",
 		Columns: []string{"n", "HGP cost", "solve time", "HGP+refine", "dual-recursive",
-			"multilevel", "kBGP-oblivious", "random"},
-		Notes: "expected: the pipeline stays exact-on-tree and sub-second at n=256; the E5 ordering persists at scale",
+			"multilevel", "kBGP-oblivious", "random", "dp off (8t)", "dp on (8t)", "prune speedup"},
+		Notes: "expected: the pipeline stays exact-on-tree and sub-second at n=256; the E5 ordering persists at scale; " +
+			"the last three columns A/B incumbent pruning over one prebuilt mixed-strategy 8-tree portfolio " +
+			"(2 bisection + 2 min-cut + 4 FRT; median of interleaved repeats)",
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 52))
 	h := hierarchy.NUMASockets(8, 8)
@@ -269,21 +274,78 @@ func E21AtScale(cfg Config) *Table {
 			g.SetDemand(v, quantUp(d, 8))
 		}
 		start := time.Now()
-		res, err := hgp.Solver{Eps: 0.5, Trees: 2, Seed: 3, Workers: cfg.Workers}.Solve(g, h)
+		res, err := hgp.Solver{Eps: 0.5, Trees: 2, Seed: 3, Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, h)
 		el := time.Since(start)
 		if err != nil {
 			t.AddRow(n, "err: "+err.Error())
 			continue
 		}
 		refined := baseline.RefineLocal(g, h, res.Assignment, 1.2, 2)
+		offMed, onMed, abErr := e21PruneAB(cfg, g, h)
+		if abErr != nil {
+			t.AddRow(n, "err: "+abErr.Error())
+			continue
+		}
 		t.AddRow(n, res.Cost, el.Round(time.Millisecond),
 			metrics.Ratio(metrics.CostLCA(g, h, refined), res.Cost),
 			metrics.Ratio(metrics.CostLCA(g, h, baseline.DualRecursive(rng, g, h)), res.Cost),
 			metrics.Ratio(metrics.CostLCA(g, h, baseline.Multilevel(rng, g, h)), res.Cost),
 			metrics.Ratio(metrics.CostLCA(g, h, baseline.KBGPOblivious(rng, g, h)), res.Cost),
-			metrics.Ratio(metrics.CostLCA(g, h, baseline.Random(rng, g, h)), res.Cost))
+			metrics.Ratio(metrics.CostLCA(g, h, baseline.Random(rng, g, h)), res.Cost),
+			offMed.Round(time.Millisecond), onMed.Round(time.Millisecond),
+			metrics.Ratio(offMed.Seconds(), onMed.Seconds()))
 	}
 	return t
+}
+
+// e21PruneAB times the DP phase with incumbent pruning off and on over
+// one prebuilt mixed-strategy portfolio (2 bisection + 2 min-cut + 4
+// FRT trees), so the A/B isolates the solver from tree-construction
+// noise. The mixed portfolio is the regime pruning targets: FRT trees
+// land ~40% above the bisection incumbent here, so their DPs abort
+// early, whereas a homogeneous portfolio's mapped costs cluster within
+// a few percent and the bound structurally cannot bite. Repeats are
+// interleaved (off, on, off, on, …) to decorrelate machine drift, and
+// the medians are reported. The placements are bit-identical either
+// way (the pruning identity battery); only the wall-clock differs.
+func e21PruneAB(cfg Config, g *graph.Graph, h *hierarchy.Hierarchy) (off, on time.Duration, err error) {
+	sv := hgp.Solver{Eps: 0.5, Trees: 4, Seed: 3, Workers: cfg.Workers}
+	dec := &treedecomp.Decomposition{}
+	for _, sp := range []struct {
+		st treedecomp.Strategy
+		k  int
+	}{{treedecomp.BalancedBisection, 2}, {treedecomp.MinCutSplit, 2}, {treedecomp.FRT, 4}} {
+		opt := sv.DecompOptions()
+		opt.Trees = sp.k
+		opt.Strategy = sp.st
+		d2 := treedecomp.Build(g, opt)
+		dec.Trees = append(dec.Trees, d2.Trees...)
+	}
+	reps := cfg.pick(1, 5)
+	offs := make([]time.Duration, 0, reps)
+	ons := make([]time.Duration, 0, reps)
+	for r := 0; r < reps; r++ {
+		for _, prune := range []bool{false, true} {
+			s := sv
+			s.Prune = prune
+			start := time.Now()
+			if _, serr := s.SolveDecomposition(context.Background(), g, h, dec); serr != nil {
+				return 0, 0, serr
+			}
+			if el := time.Since(start); prune {
+				ons = append(ons, el)
+			} else {
+				offs = append(offs, el)
+			}
+		}
+	}
+	return medianDuration(offs), medianDuration(ons), nil
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
 }
 
 // quantUp rounds x up to a multiple of 1/q.

@@ -60,7 +60,7 @@ func E23WarmRestart(cfg Config) *Table {
 	for _, fam := range families {
 		g := fam.make()
 		gen.EqualDemands(g, 0.6*float64(h.Leaves())/float64(g.N()))
-		sv := hgp.Solver{Eps: 0.5, Trees: 4, Seed: cfg.Seed + 23, Workers: cfg.Workers}
+		sv := hgp.Solver{Eps: 0.5, Trees: 4, Seed: cfg.Seed + 23, Workers: cfg.Workers, Prune: cfg.Prune}
 		opts := sv.DecompOptions()
 		key := cache.DecompKey(g, opts)
 

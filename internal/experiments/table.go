@@ -60,6 +60,13 @@ type Config struct {
 	// tree DPs). Tables are identical at every worker count; only the
 	// wall-clock changes.
 	Workers int
+	// Prune turns on incumbent portfolio pruning (hgp.Solver.Prune) in
+	// every pipeline solve the suite runs (the hgpbench -prune flag).
+	// The identity battery pins pruned results bit-identical to
+	// unpruned ones, so tables do not change — only solve-time columns
+	// move. E21 additionally reports its own on/off A/B regardless of
+	// this flag.
+	Prune bool
 	// Budget, when non-zero, replaces E22's default deadline sweep with
 	// this single per-solve budget (the hgpbench -budget flag). Timing-
 	// dependent rows are inherently non-reproducible across machines.

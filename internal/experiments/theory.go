@@ -198,7 +198,7 @@ func E4ApproxRatio(cfg Config) *Table {
 				if optA == nil || opt == 0 {
 					continue
 				}
-				res, err := hgp.Solver{Eps: 0.25, Trees: 4, Seed: rng.Int63(), Workers: cfg.Workers}.Solve(g, hc.h)
+				res, err := hgp.Solver{Eps: 0.25, Trees: 4, Seed: rng.Int63(), Workers: cfg.Workers, Prune: cfg.Prune}.Solve(g, hc.h)
 				if err != nil {
 					continue
 				}

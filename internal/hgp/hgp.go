@@ -57,6 +57,17 @@ type Solver struct {
 	// callback must not mutate the result or block for long — it runs
 	// inside the solve's critical path.
 	OnIncumbent func(*Result)
+	// Prune enables the incumbent-bounded portfolio (portfolio.go):
+	// trees are ordered by a cheap preview cost and run sequentially,
+	// each under a cost bound equal to the best mapped cost completed so
+	// far, so a tree that provably cannot beat the incumbent in DP space
+	// aborts early instead of finishing its DP. Pruned trees record +Inf
+	// in PerTreeCosts and are counted by TreesPruned; the returned
+	// placement, cost, and TreeIndex are identical to the unpruned solve
+	// (pinned by the on/off identity battery). Multi-tree solves only —
+	// with one tree there is nothing to prune. Completed results remain
+	// bit-identical at every worker count.
+	Prune bool
 }
 
 // Result is the output of Solve.
@@ -72,22 +83,35 @@ type Result struct {
 	TreeIndex int
 	// PerTreeCosts records the mapped graph cost of every tree's
 	// solution, indexed by tree, for distribution-quality experiments.
-	// A tree whose solve failed records math.NaN() at its index (never
-	// a zero, which would read as a perfect placement); use math.IsNaN
-	// to skip errored trees when aggregating.
+	// Two sentinels, never a zero (which would read as a perfect
+	// placement): a tree whose solve FAILED records math.NaN() at its
+	// index — no cost statement can be made — while a tree PRUNED by the
+	// portfolio's incumbent bound (Solver.Prune) records math.Inf(1) —
+	// its DP optimum provably exceeded the incumbent. Use math.IsNaN /
+	// math.IsInf to skip sentinels when aggregating.
 	PerTreeCosts []float64
 	// Violation is the per-level relative capacity violation of the
 	// returned placement (see metrics.Violation).
 	Violation []float64
-	// States is the total DP state count across all trees.
+	// States is the total DP state count across all trees. It is the one
+	// field that is NOT schedule-independent under an active prune bound
+	// (Solver.Prune): bound-affected tables see a completion-bound
+	// snapshot that tightens as sibling subtrees finish, so the count of
+	// surviving states varies with worker count and timing. Placement,
+	// Cost, PerTreeCosts, and the pruned set do not.
 	States int
 	// Partial marks an incumbent surrendered by a cancelled solve (see
 	// Solver.AllowPartial): only TreesDone of the requested trees
 	// completed, and PerTreeCosts records NaN for the rest.
 	Partial bool
 	// TreesDone counts the trees whose DP finished (equals the tree
-	// count on a complete run).
+	// count on a complete run with pruning off; pruned trees are not
+	// "done" — they aborted early).
 	TreesDone int
+	// TreesPruned counts the trees skipped by the portfolio's incumbent
+	// bound (Solver.Prune); each records +Inf in PerTreeCosts. Always
+	// zero with pruning off.
+	TreesPruned int
 }
 
 // Solve runs the full pipeline on g and H. Cancellable callers should
@@ -157,17 +181,7 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 		budget = runtime.GOMAXPROCS(0)
 	}
 
-	// Solve the independent per-tree DPs concurrently; selection below
-	// is by fixed tree index, so results are deterministic regardless of
-	// completion order. The worker budget splits between the tree level
-	// and the node level inside each DP: treeWorkers × nodeWorkers ≤
-	// budget, so the two layers of parallelism cannot oversubscribe.
 	outs := make([]treeOut, len(dec.Trees))
-	treeWorkers := budget
-	if treeWorkers > len(dec.Trees) {
-		treeWorkers = len(dec.Trees)
-	}
-	nodeWorkers := budget / treeWorkers
 
 	// Incumbent checkpointing (AllowPartial / OnIncumbent): the running
 	// best mapped placement over trees completed so far, so cancellation
@@ -200,29 +214,50 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 		}
 	}
 
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < treeWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range work {
-				if err := ctx.Err(); err != nil {
-					outs[ti].err = err
-					continue
+	if s.Prune && len(dec.Trees) > 1 {
+		// Portfolio path (portfolio.go): sequential best-preview-first
+		// trees under an incumbent bound, full budget to node-level DP
+		// parallelism. Sequencing trees costs nothing on saturated
+		// hardware — the same worker budget runs either way — and keeps
+		// the bound each tree sees a pure function of the completed
+		// prefix, never of scheduler timing.
+		s.solvePortfolio(ctx, g, H, dec, outs, budget, record)
+	} else {
+		// Solve the independent per-tree DPs concurrently; selection
+		// below is by fixed tree index, so results are deterministic
+		// regardless of completion order. The worker budget splits
+		// between the tree level and the node level inside each DP:
+		// treeWorkers × nodeWorkers ≤ budget, so the two layers of
+		// parallelism cannot oversubscribe.
+		treeWorkers := budget
+		if treeWorkers > len(dec.Trees) {
+			treeWorkers = len(dec.Trees)
+		}
+		nodeWorkers := budget / treeWorkers
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < treeWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ti := range work {
+					if err := ctx.Err(); err != nil {
+						outs[ti].err = err
+						continue
+					}
+					outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, nil)
+					if outs[ti].err == nil {
+						record(ti)
+					}
 				}
-				outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers)
-				if outs[ti].err == nil {
-					record(ti)
-				}
-			}
-		}()
+			}()
+		}
+		for ti := range dec.Trees {
+			work <- ti
+		}
+		close(work)
+		wg.Wait()
 	}
-	for ti := range dec.Trees {
-		work <- ti
-	}
-	close(work)
-	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
 		// A cancelled run may have finished some trees. By default a
@@ -250,7 +285,9 @@ type treeOut struct {
 	assign   metrics.Assignment
 	cost     float64
 	treeCost float64
+	dpCost   float64 // relaxed DP optimum (≥ treeCost ≥ cost)
 	states   int
+	pruned   bool // aborted by the portfolio's incumbent bound
 	err      error
 }
 
@@ -258,13 +295,15 @@ type treeOut struct {
 // graph, converting a panic anywhere below (a solver bug, or an
 // injected fault) into that tree's error so one bad tree cannot take
 // down the caller — the remaining trees still produce a usable result.
-func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dt *treedecomp.DecompTree, ti, nodeWorkers int) (out treeOut) {
+// bound, when non-nil, is the portfolio's incumbent cost bound (see
+// portfolio.go); nil means unbounded.
+func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dt *treedecomp.DecompTree, ti, nodeWorkers int, bound *hgpt.CostBound) (out treeOut) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = treeOut{err: fmt.Errorf("hgp: tree %d: panic: %v", ti, r)}
 		}
 	}()
-	sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers}.SolveContext(ctx, dt.T, H)
+	sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers, Bound: bound}.SolveContext(ctx, dt.T, H)
 	if err != nil {
 		return treeOut{err: fmt.Errorf("hgp: tree %d: %w", ti, err)}
 	}
@@ -279,6 +318,7 @@ func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hier
 		assign:   assign,
 		cost:     metrics.CostLCA(g, H, assign),
 		treeCost: sol.Cost,
+		dpCost:   sol.DPCost,
 		states:   sol.States,
 	}
 }
@@ -286,13 +326,19 @@ func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hier
 // gather folds the per-tree outcomes into the final Result: the
 // minimum-cost completed tree wins (fixed index order, so complete runs
 // are deterministic), errored or unfinished trees record NaN in
-// PerTreeCosts. It returns nil and the first tree error when no tree
-// completed.
+// PerTreeCosts, trees pruned by the portfolio bound record +Inf and
+// tick TreesPruned. It returns nil and the first tree error when no
+// tree completed.
 func (s Solver) gather(g *graph.Graph, H *hierarchy.Hierarchy, outs []treeOut) (*Result, error) {
 	res := &Result{TreeIndex: -1, PerTreeCosts: make([]float64, 0, len(outs))}
 	var firstErr error
 	for ti := range outs {
 		o := &outs[ti]
+		if o.pruned {
+			res.PerTreeCosts = append(res.PerTreeCosts, math.Inf(1))
+			res.TreesPruned++
+			continue
+		}
 		if o.err != nil || o.assign == nil {
 			if o.err != nil && firstErr == nil {
 				firstErr = o.err

@@ -1,0 +1,240 @@
+package hgp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/tree"
+	"hierpart/internal/treedecomp"
+)
+
+// scaleInstance builds an E21-style serving-scale instance: community
+// graph on a two-level 64-leaf machine with demands quantized to 1/8 so
+// the signature DP stays fast. n must be a multiple of 8 and at least
+// pruneMinN, so the incumbent bound is actually active (unlike the
+// small-n battery, where the floor keeps it off).
+func scaleInstance(seed int64, n int) (*graph.Graph, *hierarchy.Hierarchy) {
+	rng := rand.New(rand.NewSource(seed))
+	g := gen.Community(rng, 8, n/8, 0.3, 0.01, 10, 1)
+	for v := 0; v < g.N(); v++ {
+		d := 0.05 + 0.3*rng.Float64()
+		g.SetDemand(v, math.Ceil(d*8)/8)
+	}
+	return g, hierarchy.NUMASockets(8, 8)
+}
+
+// TestPruneIdentityAtScale is the identity battery in the regime where
+// the bound is live (n ≥ pruneMinN): placement, cost, winning tree, and
+// every completed per-tree cost must be bit-identical to the unpruned
+// solve.
+func TestPruneIdentityAtScale(t *testing.T) {
+	sizes := []int{128}
+	if !testing.Short() {
+		sizes = append(sizes, 256)
+	}
+	for _, n := range sizes {
+		g, h := scaleInstance(97, n)
+		base, err := Solver{Eps: 0.5, Trees: 4, Seed: 3, Workers: 1}.Solve(g, h)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, w := range []int{1, 4} {
+			got, err := Solver{Eps: 0.5, Trees: 4, Seed: 3, Workers: w, Prune: true}.Solve(g, h)
+			if err != nil {
+				t.Fatalf("n=%d workers %d: %v", n, w, err)
+			}
+			if got.Cost != base.Cost || got.TreeCost != base.TreeCost || got.TreeIndex != base.TreeIndex {
+				t.Fatalf("n=%d workers %d: pruned result differs: got (cost=%v tree=%d) want (cost=%v tree=%d)",
+					n, w, got.Cost, got.TreeIndex, base.Cost, base.TreeIndex)
+			}
+			for v := range base.Assignment {
+				if got.Assignment[v] != base.Assignment[v] {
+					t.Fatalf("n=%d workers %d: assignment differs at vertex %d", n, w, v)
+				}
+			}
+			for i, c := range got.PerTreeCosts {
+				if !math.IsInf(c, 1) && c != base.PerTreeCosts[i] {
+					t.Fatalf("n=%d workers %d: per-tree cost %d differs: %v vs %v", n, w, i, c, base.PerTreeCosts[i])
+				}
+			}
+			t.Logf("n=%d workers %d: %d of %d trees pruned", n, w, got.TreesPruned, len(got.PerTreeCosts))
+		}
+	}
+}
+
+// cloneScaled deep-copies dt with every tree edge weight multiplied by
+// f. Scaling by a power of two is exact in floating point, so the
+// clone's DP tables are the original's with every cost multiplied by f:
+// same argmins, same ties, same placement.
+func cloneScaled(dt *treedecomp.DecompTree, f float64) *treedecomp.DecompTree {
+	src := dt.T
+	nt := tree.New()
+	nt.SetLabel(0, src.Label(0))
+	if src.IsLeaf(0) {
+		nt.SetDemand(0, src.Demand(0))
+	}
+	// AddChild allocates IDs in insertion order and parents always precede
+	// children, so walking v ascending reproduces the exact node IDs.
+	for v := 1; v < src.N(); v++ {
+		id := nt.AddChild(src.Parent(v), src.EdgeWeight(v)*f)
+		nt.SetLabel(id, src.Label(v))
+		if src.IsLeaf(v) {
+			nt.SetDemand(id, src.Demand(v))
+		}
+	}
+	leafOf := make([]int, len(dt.LeafOf))
+	copy(leafOf, dt.LeafOf)
+	return &treedecomp.DecompTree{T: nt, LeafOf: leafOf}
+}
+
+// TestPruneDeterministicAcrossRuns: the pruned-tree set itself (not
+// just the winner) must be identical run to run and across worker
+// counts — the bound each tree sees is a pure function of the preview
+// order and the completed prefix, never of timing. The sabotaged clone
+// guarantees the pruned set is non-empty, so the assertion has teeth.
+func TestPruneDeterministicAcrossRuns(t *testing.T) {
+	g, h := scaleInstance(29, 128)
+	s := Solver{Eps: 0.5, Trees: 3, Seed: 4, Prune: true}
+	dec := treedecomp.Build(g, s.DecompOptions())
+	dec.Trees = append(dec.Trees, cloneScaled(dec.Trees[1], 8))
+	var ref *Result
+	for run := 0; run < 2; run++ {
+		for _, w := range []int{1, 4} {
+			s.Workers = w
+			got, err := s.SolveDecomposition(context.Background(), g, h, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.TreesPruned == 0 {
+				t.Fatal("sabotaged clone not pruned: determinism check is vacuous")
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if got.TreesPruned != ref.TreesPruned {
+				t.Fatalf("run %d workers %d: TreesPruned %d, want %d", run, w, got.TreesPruned, ref.TreesPruned)
+			}
+			for i := range ref.PerTreeCosts {
+				gi, ri := got.PerTreeCosts[i], ref.PerTreeCosts[i]
+				if math.IsInf(ri, 1) != math.IsInf(gi, 1) || (!math.IsInf(ri, 1) && gi != ri) {
+					t.Fatalf("run %d workers %d: per-tree cost %d = %v, want %v", run, w, i, gi, ri)
+				}
+			}
+		}
+	}
+}
+
+// TestPruneSentinelsDistinct asserts the two PerTreeCosts sentinels
+// side by side in one portfolio (satellite: doc-drift fix): an errored
+// tree records NaN, a pruned tree records +Inf, healthy trees record
+// finite costs, and the three are mutually distinguishable. The errored
+// tree is a clone with an unplaceable leaf demand; the pruned tree is
+// the 8×-weights clone.
+func TestPruneSentinelsDistinct(t *testing.T) {
+	g, h := scaleInstance(71, 128)
+	s := Solver{Eps: 0.5, Trees: 2, Seed: 9}
+	dec := treedecomp.Build(g, s.DecompOptions())
+
+	// One leaf demand no hierarchy level can hold: this tree errors.
+	infeasible := cloneScaled(dec.Trees[0], 1)
+	infeasible.T.SetDemand(infeasible.T.Leaves()[0], 1e6)
+	infIdx := len(dec.Trees)
+	dec.Trees = append(dec.Trees, infeasible)
+	sabIdx := len(dec.Trees)
+	dec.Trees = append(dec.Trees, cloneScaled(dec.Trees[0], 8))
+
+	// Unpruned: the infeasible clone is the only NaN; nothing is +Inf.
+	base, err := s.SolveDecomposition(context.Background(), g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(base.PerTreeCosts[infIdx]) {
+		t.Fatalf("infeasible tree cost = %v, want NaN", base.PerTreeCosts[infIdx])
+	}
+	for i, c := range base.PerTreeCosts {
+		if math.IsInf(c, 1) {
+			t.Fatalf("unpruned run recorded +Inf at tree %d", i)
+		}
+		if i != infIdx && math.IsNaN(c) {
+			t.Fatalf("healthy tree %d recorded NaN", i)
+		}
+	}
+	if base.TreesPruned != 0 {
+		t.Fatalf("unpruned run reported TreesPruned=%d", base.TreesPruned)
+	}
+
+	// Pruned: the sabotaged clone records exactly +Inf. (The infeasible
+	// clone may record NaN or +Inf depending on whether a bound was
+	// active when it ran — an empty table under a live bound is reported
+	// as pruned; see hgpt.ErrBoundExceeded.)
+	s.Prune = true
+	got, err := s.SolveDecomposition(context.Background(), g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.PerTreeCosts[sabIdx], 1) {
+		t.Fatalf("sabotaged tree cost = %v, want +Inf", got.PerTreeCosts[sabIdx])
+	}
+	if got.Cost != base.Cost || got.TreeIndex != base.TreeIndex {
+		t.Fatalf("winner differs: got (%v tree %d) want (%v tree %d)",
+			got.Cost, got.TreeIndex, base.Cost, base.TreeIndex)
+	}
+	nan, inf := math.NaN(), math.Inf(1)
+	if math.IsNaN(inf) || math.IsInf(nan, 1) || nan == inf {
+		t.Fatal("sentinels must be distinguishable")
+	}
+}
+
+// TestPruneAbortsSabotagedTree pins the abort path deterministically: a
+// portfolio containing a tree whose every edge weight is 8× a real
+// tree's must prune it (its DP optimum is 8× the incumbent's, far past
+// the bound), record exactly +Inf for it, and still return the same
+// winner as the unpruned solve — whose run also proves the clone's
+// mapped cost equals the original's, i.e. the pruned tree really
+// couldn't have won.
+func TestPruneAbortsSabotagedTree(t *testing.T) {
+	g, h := scaleInstance(53, 128)
+	s := Solver{Eps: 0.5, Trees: 3, Seed: 11}
+	dec := treedecomp.Build(g, s.DecompOptions())
+	dec.Trees = append(dec.Trees, cloneScaled(dec.Trees[0], 8))
+	cloneIdx := len(dec.Trees) - 1
+
+	base, err := s.SolveDecomposition(context.Background(), g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PerTreeCosts[cloneIdx] != base.PerTreeCosts[0] {
+		t.Fatalf("clone mapped cost %v differs from original %v — weight scaling changed the argmin",
+			base.PerTreeCosts[cloneIdx], base.PerTreeCosts[0])
+	}
+
+	s.Prune = true
+	got, err := s.SolveDecomposition(context.Background(), g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.PerTreeCosts[cloneIdx], 1) {
+		t.Fatalf("sabotaged clone not pruned: per-tree cost %v", got.PerTreeCosts[cloneIdx])
+	}
+	if got.TreesPruned < 1 {
+		t.Fatalf("TreesPruned = %d, want >= 1", got.TreesPruned)
+	}
+	if got.Cost != base.Cost || got.TreeIndex != base.TreeIndex {
+		t.Fatalf("winner differs with sabotaged clone pruned: got (%v tree %d) want (%v tree %d)",
+			got.Cost, got.TreeIndex, base.Cost, base.TreeIndex)
+	}
+	for v := range base.Assignment {
+		if got.Assignment[v] != base.Assignment[v] {
+			t.Fatalf("assignment differs at vertex %d", v)
+		}
+	}
+	if got.TreesPruned+got.TreesDone != len(dec.Trees) {
+		t.Fatalf("pruned %d + done %d != %d trees", got.TreesPruned, got.TreesDone, len(dec.Trees))
+	}
+}

@@ -1,0 +1,65 @@
+package hgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+)
+
+// TestPruneIdentitySmallInstances sweeps 15 seeds × 5 generators × 3
+// portfolio sizes below the pruneMinN floor. Small dense instances are
+// exactly where DP→mapped distortion varies too much tree-to-tree for
+// the incumbent bound to be safe (every identity violation found during
+// development lived here), so below the floor the portfolio must run
+// every tree unbounded: results bit-identical to Prune=false and
+// TreesPruned always zero.
+func TestPruneIdentitySmallInstances(t *testing.T) {
+	hs := []*hierarchy.Hierarchy{
+		hierarchy.MustNew([]int{2, 2}, []float64{9, 2, 0}),
+		hierarchy.FlatKWay(4),
+		hierarchy.MustNew([]int{2, 2, 2}, []float64{8, 3, 1, 0}),
+	}
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		comm := gen.Community(rng, 4, 5, 0.6, 0.05, 8, 1)
+		gen.EqualDemands(comm, 0.4)
+		grid := gen.Grid(4, 4, 3)
+		gen.UniformDemands(rng, grid, 0.2, 0.6)
+		ba := gen.BarabasiAlbert(rng, 16, 2, 4)
+		gen.EqualDemands(ba, 0.5)
+		tor := gen.Torus(4, 4, 2)
+		gen.UniformDemands(rng, tor, 0.2, 0.6)
+		er := gen.ErdosRenyi(rng, 16, 0.35, 5)
+		gen.EqualDemands(er, 0.45)
+		graphs := []*graph.Graph{comm, grid, ba, tor, er}
+		for gi, g := range graphs {
+			h := hs[gi%len(hs)]
+			for _, trees := range []int{2, 4, 6} {
+				base, err := (Solver{Trees: trees, Seed: seed}).Solve(g, h)
+				if err != nil {
+					t.Fatalf("seed %d graph %d trees %d: %v", seed, gi, trees, err)
+				}
+				got, err := (Solver{Trees: trees, Seed: seed, Prune: true}).Solve(g, h)
+				if err != nil {
+					t.Fatalf("seed %d graph %d trees %d prune: %v", seed, gi, trees, err)
+				}
+				if got.Cost != base.Cost || got.TreeIndex != base.TreeIndex || got.TreeCost != base.TreeCost {
+					t.Fatalf("seed %d graph %d trees %d: got (%.2f tree %d) want (%.2f tree %d)",
+						seed, gi, trees, got.Cost, got.TreeIndex, base.Cost, base.TreeIndex)
+				}
+				for v := range base.Assignment {
+					if got.Assignment[v] != base.Assignment[v] {
+						t.Fatalf("seed %d graph %d trees %d: assignment differs", seed, gi, trees)
+					}
+				}
+				if got.TreesPruned != 0 {
+					t.Fatalf("seed %d graph %d trees %d: TreesPruned=%d below the size floor",
+						seed, gi, trees, got.TreesPruned)
+				}
+			}
+		}
+	}
+}

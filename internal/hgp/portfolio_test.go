@@ -1,0 +1,113 @@
+package hgp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/treedecomp"
+)
+
+// batteryInstances covers every internal/gen graph generator with
+// demands that force multi-level placement decisions.
+func batteryInstances() []struct {
+	name string
+	g    *graph.Graph
+	h    *hierarchy.Hierarchy
+} {
+	rng := rand.New(rand.NewSource(17))
+	grid := gen.Grid(4, 5, 3)
+	gen.EqualDemands(grid, 0.4)
+	torus := gen.Torus(4, 4, 2)
+	gen.UniformDemands(rng, torus, 0.2, 0.6)
+	er := gen.ErdosRenyi(rng, 18, 0.3, 5)
+	gen.EqualDemands(er, 0.5)
+	ba := gen.BarabasiAlbert(rng, 18, 2, 4)
+	gen.UniformDemands(rng, ba, 0.2, 0.5)
+	comm := gen.Community(rng, 4, 5, 0.6, 0.05, 8, 1)
+	gen.EqualDemands(comm, 0.4)
+	return []struct {
+		name string
+		g    *graph.Graph
+		h    *hierarchy.Hierarchy
+	}{
+		{"grid", grid, hierarchy.MustNew([]int{2, 4}, []float64{6, 2, 0})},
+		{"torus", torus, hierarchy.FlatKWay(4)},
+		{"erdos-renyi", er, hierarchy.MustNew([]int{2, 2, 3}, []float64{9, 4, 1, 0})},
+		{"barabasi-albert", ba, hierarchy.MustNew([]int{2, 4}, []float64{6, 2, 0})},
+		{"community", comm, hierarchy.MustNew([]int{2, 2}, []float64{9, 2, 0})},
+	}
+}
+
+// TestPruneIdentityBattery pins the tentpole's correctness claim: with
+// Prune on, the returned placement, cost, and winning tree are
+// bit-identical to the unpruned solve, across every generator and
+// Workers ∈ {1,2,4,8}; completed trees report the same per-tree cost,
+// and pruned trees report exactly +Inf (never NaN, never a number).
+func TestPruneIdentityBattery(t *testing.T) {
+	for _, tc := range batteryInstances() {
+		base, err := Solver{Trees: 4, Seed: 5, Workers: 1}.Solve(tc.g, tc.h)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			got, err := Solver{Trees: 4, Seed: 5, Workers: w, Prune: true}.Solve(tc.g, tc.h)
+			if err != nil {
+				t.Fatalf("%s workers %d: %v", tc.name, w, err)
+			}
+			if got.Cost != base.Cost || got.TreeCost != base.TreeCost || got.TreeIndex != base.TreeIndex {
+				t.Fatalf("%s workers %d: pruned result differs: got (cost=%v treeCost=%v tree=%d), want (cost=%v treeCost=%v tree=%d)",
+					tc.name, w, got.Cost, got.TreeCost, got.TreeIndex, base.Cost, base.TreeCost, base.TreeIndex)
+			}
+			for v := range base.Assignment {
+				if got.Assignment[v] != base.Assignment[v] {
+					t.Fatalf("%s workers %d: assignment differs at vertex %d", tc.name, w, v)
+				}
+			}
+			if len(got.PerTreeCosts) != len(base.PerTreeCosts) {
+				t.Fatalf("%s workers %d: per-tree cost lengths differ", tc.name, w)
+			}
+			for i, c := range got.PerTreeCosts {
+				switch {
+				case math.IsInf(c, 1): // pruned: the unpruned run must have finished it
+					if math.IsNaN(base.PerTreeCosts[i]) {
+						t.Fatalf("%s workers %d: tree %d pruned but errored unpruned", tc.name, w, i)
+					}
+				case c != base.PerTreeCosts[i]:
+					t.Fatalf("%s workers %d: per-tree cost %d differs: %v vs %v", tc.name, w, i, c, base.PerTreeCosts[i])
+				}
+			}
+			if got.TreesPruned+got.TreesDone != len(got.PerTreeCosts) {
+				t.Fatalf("%s workers %d: pruned %d + done %d != trees %d",
+					tc.name, w, got.TreesPruned, got.TreesDone, len(got.PerTreeCosts))
+			}
+		}
+		if base.TreesPruned != 0 {
+			t.Fatalf("%s: unpruned solve reported TreesPruned=%d", tc.name, base.TreesPruned)
+		}
+	}
+}
+
+// TestPreviewAssignmentValid: the greedy preview placement is complete
+// and in-range for every battery instance (it only orders trees, but a
+// broken preview would silently scramble the portfolio order).
+func TestPreviewAssignmentValid(t *testing.T) {
+	for _, tc := range batteryInstances() {
+		s := Solver{Trees: 3, Seed: 7}
+		dec := treedecomp.Build(tc.g, s.DecompOptions())
+		for ti, dt := range dec.Trees {
+			a := previewAssignment(tc.g, tc.h, dt)
+			if !a.Complete() {
+				t.Fatalf("%s tree %d: preview placement incomplete", tc.name, ti)
+			}
+			for v, l := range a {
+				if l < 0 || l >= tc.h.Leaves() {
+					t.Fatalf("%s tree %d: vertex %d on leaf %d out of range", tc.name, ti, v, l)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package hgpt
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+)
+
+// ErrBoundExceeded is returned by Solve/SolveContext when an active
+// CostBound proves the tree cannot beat the caller's incumbent: every
+// completion of the DP would cost strictly more than the bound. The
+// portfolio solver (internal/hgp) maps this sentinel to a pruned tree
+// (+Inf in Result.PerTreeCosts) rather than an errored one (NaN).
+//
+// One documented corner: a tree that is genuinely infeasible (demand
+// exceeds total capacity) also surfaces as ErrBoundExceeded when a
+// finite bound is active, because an empty DP table cannot distinguish
+// "all partials filtered" from "no partials existed". Callers that need
+// the distinction must re-solve without a bound.
+var ErrBoundExceeded = errors.New("hgpt: cost bound exceeded (tree cannot beat incumbent)")
+
+// CostBound publishes a monotonically non-increasing cost ceiling to
+// DP runs. The zero value is NOT usable (it reads as bound 0, pruning
+// everything) — construct with NewCostBound, which starts at +Inf.
+//
+// Concurrency: Tighten/Load are atomic, so a bound may be shared across
+// goroutines. Determinism note: each DP run snapshots the bound ONCE at
+// start (see Solver.Bound), so tightening mid-run never changes that
+// run's outcome — the set of table entries a run produces depends only
+// on the snapshot, keeping results independent of scheduler timing.
+type CostBound struct {
+	bits atomic.Uint64
+}
+
+// NewCostBound returns a bound initialized to +Inf (no pruning).
+func NewCostBound() *CostBound {
+	b := &CostBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Tighten lowers the bound to v if v is smaller; larger values are
+// ignored, so the bound only ever decreases. NaN is ignored.
+func (b *CostBound) Tighten(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current bound.
+func (b *CostBound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// bounded reports whether this run carries a finite cost bound.
+func (d *dpRun) bounded() bool {
+	return !math.IsInf(d.bound, 1)
+}

@@ -1,0 +1,141 @@
+package hgpt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hierpart/internal/hierarchy"
+)
+
+func TestCostBoundTighten(t *testing.T) {
+	b := NewCostBound()
+	if !math.IsInf(b.Load(), 1) {
+		t.Fatalf("fresh bound = %v, want +Inf", b.Load())
+	}
+	b.Tighten(5)
+	b.Tighten(7) // larger: ignored
+	if b.Load() != 5 {
+		t.Fatalf("bound = %v, want 5", b.Load())
+	}
+	b.Tighten(math.NaN()) // NaN: ignored
+	if b.Load() != 5 {
+		t.Fatalf("bound after NaN = %v, want 5", b.Load())
+	}
+	b.Tighten(2)
+	if b.Load() != 2 {
+		t.Fatalf("bound = %v, want 2", b.Load())
+	}
+}
+
+// TestBoundInfIsNoOp: a +Inf bound must be bit-identical to no bound on
+// randomized instances at several worker counts.
+func TestBoundInfIsNoOp(t *testing.T) {
+	old := shardMinPairs
+	shardMinPairs = 1
+	defer func() { shardMinPairs = old }()
+
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		tr := fuzzTree(rng, 8)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		base, err := Solver{Eps: 0.5}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range []int{1, 4} {
+			got, err := Solver{Eps: 0.5, Workers: w, Bound: NewCostBound()}.Solve(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			if got.DPCost != base.DPCost || got.Cost != base.Cost || got.States != base.States {
+				t.Fatalf("trial %d workers %d: scalars differ with +Inf bound: %+v vs %+v",
+					trial, w, got, base)
+			}
+			if !reflect.DeepEqual(got.Assignment, base.Assignment) {
+				t.Fatalf("trial %d workers %d: assignment differs with +Inf bound", trial, w)
+			}
+		}
+	}
+}
+
+// TestBoundAtOptimumKeepsSolution: ties with the bound are kept, so a
+// bound set exactly at the optimum must reproduce the unbounded result.
+func TestBoundAtOptimumKeepsSolution(t *testing.T) {
+	tr := star([2]float64{3, 1}, [2]float64{5, 1})
+	h := hierarchy.FlatKWay(2)
+	base, err := Solver{Eps: 0.5}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewCostBound()
+	b.Tighten(base.DPCost)
+	got, err := Solver{Eps: 0.5, Bound: b}.Solve(tr, h)
+	if err != nil {
+		t.Fatalf("bound == optimum must still solve: %v", err)
+	}
+	if got.DPCost != base.DPCost || !reflect.DeepEqual(got.Assignment, base.Assignment) {
+		t.Fatalf("bounded-at-optimum solution differs: %+v vs %+v", got, base)
+	}
+}
+
+// TestBoundBelowOptimumAborts: a bound strictly below the optimum must
+// yield ErrBoundExceeded — deterministically at every worker count.
+func TestBoundBelowOptimumAborts(t *testing.T) {
+	old := shardMinPairs
+	shardMinPairs = 1
+	defer func() { shardMinPairs = old }()
+
+	tr := star([2]float64{3, 1}, [2]float64{5, 1})
+	h := hierarchy.FlatKWay(2)
+	base, err := Solver{Eps: 0.5}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DPCost <= 0 {
+		t.Fatalf("test instance must have positive optimum, got %v", base.DPCost)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b := NewCostBound()
+		b.Tighten(base.DPCost / 2)
+		_, err := Solver{Eps: 0.5, Workers: w, Bound: b}.Solve(tr, h)
+		if !errors.Is(err, ErrBoundExceeded) {
+			t.Fatalf("workers %d: err = %v, want ErrBoundExceeded", w, err)
+		}
+	}
+}
+
+// TestBoundAbortsAcrossFuzzedInstances: for random instances, solving
+// with a bound strictly below the instance's own optimum always reports
+// ErrBoundExceeded, and a bound at the optimum always reproduces the
+// unbounded solution — the two sides of the strict-> filter.
+func TestBoundAbortsAcrossFuzzedInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		tr := fuzzTree(rng, 8)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		base, err := Solver{Eps: 0.5}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bAt := NewCostBound()
+		bAt.Tighten(base.DPCost)
+		got, err := Solver{Eps: 0.5, Bound: bAt}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d bound-at-optimum: %v", trial, err)
+		}
+		if got.DPCost != base.DPCost || !reflect.DeepEqual(got.Assignment, base.Assignment) {
+			t.Fatalf("trial %d: bounded-at-optimum differs", trial)
+		}
+		if base.DPCost == 0 {
+			continue // cannot set a bound strictly below a zero optimum
+		}
+		bBelow := NewCostBound()
+		bBelow.Tighten(base.DPCost * 0.999)
+		if _, err := (Solver{Eps: 0.5, Bound: bBelow}).Solve(tr, h); !errors.Is(err, ErrBoundExceeded) {
+			t.Fatalf("trial %d bound-below-optimum: err = %v, want ErrBoundExceeded", trial, err)
+		}
+	}
+}

@@ -51,6 +51,18 @@ type Solver struct {
 	// prune.go). Pruning never changes the optimum — the flag exists for
 	// the E20 ablation that measures its effect on state counts.
 	DisablePruning bool
+
+	// Bound, when non-nil and finite, is an incumbent cost ceiling: DP
+	// entries whose partial objective strictly exceeds it are dropped at
+	// insertion (ties are kept), because per-level merge increments are
+	// never negative — Δ(k) = (cm(k−1)−cm(k))/2 ≥ 0 on a non-increasing
+	// cm — so a partial above the bound can only grow. When filtering
+	// empties a table (or leaves no valid root signature), the solve
+	// aborts with ErrBoundExceeded instead of finishing a tree that
+	// cannot beat the incumbent. The bound is snapshotted once per run
+	// (see CostBound), so results never depend on scheduler timing; a
+	// +Inf bound is bit-identical to no bound at every worker count.
+	Bound *CostBound
 }
 
 // Solution is the result of solving HGPT on a tree.
@@ -186,6 +198,12 @@ func (s Solver) SolveContext(ctx context.Context, t *tree.Tree, H *hierarchy.Hie
 		}
 	}
 	if math.IsInf(bestCost, 1) {
+		if dp.bounded() {
+			// Every completion was filtered by the incumbent bound (or,
+			// corner case, the tree was infeasible to begin with — see
+			// ErrBoundExceeded).
+			return nil, ErrBoundExceeded
+		}
 		return nil, errors.New("hgpt: no feasible relaxed solution (demand exceeds total capacity)")
 	}
 
@@ -219,8 +237,9 @@ type dpRun struct {
 	du            []int // scaled leaf demand, indexed by binarized node ID
 	unit          float64
 	total         int
-	literalEq4    bool // ablation: Equation (4) verbatim
-	noZeroRegions bool // ablation: forbid zero-demand mirror regions
+	bound         float64 // incumbent ceiling snapshot (+Inf = none)
+	literalEq4    bool    // ablation: Equation (4) verbatim
+	noZeroRegions bool    // ablation: forbid zero-demand mirror regions
 
 	// scratch pools the per-merge signature buffers so the DP inner loop
 	// allocates nothing per child-signature pair (shared safely by the
@@ -290,9 +309,15 @@ func (s Solver) newRun(t *tree.Tree, H *hierarchy.Hierarchy) (*dpRun, []int, err
 		delta[j] = (H.CM(j-1) - H.CM(j)) / 2
 	}
 
+	// The bound is snapshotted exactly once per run: concurrent Tighten
+	// calls after this point cannot change which entries this run keeps.
+	bound := math.Inf(1)
+	if s.Bound != nil {
+		bound = s.Bound.Load()
+	}
 	dp := &dpRun{
 		bt: bt, h: h, codec: codec, capS: capS, delta: delta, du: du,
-		unit: unit, total: total,
+		unit: unit, total: total, bound: bound,
 		literalEq4: s.AblateLiteralEq4, noZeroRegions: s.AblateNoZeroRegions,
 	}
 	dp.scratch.New = func() any {
@@ -379,7 +404,13 @@ func regionDepth(sig []int) int {
 	return m
 }
 
-func (d *dpRun) table(v int, tabs []map[uint64]entry) map[uint64]entry {
+// table computes node v's DP table. effBound is the entry ceiling for
+// this node: the incumbent bound minus an admissible lower bound on the
+// cost every completion must still pay in subtrees disjoint from v
+// (futureMin; +Inf ceiling when unbounded). Tightening the ceiling per
+// node never changes the solve's outcome — see the invariant note on
+// futureMin in scheduler.go.
+func (d *dpRun) table(v int, tabs []map[uint64]entry, effBound float64) map[uint64]entry {
 	h := d.h
 	if d.bt.IsLeaf(v) {
 		sc := d.scratch.Get().(*dpScratch)
@@ -395,7 +426,7 @@ func (d *dpRun) table(v int, tabs []map[uint64]entry) map[uint64]entry {
 
 	kids := d.bt.Children(v)
 	if len(kids) == 1 {
-		return d.oneChildTable(kids[0], tabs[kids[0]])
+		return d.oneChildTable(kids[0], tabs[kids[0]], effBound)
 	}
 	if len(kids) != 2 {
 		panic("hgpt: tree not binarized")
@@ -403,7 +434,7 @@ func (d *dpRun) table(v int, tabs []map[uint64]entry) map[uint64]entry {
 	c1, c2 := kids[0], kids[1]
 	t1, t2 := d.decodeTab(tabs[c1]), d.decodeTab(tabs[c2])
 	out := make(map[uint64]entry, presize(len(t1.keys), len(t2.keys)))
-	d.crossInto(out, t1, d.bt.EdgeWeight(c1), 0, len(t1.keys), t2, d.bt.EdgeWeight(c2))
+	d.crossInto(out, t1, d.bt.EdgeWeight(c1), 0, len(t1.keys), t2, d.bt.EdgeWeight(c2), effBound)
 	return out
 }
 
@@ -419,7 +450,7 @@ func presize(n1, n2 int) int {
 
 // oneChildTable merges a single child table upward (c1 is v's only
 // child, tab its table).
-func (d *dpRun) oneChildTable(c1 int, tab map[uint64]entry) map[uint64]entry {
+func (d *dpRun) oneChildTable(c1 int, tab map[uint64]entry, effBound float64) map[uint64]entry {
 	h := d.h
 	w1 := d.bt.EdgeWeight(c1)
 	out := make(map[uint64]entry, 2*len(tab))
@@ -449,7 +480,11 @@ func (d *dpRun) oneChildTable(c1 int, tab map[uint64]entry) map[uint64]entry {
 					continue
 				}
 				cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, nil, 0, 0)
-				if ok {
+				// Partials strictly above the node's ceiling are dropped
+				// (ties kept): merge increments are never negative and the
+				// futureMin term is admissible, so they cannot complete
+				// under the incumbent. +Inf ceiling keeps all.
+				if ok && e1.cost+cost <= effBound {
 					putEntry(out, d.codec.encode(parent), entry{
 						cost: e1.cost + cost,
 						s1:   k1, j1: int8(j1), kind: 1,
@@ -472,7 +507,7 @@ func (d *dpRun) oneChildTable(c1 int, tab map[uint64]entry) map[uint64]entry {
 // splitting the [0, len(t1.keys)) row range across workers; the row
 // partition never changes the merged result because putEntry keeps a
 // total-order minimum per key.
-func (d *dpRun) crossInto(out map[uint64]entry, t1 *decTab, w1 float64, lo, hi int, t2 *decTab, w2 float64) {
+func (d *dpRun) crossInto(out map[uint64]entry, t1 *decTab, w1 float64, lo, hi int, t2 *decTab, w2 float64, effBound float64) {
 	h := d.h
 	stride := h + 1
 	maxSp := h
@@ -502,7 +537,9 @@ func (d *dpRun) crossInto(out map[uint64]entry, t1 *decTab, w1 float64, lo, hi i
 					}
 					for sp := 0; sp <= maxSp; {
 						cost, ok := d.mergeLevel(parent, w1, s1, j1, sp, s2, w2, j2)
-						if ok {
+						// Ceiling filter mirrors oneChildTable: drop partials
+						// strictly above the node's ceiling, keep ties.
+						if ok && base+cost <= effBound {
 							putEntry(out, d.codec.encode(parent), entry{
 								cost: base + cost,
 								s1:   k1, s2: k2, j1: int8(j1), j2: int8(j2), kind: 2,

@@ -3,6 +3,7 @@ package hgpt
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -42,17 +43,46 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 	if workers <= 1 {
 		tabs := make([]map[uint64]entry, d.bt.N())
 		states := 0
+		// futureMin bookkeeping (see the invariant note below): the sum of
+		// minimum entry costs over completed-but-unmerged tables, and the
+		// per-node minima needed to exclude a node's own children from its
+		// snapshot. Only maintained under an active bound.
+		var pendSum float64
+		var mins []float64
+		if d.bounded() {
+			mins = make([]float64, d.bt.N())
+		}
 		for _, v := range d.bt.PostOrder() {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
-			tab, err := d.safeTable(ctx, v, tabs)
+			effBound := d.bound
+			if mins != nil {
+				childSum := 0.0
+				for _, c := range d.bt.Children(v) {
+					childSum += mins[c]
+				}
+				effBound = d.bound - (pendSum - childSum)
+			}
+			tab, err := d.safeTable(ctx, v, tabs, effBound)
 			if err != nil {
 				return nil, 0, err
 			}
 			tabs[v] = tab
 			if pruneOn {
 				d.prune(tabs[v])
+			}
+			if len(tabs[v]) == 0 && d.bounded() {
+				return nil, 0, ErrBoundExceeded
+			}
+			if mins != nil {
+				m := tabMinCost(tab)
+				childSum := 0.0
+				for _, c := range d.bt.Children(v) {
+					childSum += mins[c]
+				}
+				mins[v] = m
+				pendSum += m - childSum
 			}
 			states += len(tabs[v])
 			if maxStates > 0 && states > maxStates {
@@ -72,6 +102,9 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 		workers:   workers,
 		maxStates: maxStates,
 		pruneOn:   pruneOn,
+	}
+	if d.bounded() {
+		s.mins = make([]float64, n)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for v := 0; v < n; v++ {
@@ -109,7 +142,7 @@ func budgetErr(states, maxStates int) error {
 // becomes an error instead of unwinding the caller — under the
 // concurrent scheduler that caller is a worker goroutine whose unwind
 // would kill the whole process.
-func (d *dpRun) safeTable(ctx context.Context, v int, tabs []map[uint64]entry) (tab map[uint64]entry, err error) {
+func (d *dpRun) safeTable(ctx context.Context, v int, tabs []map[uint64]entry, effBound float64) (tab map[uint64]entry, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("hgpt: panic computing table for node %d: %v", v, r)
@@ -118,7 +151,7 @@ func (d *dpRun) safeTable(ctx context.Context, v int, tabs []map[uint64]entry) (
 	if err := faultinject.Fire(ctx, faultinject.HgptTable); err != nil {
 		return nil, err
 	}
-	return d.table(v, tabs), nil
+	return d.table(v, tabs, effBound), nil
 }
 
 // tableSched is the dependency-counting scheduler state. tabs[v] is
@@ -140,6 +173,63 @@ type tableSched struct {
 	states    int
 	remaining int   // nodes whose table is not yet complete
 	pending   []int // unfinished children per node
+
+	// futureMin bookkeeping, maintained only under an active incumbent
+	// bound (mins == nil otherwise). pendSum is the sum of minimum entry
+	// costs over completed tables not yet replaced by their parent's
+	// table; mins[v] is node v's table minimum. When node v's table is
+	// built, every table counted in pendSum other than v's own children
+	// belongs to a subtree disjoint from v (descendants were replaced
+	// when their parents completed), and each such subtree contributes at
+	// least its table minimum to any root completion — costs are additive
+	// across merged children and merge increments are never negative. So
+	// bound - (pendSum - Σ childMins) is an admissible per-node entry
+	// ceiling: it can only drop entries no ≤-bound completion uses.
+	//
+	// Invariant (why results stay bit-identical even though snapshots are
+	// schedule-dependent): within one node all candidates see the same
+	// ceiling, so drops are a cost-suffix of each signature slot — a
+	// surviving slot holds exactly its unpruned minimum entry. Any entry
+	// on a completion that finishes ≤ bound satisfies cost + futureMin ≤
+	// bound under every admissible snapshot, so it survives every
+	// schedule; slots that differ across schedules are only those no
+	// ≤-bound completion can use. The root table (futureMin = 0) and the
+	// winning backpointer chain are therefore schedule-independent, and a
+	// tree completes under the bound iff its unpruned DP optimum does.
+	// Only the surviving-state count of bound-affected tables varies with
+	// worker count. pendSum is non-decreasing (a parent's minimum is at
+	// least the sum of its children's), so a stale snapshot only
+	// under-filters — never unsoundly over-filters.
+	pendSum float64
+	mins    []float64
+}
+
+// tabMinCost returns the minimum entry cost of a table (+Inf if empty).
+func tabMinCost(tab map[uint64]entry) float64 {
+	m := math.Inf(1)
+	for _, e := range tab {
+		if e.cost < m {
+			m = e.cost
+		}
+	}
+	return m
+}
+
+// effBoundFor snapshots node v's entry ceiling: the incumbent bound
+// minus the pending-minima sum, excluding v's own children (their costs
+// are already accumulated in the entries being filtered).
+func (s *tableSched) effBoundFor(v int) float64 {
+	if s.mins == nil {
+		return s.d.bound
+	}
+	s.mu.Lock()
+	childSum := 0.0
+	for _, c := range s.d.bt.Children(v) {
+		childSum += s.mins[c]
+	}
+	eff := s.d.bound - (s.pendSum - childSum)
+	s.mu.Unlock()
+	return eff
 }
 
 func (s *tableSched) loop() {
@@ -231,7 +321,7 @@ func (s *tableSched) nodeTask(v int) func() {
 				return
 			}
 		}
-		tab, err := d.safeTable(s.ctx, v, s.tabs)
+		tab, err := d.safeTable(s.ctx, v, s.tabs, s.effBoundFor(v))
 		if err != nil {
 			s.fail(err)
 			return
@@ -248,6 +338,9 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 	d := s.d
 	t1, t2 := d.decodeTab(s.tabs[c1]), d.decodeTab(s.tabs[c2])
 	w1, w2 := d.bt.EdgeWeight(c1), d.bt.EdgeWeight(c2)
+	// One ceiling snapshot for all shards of v: every candidate of a
+	// signature slot must see the same ceiling (see the invariant note).
+	effBound := s.effBoundFor(v)
 	shards := s.workers
 	if shards > len(t1.keys) {
 		shards = len(t1.keys)
@@ -272,7 +365,7 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 				return
 			}
 			out := make(map[uint64]entry, presize(hi-lo, len(t2.keys)))
-			d.crossInto(out, t1, w1, lo, hi, t2, w2)
+			d.crossInto(out, t1, w1, lo, hi, t2, w2, effBound)
 			partials[i] = out
 			if atomic.AddInt32(&left, -1) == 0 {
 				final := partials[0]
@@ -293,12 +386,30 @@ func (s *tableSched) complete(v int, tab map[uint64]entry) {
 	if s.pruneOn {
 		s.d.prune(tab)
 	}
+	// An empty table under a finite bound means every partial for this
+	// subtree costs strictly more than the incumbent; nothing downstream
+	// can recover, so the whole run aborts. Deterministic across worker
+	// counts: the table's content (and hence emptiness) is the same
+	// candidate-set minimum regardless of evaluation order.
+	if len(tab) == 0 && s.d.bounded() {
+		s.fail(ErrBoundExceeded)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
 	s.tabs[v] = tab
+	if s.mins != nil {
+		m := tabMinCost(tab)
+		childSum := 0.0
+		for _, c := range s.d.bt.Children(v) {
+			childSum += s.mins[c]
+		}
+		s.mins[v] = m
+		s.pendSum += m - childSum
+	}
 	s.states += len(tab)
 	if s.maxStates > 0 && s.states > s.maxStates {
 		s.err = budgetErr(s.states, s.maxStates)

@@ -49,7 +49,10 @@ func waitGoroutines(t *testing.T, base int) {
 // goroutines or solve slots leak.
 func TestChaosBattery(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	s := newTestServer(t, Config{Registry: reg, MaxConcurrent: 4, MaxQueue: 64})
+	// Result caching off: warm repeats would otherwise bypass the ladder
+	// entirely, and this battery exists to stress the ladder under
+	// faults. The result cache has its own httptest suite.
+	s := newTestServer(t, Config{Registry: reg, MaxConcurrent: 4, MaxQueue: 64, ResultCacheEntries: -1})
 	base := runtime.NumGoroutine()
 
 	injected := errors.New("chaos: injected phase error")

@@ -158,7 +158,9 @@ func TestPartitionHandlerPanicCaughtByMiddleware(t *testing.T) {
 // onto that build or hit the LRU entry it inserted.
 func TestPartitionSingleflightExactlyOneBuild(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	s := newTestServer(t, Config{Registry: reg, MaxConcurrent: 8, MaxQueue: 32})
+	// Result caching off so every request reaches the decomposition
+	// layer this test is about.
+	s := newTestServer(t, Config{Registry: reg, MaxConcurrent: 8, MaxQueue: 32, ResultCacheEntries: -1})
 
 	// Slow the first build down so the whole herd is in flight while the
 	// leader works; the exactly-one-build guarantee itself does not

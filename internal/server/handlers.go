@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hierpart/internal/anytime"
+	"hierpart/internal/cache"
 	"hierpart/internal/faultinject"
 	"hierpart/internal/graph"
 	"hierpart/internal/hgp"
@@ -55,9 +56,15 @@ type PartitionResponse struct {
 	// TreeIndex identifies the winning decomposition tree.
 	TreeIndex int `json:"tree_index"`
 	// PerTreeCosts is the mapped cost of every tree's solution; null
-	// marks a tree whose solve failed (NaN is not representable in
-	// JSON).
+	// marks a tree that produced no cost — either its solve failed (NaN
+	// in hgp.Result.PerTreeCosts) or the portfolio's incumbent bound
+	// pruned it (+Inf); neither sentinel is representable in JSON.
+	// TreesPruned says how many nulls are prunes rather than failures.
 	PerTreeCosts []*float64 `json:"per_tree_costs"`
+	// TreesPruned counts trees skipped by portfolio pruning (their
+	// finished placements provably could not have won); omitted when
+	// zero.
+	TreesPruned int `json:"trees_pruned,omitempty"`
 	// Violation is the per-level relative capacity violation.
 	Violation []float64 `json:"violation"`
 	// States is the total DP state count across trees.
@@ -65,6 +72,11 @@ type PartitionResponse struct {
 	// CacheHit reports whether the decomposition came from the LRU —
 	// when true the embed phase was skipped entirely.
 	CacheHit bool `json:"cache_hit"`
+	// ResultCacheHit reports that the entire solve was answered from the
+	// full-result cache: no admission, no decomposition, no DP. CacheHit
+	// is false on such responses (the decomposition cache was never
+	// consulted), and DecomposeMS/SolveMS are 0.
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
 	// ElapsedMS, DecomposeMS, SolveMS are wall-clock phase timings;
 	// DecomposeMS is 0 on a cache hit. For a ladder response they
 	// describe the winning tier (0/0 for a baseline win — that tier
@@ -145,6 +157,33 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	maxStates := req.MaxStates
+	if maxStates == 0 || maxStates > s.cfg.MaxStates {
+		maxStates = s.cfg.MaxStates
+	}
+	sv := hgp.Solver{
+		Eps: req.Eps, Trees: req.Trees, Seed: req.Seed,
+		FMPasses: req.FMPasses, FlowRefine: req.FlowRefine,
+		Workers: s.cfg.SolverWorkers, MaxStates: maxStates,
+	}
+
+	// Result-cache precheck, before any admission cost is paid: a repeat
+	// of a completed full-quality solve is served straight from memory —
+	// no breaker probe, no queue slot, no decomposition, no DP. The key
+	// (cache.ResultKey) covers everything that shapes the returned
+	// placement; Workers is excluded because results are bit-identical
+	// at every worker count.
+	var rkey string
+	if s.results != nil {
+		rkey = cache.ResultKey(g, H, sv.DecompOptions(), sv.Eps, sv.MaxStates)
+		if v, ok := s.results.Get(rkey); ok {
+			s.reg.Counter("result_cache_hits_total").Inc()
+			s.writePartitionOK(w, start, v.(*hgp.Result), false, true, 0, 0, nil)
+			return
+		}
+		s.reg.Counter("result_cache_misses_total").Inc()
+	}
+
 	// Per-request deadline, also cancelled when the client disconnects:
 	// a dead client stops burning the worker budget (the context is
 	// threaded through treedecomp.BuildContext and the hgpt scheduler),
@@ -220,81 +259,105 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("limiter_ceiling").Set(int64(ceiling))
 	}()
 
-	maxStates := req.MaxStates
-	if maxStates == 0 || maxStates > s.cfg.MaxStates {
-		maxStates = s.cfg.MaxStates
-	}
-	sv := hgp.Solver{
-		Eps: req.Eps, Trees: req.Trees, Seed: req.Seed,
-		FMPasses: req.FMPasses, FlowRefine: req.FlowRefine,
-		Workers: s.cfg.SolverWorkers, MaxStates: maxStates,
-	}
 	if err := faultinject.Fire(ctx, faultinject.ServerSolve); err != nil {
 		s.reg.Counter("partition_errors_total").Inc()
 		s.writeError(w, http.StatusInternalServerError, "solve_failed", err.Error())
 		return
 	}
 
-	var (
-		res       *hgp.Result
-		cacheHit  bool
-		decompDur time.Duration
-		solveDur  time.Duration
-		degResp   *DegradationResponse
-	)
-	if req.NoDegrade || s.cfg.DisableDegradation {
-		res, cacheHit, decompDur, solveDur, err = s.solve(ctx, g, H, sv)
-	} else {
-		ladderOpts := anytime.Options{Solver: sv}
-		if mode == modeFloor {
-			// Breaker open: run only the ladder's floor rung. The baseline
-			// tier allocates no DP tables, so serving it degrades quality
-			// instead of deepening the memory pressure that tripped us.
-			floor := anytime.TierBaseline
-			ladderOpts.Only = &floor
-			s.reg.Counter("breaker_floor_served_total").Inc()
-		}
-		// The ladder path: full pipeline, capped DP, and the heuristic
-		// baseline race under the request's deadline; the best feasible
-		// placement available wins. The DP tiers run through s.solve so
-		// they share the decomposition cache and singleflight group;
-		// TierFromContext attributes each backend call's cache outcome
-		// and phase timings to its tier, so the response reports the
-		// winning tier's numbers.
-		type tierPhases struct {
-			hit          bool
-			decomp, slve time.Duration
-		}
-		var phaseMu sync.Mutex
-		phases := map[anytime.Tier]tierPhases{}
-		ladderOpts.SolveDP = func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, error) {
-			r, hit, d, sd, serr := s.solve(ctx, g, H, sv)
-			if tier, ok := anytime.TierFromContext(ctx); ok && serr == nil {
-				phaseMu.Lock()
-				phases[tier] = tierPhases{hit: hit, decomp: d, slve: sd}
-				phaseMu.Unlock()
+	noDegrade := req.NoDegrade || s.cfg.DisableDegradation
+	runSolve := func() (*solveOutcome, error) {
+		oc := &solveOutcome{}
+		if noDegrade {
+			res, hit, dd, sd, serr := s.solve(ctx, g, H, sv)
+			if serr != nil {
+				return nil, serr
 			}
-			return r, serr
-		}
-		var out *anytime.Outcome
-		out, err = anytime.Solve(ctx, g, H, ladderOpts)
-		if err == nil {
-			res = out.Result
+			oc.res, oc.cacheHit, oc.decompDur, oc.solveDur = res, hit, dd, sd
+		} else {
+			ladderOpts := anytime.Options{Solver: sv}
+			if mode == modeFloor {
+				// Breaker open: run only the ladder's floor rung. The baseline
+				// tier allocates no DP tables, so serving it degrades quality
+				// instead of deepening the memory pressure that tripped us.
+				floor := anytime.TierBaseline
+				ladderOpts.Only = &floor
+				s.reg.Counter("breaker_floor_served_total").Inc()
+			}
+			// The ladder path: full pipeline, capped DP, and the heuristic
+			// baseline race under the request's deadline; the best feasible
+			// placement available wins. The DP tiers run through s.solve so
+			// they share the decomposition cache and singleflight group;
+			// TierFromContext attributes each backend call's cache outcome
+			// and phase timings to its tier, so the response reports the
+			// winning tier's numbers.
+			type tierPhases struct {
+				hit          bool
+				decomp, slve time.Duration
+			}
+			var phaseMu sync.Mutex
+			phases := map[anytime.Tier]tierPhases{}
+			ladderOpts.SolveDP = func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, error) {
+				r, hit, d, sd, serr := s.solve(ctx, g, H, sv)
+				if tier, ok := anytime.TierFromContext(ctx); ok && serr == nil {
+					phaseMu.Lock()
+					phases[tier] = tierPhases{hit: hit, decomp: d, slve: sd}
+					phaseMu.Unlock()
+				}
+				return r, serr
+			}
+			out, serr := anytime.Solve(ctx, g, H, ladderOpts)
+			if serr != nil {
+				return nil, serr
+			}
+			oc.res = out.Result
 			phaseMu.Lock()
 			ph := phases[out.Tier]
 			phaseMu.Unlock()
-			cacheHit, decompDur, solveDur = ph.hit, ph.decomp, ph.slve
-			degResp = &DegradationResponse{
+			oc.cacheHit, oc.decompDur, oc.solveDur = ph.hit, ph.decomp, ph.slve
+			oc.degResp = &DegradationResponse{
 				Tier:      out.Tier.String(),
 				Degraded:  out.Degraded,
-				Partial:   res.Partial,
-				TreesDone: res.TreesDone,
+				Partial:   oc.res.Partial,
+				TreesDone: oc.res.TreesDone,
 				Tiers:     out.Reports[:],
 			}
 			if out.Degraded {
 				s.reg.Counter(fmt.Sprintf("degraded_total{tier=%q}", out.Tier.String())).Inc()
 			}
+			oc.degraded = out.Degraded || out.Tier != anytime.TierFullDP
 		}
+		// Only complete full-pipeline results enter the result cache: a
+		// degraded or partial placement must not be replayed to callers
+		// who would have gotten the full answer.
+		if s.results != nil && !oc.degraded && !oc.res.Partial {
+			s.results.Add(rkey, oc.res)
+			s.reg.Counter("result_cache_inserts_total").Inc()
+		}
+		return oc, nil
+	}
+
+	var oc *solveOutcome
+	if s.results != nil && mode != modeFloor {
+		// Coalesce identical concurrent misses, keyed per degradation
+		// mode (a no-degrade caller must never be handed a ladder
+		// outcome, and vice versa). Every waiter holds its own admission
+		// slot; only the DP work is shared.
+		sfKey := rkey + "|ladder"
+		if noDegrade {
+			sfKey = rkey + "|nd"
+		}
+		var v any
+		var shared bool
+		v, shared, err = s.rflight.Do(ctx, sfKey, func() (any, error) { return runSolve() })
+		if err == nil {
+			oc = v.(*solveOutcome)
+			if shared {
+				s.reg.Counter("result_coalesced_total").Inc()
+			}
+		}
+	} else {
+		oc, err = runSolve()
 	}
 	if mode == modeProbe {
 		// Half-open probe: a successful full-service request (with the
@@ -323,9 +386,28 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.writePartitionOK(w, start, oc.res, oc.cacheHit, false, oc.decompDur, oc.solveDur, oc.degResp)
+}
+
+// solveOutcome bundles one completed solve so identical concurrent
+// requests can share it through the singleflight group.
+type solveOutcome struct {
+	res                 *hgp.Result
+	cacheHit            bool
+	decompDur, solveDur time.Duration
+	degResp             *DegradationResponse
+	degraded            bool
+}
+
+// writePartitionOK renders a successful solve. NaN per-tree costs
+// (errored trees) and +Inf (pruned trees) both become null — neither is
+// representable in JSON; TreesPruned carries the distinction. The solve
+// latency histogram only sees real solves: a result-cache hit did no
+// solving and would drag the distribution toward zero.
+func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *hgp.Result, cacheHit, resultHit bool, decompDur, solveDur time.Duration, degResp *DegradationResponse) {
 	perTree := make([]*float64, len(res.PerTreeCosts))
 	for i, c := range res.PerTreeCosts {
-		if !math.IsNaN(c) {
+		if !math.IsNaN(c) && !math.IsInf(c, 1) {
 			c := c
 			perTree[i] = &c
 		}
@@ -334,20 +416,24 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("partition_ok_total").Inc()
 	s.reg.Counter("http_status_200_total").Inc()
 	s.reg.Histogram("request_seconds").Observe(elapsed.Seconds())
-	s.reg.Histogram("solve_seconds").Observe(solveDur.Seconds())
+	if !resultHit {
+		s.reg.Histogram("solve_seconds").Observe(solveDur.Seconds())
+	}
 	writeJSON(w, http.StatusOK, PartitionResponse{
-		Assignment:   res.Assignment,
-		Cost:         res.Cost,
-		TreeCost:     res.TreeCost,
-		TreeIndex:    res.TreeIndex,
-		PerTreeCosts: perTree,
-		Violation:    res.Violation,
-		States:       res.States,
-		CacheHit:     cacheHit,
-		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
-		DecomposeMS:  float64(decompDur.Microseconds()) / 1000,
-		SolveMS:      float64(solveDur.Microseconds()) / 1000,
-		Degradation:  degResp,
+		Assignment:     res.Assignment,
+		Cost:           res.Cost,
+		TreeCost:       res.TreeCost,
+		TreeIndex:      res.TreeIndex,
+		PerTreeCosts:   perTree,
+		TreesPruned:    res.TreesPruned,
+		Violation:      res.Violation,
+		States:         res.States,
+		CacheHit:       cacheHit,
+		ResultCacheHit: resultHit,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+		DecomposeMS:    float64(decompDur.Microseconds()) / 1000,
+		SolveMS:        float64(solveDur.Microseconds()) / 1000,
+		Degradation:    degResp,
 	})
 }
 
@@ -398,10 +484,13 @@ type StatsResponse struct {
 		Waiting     int   `json:"waiting"`     // waiting-room occupancy
 		Adaptive    bool  `json:"adaptive"`
 	} `json:"queue"`
-	Breaker   *breakerStats      `json:"breaker,omitempty"`   // omitted when the breaker is disabled
-	Snapshots *snapshotStats     `json:"snapshots,omitempty"` // omitted when the cache is memory-only
-	Cache     *cacheStats        `json:"cache,omitempty"`     // omitted when caching is disabled
-	Metrics   telemetry.Snapshot `json:"metrics"`
+	Breaker   *breakerStats  `json:"breaker,omitempty"`   // omitted when the breaker is disabled
+	Snapshots *snapshotStats `json:"snapshots,omitempty"` // omitted when the cache is memory-only
+	Cache     *cacheStats    `json:"cache,omitempty"`     // omitted when caching is disabled
+	// ResultCache is the full-result cache's accounting; omitted when
+	// disabled. Hits here are whole solves never run.
+	ResultCache *cacheStats        `json:"result_cache,omitempty"`
+	Metrics     telemetry.Snapshot `json:"metrics"`
 }
 
 // breakerStats is the `breaker` block of /v1/stats.
@@ -489,6 +578,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache = &cacheStats{
 			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
 			Len: cs.Len, Capacity: cs.Capacity, HitRatio: cs.HitRatio,
+		}
+	}
+	if s.results != nil {
+		rs := s.results.Stats()
+		resp.ResultCache = &cacheStats{
+			Hits: rs.Hits, Misses: rs.Misses, Evictions: rs.Evictions,
+			Len: rs.Len, Capacity: rs.Capacity, HitRatio: rs.HitRatio,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

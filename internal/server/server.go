@@ -41,6 +41,16 @@ type Config struct {
 	// CacheEntries bounds the decomposition LRU. Zero means 128;
 	// negative disables caching.
 	CacheEntries int
+	// ResultCacheEntries bounds the full-result LRU: a repeat request
+	// (same instance, hierarchy, and solver parameters) is answered from
+	// memory, skipping decomposition AND the DP. Zero means 256;
+	// negative disables. Workers is deliberately not part of the key —
+	// results are bit-identical at every worker count — so retuning
+	// concurrency never cools this cache. Results are memory-only (no
+	// StateDir snapshotting): they are cheap to recompute from a warm
+	// decomposition cache, and small enough that holding them on disk
+	// buys little.
+	ResultCacheEntries int
 	// SolverWorkers is the per-solve concurrency budget
 	// (hgp.Solver.Workers). Zero means GOMAXPROCS.
 	SolverWorkers int
@@ -110,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 128
 	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 256
+	}
 	if c.MaxStates <= 0 {
 		c.MaxStates = 50_000_000
 	}
@@ -141,9 +154,16 @@ type Server struct {
 	cfg Config
 	reg *telemetry.Registry
 	dec *cache.LRU // nil when caching is disabled
+	// results holds full solve results by cache.ResultKey; nil when
+	// disabled. A hit skips admission, decomposition, and the DP.
+	results *cache.LRU
 	// flight coalesces concurrent decomposition builds for the same
 	// cache key: a miss storm runs one build, not N.
 	flight cache.Group
+	// rflight coalesces concurrent identical solves (same result key and
+	// degradation mode): a repeat storm behind a cold result cache runs
+	// one solve, not N.
+	rflight cache.Group
 	// lim gates solves: concurrency ceiling (AIMD-adaptive when
 	// cfg.Adaptive) plus a deadline-ordered waiting room.
 	lim *limiter
@@ -190,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CacheEntries > 0 {
 		s.dec = cache.New(cfg.CacheEntries)
+	}
+	if cfg.ResultCacheEntries > 0 {
+		s.results = cache.New(cfg.ResultCacheEntries)
 	}
 	if cfg.StateDir != "" {
 		if s.dec == nil {

@@ -115,7 +115,7 @@ func TestPartitionHappyPath(t *testing.T) {
 // an identical placement.
 func TestPartitionWarmCacheSkipsDecomposition(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	s := newTestServer(t, Config{Registry: reg})
+	s := newTestServer(t, Config{Registry: reg, ResultCacheEntries: -1})
 
 	first := decodeResponse(t, postPartition(t, s.Handler(), testRequest()))
 	if first.CacheHit {
@@ -397,7 +397,9 @@ func TestHealthz(t *testing.T) {
 
 func TestStatsJSONAndPrometheus(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	s := newTestServer(t, Config{Registry: reg})
+	// Result caching off: this test pins the decomposition cache's exact
+	// counters; the result_cache stats block has its own tests.
+	s := newTestServer(t, Config{Registry: reg, ResultCacheEntries: -1})
 	postPartition(t, s.Handler(), testRequest())
 	postPartition(t, s.Handler(), testRequest())
 
@@ -448,7 +450,7 @@ func TestPprofEndpointMounted(t *testing.T) {
 // Concurrent identical requests through the real backend: exercises the
 // cache and admission under the race detector.
 func TestPartitionConcurrentRequests(t *testing.T) {
-	s := newTestServer(t, Config{MaxConcurrent: 2, MaxQueue: 64})
+	s := newTestServer(t, Config{MaxConcurrent: 2, MaxQueue: 64, ResultCacheEntries: -1})
 	var wg sync.WaitGroup
 	codes := make([]int, 8)
 	for i := range codes {
