@@ -1,4 +1,4 @@
-// Command hgpbench runs the reproduction's experiment suite (E1–E23,
+// Command hgpbench runs the reproduction's experiment suite (E1–E24,
 // F1–F2; see EXPERIMENTS.md) and prints the result tables.
 //
 // Usage:
@@ -13,7 +13,10 @@
 // tables are identical either way (the pruning identity battery), only
 // solve-time columns move. -json additionally writes the tables, with
 // per-experiment wall-clock, as one machine-readable JSON document —
-// the format benchmark baselines (BENCH_PR5.json) are recorded in.
+// the format benchmark baselines (BENCH_PR5.json, BENCH_PR6.json) are
+// recorded in. The document's schema tag is hgpbench/2: relative to
+// hgpbench/1 it adds the host's num_cpu and, for experiments that fill
+// them (E24), per-tree portfolio outcome records under `trees`.
 // Tables are identical at every worker count: each decomposition tree
 // draws from its own sub-seeded RNG stream, so only -seed changes the
 // numbers. (That per-seed stream changed when intra-solver parallelism
@@ -112,12 +115,14 @@ func main() {
 		{"E21", experiments.E21AtScale},
 		{"E22", experiments.E22AnytimeLadder},
 		{"E23", experiments.E23WarmRestart},
+		{"E24", experiments.E24MultiCoreMatrix},
 		{"F1", experiments.F1BadSetSplit},
 		{"F2", experiments.F2ActiveSets},
 	}
 	report := jsonReport{
-		Schema: "hgpbench/1", Seed: *seed, Quick: *quick,
-		Workers: *workers, Prune: *prune, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Schema: schemaVersion, Seed: *seed, Quick: *quick,
+		Workers: *workers, Prune: *prune,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 	}
 	ran := 0
 	for _, r := range runners {
@@ -139,6 +144,7 @@ func main() {
 		report.Experiments = append(report.Experiments, jsonExperiment{
 			ID: tab.ID, Title: tab.Title, Columns: tab.Columns, Rows: tab.Rows,
 			Notes: tab.Notes, WallMS: float64(wall.Microseconds()) / 1000,
+			Trees: tab.Trees,
 		})
 		ran++
 	}
@@ -159,25 +165,34 @@ func main() {
 	}
 }
 
+// schemaVersion tags the -json document. Consumers (the CI bench jobs,
+// recorded baselines like BENCH_PR5.json and BENCH_PR6.json) key on it;
+// bump it only when the document shape changes, and record the delta in
+// the package comment. hgpbench/2 added num_cpu and per-experiment
+// `trees` records.
+const schemaVersion = "hgpbench/2"
+
 // jsonReport is the -json output document: the run's configuration plus
 // every table it produced, with per-experiment wall-clock. Rows stay
 // strings (exactly the cells the text table shows) so the document is
 // stable across schema-free float formatting differences.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "hgpbench/1"
+	Schema      string           `json:"schema"` // schemaVersion
 	Seed        int64            `json:"seed"`
 	Quick       bool             `json:"quick"`
 	Workers     int              `json:"workers"`
 	Prune       bool             `json:"prune"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
 
 type jsonExperiment struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   string     `json:"notes,omitempty"`
-	WallMS  float64    `json:"wall_ms"`
+	ID      string                    `json:"id"`
+	Title   string                    `json:"title"`
+	Columns []string                  `json:"columns"`
+	Rows    [][]string                `json:"rows"`
+	Notes   string                    `json:"notes,omitempty"`
+	WallMS  float64                   `json:"wall_ms"`
+	Trees   []experiments.TreeOutcome `json:"trees,omitempty"`
 }

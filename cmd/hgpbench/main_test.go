@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hierpart/internal/experiments"
+)
+
+// The -json document is a contract: CI's bench jobs and the recorded
+// baselines (BENCH_PR5.json was hgpbench/1, BENCH_PR6.json is
+// hgpbench/2) key on the schema tag. This test fails when the tag or
+// the hgpbench/2 field set drifts without a deliberate bump.
+func TestJSONSchemaVersion(t *testing.T) {
+	if schemaVersion != "hgpbench/2" {
+		t.Fatalf("schemaVersion = %q; bumping it is a consumer-visible change — "+
+			"update this test, the package comment, and the CI bench jobs together", schemaVersion)
+	}
+	report := jsonReport{
+		Schema: schemaVersion, Seed: 1, GOMAXPROCS: 4, NumCPU: 4,
+		Experiments: []jsonExperiment{{
+			ID: "E24", Title: "t", Columns: []string{"n"}, Rows: [][]string{{"64"}},
+			WallMS: 1.5,
+			Trees: []experiments.TreeOutcome{
+				{Config: "wW-on-racing", N: 64, Tree: 0, Outcome: "pruned", WallMS: 0.5, AbortFrac: 0.25},
+			},
+		}},
+	}
+	buf, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != "hgpbench/2" {
+		t.Fatalf("schema field = %v", doc["schema"])
+	}
+	if _, ok := doc["num_cpu"]; !ok {
+		t.Fatalf("hgpbench/2 document missing num_cpu: %s", buf)
+	}
+	exps := doc["experiments"].([]interface{})
+	exp := exps[0].(map[string]interface{})
+	trees, ok := exp["trees"].([]interface{})
+	if !ok || len(trees) != 1 {
+		t.Fatalf("hgpbench/2 experiment missing trees records: %s", buf)
+	}
+	rec := trees[0].(map[string]interface{})
+	for _, key := range []string{"config", "n", "tree", "outcome", "wall_ms", "abort_frac"} {
+		if _, ok := rec[key]; !ok {
+			t.Fatalf("tree record missing %q: %v", key, rec)
+		}
+	}
+	// An experiment with no portfolio keeps the document lean: the
+	// `trees` key must be omitted, not emitted as null/[].
+	plain, err := json.Marshal(jsonExperiment{ID: "E1", Columns: []string{"n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pd map[string]interface{}
+	if err := json.Unmarshal(plain, &pd); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := pd["trees"]; present {
+		t.Fatalf("empty trees must be omitted: %s", plain)
+	}
+}

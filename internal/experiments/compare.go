@@ -310,17 +310,7 @@ func E21AtScale(cfg Config) *Table {
 // way (the pruning identity battery); only the wall-clock differs.
 func e21PruneAB(cfg Config, g *graph.Graph, h *hierarchy.Hierarchy) (off, on time.Duration, err error) {
 	sv := hgp.Solver{Eps: 0.5, Trees: 4, Seed: 3, Workers: cfg.Workers}
-	dec := &treedecomp.Decomposition{}
-	for _, sp := range []struct {
-		st treedecomp.Strategy
-		k  int
-	}{{treedecomp.BalancedBisection, 2}, {treedecomp.MinCutSplit, 2}, {treedecomp.FRT, 4}} {
-		opt := sv.DecompOptions()
-		opt.Trees = sp.k
-		opt.Strategy = sp.st
-		d2 := treedecomp.Build(g, opt)
-		dec.Trees = append(dec.Trees, d2.Trees...)
-	}
+	dec := mixedPortfolio(sv, g)
 	reps := cfg.pick(1, 5)
 	offs := make([]time.Duration, 0, reps)
 	ons := make([]time.Duration, 0, reps)
@@ -340,6 +330,26 @@ func e21PruneAB(cfg Config, g *graph.Graph, h *hierarchy.Hierarchy) (off, on tim
 		}
 	}
 	return medianDuration(offs), medianDuration(ons), nil
+}
+
+// mixedPortfolio builds the prebuilt mixed-strategy 8-tree portfolio
+// the pruning experiments share (2 bisection + 2 min-cut + 4 FRT): the
+// heterogeneous regime where the incumbent bound structurally bites.
+// E21's A/B and E24's multi-core matrix solve the same decomposition so
+// their numbers compare like for like.
+func mixedPortfolio(sv hgp.Solver, g *graph.Graph) *treedecomp.Decomposition {
+	dec := &treedecomp.Decomposition{}
+	for _, sp := range []struct {
+		st treedecomp.Strategy
+		k  int
+	}{{treedecomp.BalancedBisection, 2}, {treedecomp.MinCutSplit, 2}, {treedecomp.FRT, 4}} {
+		opt := sv.DecompOptions()
+		opt.Trees = sp.k
+		opt.Strategy = sp.st
+		d2 := treedecomp.Build(g, opt)
+		dec.Trees = append(dec.Trees, d2.Trees...)
+	}
+	return dec
 }
 
 func medianDuration(ds []time.Duration) time.Duration {

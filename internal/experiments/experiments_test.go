@@ -344,6 +344,44 @@ func TestE22LadderNeverErrors(t *testing.T) {
 	}
 }
 
+func TestE24MultiCoreMatrix(t *testing.T) {
+	tab := E24MultiCoreMatrix(quickCfg())
+	checkTable(t, tab)
+	for _, r := range tab.Rows {
+		// Timing columns are machine-dependent; the invariants are that
+		// every cell solved (no error rows), the ratios parse positive,
+		// and the racing run pruned at least zero trees.
+		if strings.HasPrefix(r[1], "err:") {
+			t.Fatalf("E24 n=%s errored: %v", r[0], r)
+		}
+		if parseF(t, r[6]) <= 0 || parseF(t, r[7]) <= 0 {
+			t.Fatalf("E24 n=%s: non-positive speedup ratios: %v", r[0], r)
+		}
+		if parseF(t, r[8]) < 0 {
+			t.Fatalf("E24 n=%s: negative pruned count: %v", r[0], r)
+		}
+	}
+	// Per-tree outcome records: the serial and racing pruning configs
+	// each contribute one record per portfolio tree (8), for every size.
+	want := 2 * 8 * len(tab.Rows)
+	if len(tab.Trees) != want {
+		t.Fatalf("E24: %d tree records, want %d", len(tab.Trees), want)
+	}
+	for _, tr := range tab.Trees {
+		switch tr.Outcome {
+		case "done", "pruned", "failed":
+		default:
+			t.Fatalf("E24 tree record has outcome %q: %+v", tr.Outcome, tr)
+		}
+		if tr.WallMS < 0 || tr.AbortFrac < 0 || tr.AbortFrac > 1 {
+			t.Fatalf("E24 tree record out of range: %+v", tr)
+		}
+		if tr.Outcome == "done" && tr.AbortFrac != 1 {
+			t.Fatalf("E24 done tree with abort_frac %v: %+v", tr.AbortFrac, tr)
+		}
+	}
+}
+
 func TestE23WarmRestart(t *testing.T) {
 	tab := E23WarmRestart(quickCfg())
 	checkTable(t, tab)
@@ -365,7 +403,7 @@ func TestE23WarmRestart(t *testing.T) {
 
 func TestAllProducesEveryTable(t *testing.T) {
 	tabs := All(quickCfg())
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "F1", "F2"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "F1", "F2"}
 	if len(tabs) != len(want) {
 		t.Fatalf("All returned %d tables", len(tabs))
 	}

@@ -195,6 +195,7 @@ func All(cfg Config) []*Table {
 		E21AtScale(cfg),
 		E22AnytimeLadder(cfg),
 		E23WarmRestart(cfg),
+		E24MultiCoreMatrix(cfg),
 		F1BadSetSplit(cfg),
 		F2ActiveSets(cfg),
 	}

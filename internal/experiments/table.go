@@ -17,6 +17,25 @@ type Table struct {
 	Rows    [][]string
 	// Notes explains the expectation the numbers should meet.
 	Notes string
+	// Trees optionally carries per-tree outcome records from portfolio
+	// solves (E24 fills it). Text and CSV rendering ignore it; the
+	// hgpbench -json document emits it as the experiment's `trees`
+	// field (schema hgpbench/2).
+	Trees []TreeOutcome
+}
+
+// TreeOutcome is one decomposition tree's execution record from a
+// portfolio solve: which bench configuration ran it, whether its DP
+// completed, was pruned by the incumbent bound, or failed, how long it
+// ran, and — for pruned trees — how far through its tables the DP got
+// before the bound aborted it (0 = immediately, 1 = ran to the end).
+type TreeOutcome struct {
+	Config    string  `json:"config"`
+	N         int     `json:"n"`
+	Tree      int     `json:"tree"`
+	Outcome   string  `json:"outcome"` // "done" | "pruned" | "failed"
+	WallMS    float64 `json:"wall_ms"`
+	AbortFrac float64 `json:"abort_frac"`
 }
 
 // AddRow appends a row, formatting each value with %v (floats get %.4g).

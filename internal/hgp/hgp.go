@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"hierpart/internal/graph"
 	"hierpart/internal/hgpt"
@@ -58,16 +59,36 @@ type Solver struct {
 	// inside the solve's critical path.
 	OnIncumbent func(*Result)
 	// Prune enables the incumbent-bounded portfolio (portfolio.go):
-	// trees are ordered by a cheap preview cost and run sequentially,
-	// each under a cost bound equal to the best mapped cost completed so
-	// far, so a tree that provably cannot beat the incumbent in DP space
-	// aborts early instead of finishing its DP. Pruned trees record +Inf
-	// in PerTreeCosts and are counted by TreesPruned; the returned
+	// trees are ordered by a cheap preview cost and run under a cost
+	// bound derived from the best mapped cost completed so far, so a
+	// tree that provably cannot beat the incumbent in DP space aborts
+	// early instead of finishing its DP. Pruned trees record +Inf in
+	// PerTreeCosts and are counted by TreesPruned; the returned
 	// placement, cost, and TreeIndex are identical to the unpruned solve
 	// (pinned by the on/off identity battery). Multi-tree solves only —
-	// with one tree there is nothing to prune. Completed results remain
-	// bit-identical at every worker count.
+	// with one tree there is nothing to prune.
+	//
+	// When Workers > 1 the pruned trees race CONCURRENTLY under a
+	// shared live bound and a deterministic post-hoc reduction restores
+	// the sequential outcome (see SequentialPortfolio), so completed
+	// results remain bit-identical at every worker count. One scoping
+	// note: the bit-identity contract assumes MaxStates is either zero
+	// or generous enough that no tree trips it mid-portfolio — state
+	// counts are schedule-dependent under an active bound, so WHICH
+	// tree exhausts a tight budget can differ between modes.
 	Prune bool
+	// SequentialPortfolio forces the pruned portfolio (Prune) to run
+	// trees one at a time even when Workers > 1 — the pre-concurrency
+	// behavior: full budget on node-level DP parallelism, each tree's
+	// bound a fresh static value computed from the completed prefix.
+	// Off (the default), the portfolio races trees under the tree×node
+	// worker split with a shared atomic incumbent bound that tightens
+	// mid-DP, then re-validates outcomes against the sequential bound
+	// (portfolio.go: reducePortfolio), so both settings return
+	// bit-identical results; the knob exists for wall-clock A/Bs
+	// (hgpbench matrix) and as an operational escape hatch (hgpd
+	// -serial-portfolio). Ignored when Prune is off.
+	SequentialPortfolio bool
 }
 
 // Result is the output of Solve.
@@ -93,12 +114,18 @@ type Result struct {
 	// Violation is the per-level relative capacity violation of the
 	// returned placement (see metrics.Violation).
 	Violation []float64
-	// States is the total DP state count across all trees. It is the one
-	// field that is NOT schedule-independent under an active prune bound
-	// (Solver.Prune): bound-affected tables see a completion-bound
-	// snapshot that tightens as sibling subtrees finish, so the count of
-	// surviving states varies with worker count and timing. Placement,
-	// Cost, PerTreeCosts, and the pruned set do not.
+	// States is the total DP state count across completed trees. It is
+	// the one field that is NOT schedule-independent under an active
+	// prune bound (Solver.Prune): bound-affected tables filter under
+	// ceilings that depend on scheduling, so the count of surviving
+	// states varies with worker count — and under the concurrent
+	// portfolio (shared live bound) it varies RUN TO RUN even at a
+	// fixed worker count, since how far the shared bound has tightened
+	// when a table is built depends on cross-tree timing. Treat it as
+	// an order-of-magnitude work measure, never a determinism anchor.
+	// Placement, Cost, PerTreeCosts, and the pruned set do not vary
+	// (pinned by TestStatesOutsideDeterminismContract and the identity
+	// batteries).
 	States int
 	// Partial marks an incumbent surrendered by a cancelled solve (see
 	// Solver.AllowPartial): only TreesDone of the requested trees
@@ -112,6 +139,35 @@ type Result struct {
 	// bound (Solver.Prune); each records +Inf in PerTreeCosts. Always
 	// zero with pruning off.
 	TreesPruned int
+	// ParallelTrees is the number of tree-level workers the solve ran
+	// with (1 = trees executed sequentially). Observability only —
+	// excluded from the determinism contract.
+	ParallelTrees int
+	// TreeStats records per-tree execution detail, indexed by tree like
+	// PerTreeCosts. Outcomes are deterministic under the reduction;
+	// wall times (and, for re-solved trees, the work they include) vary
+	// run to run — excluded from the determinism contract.
+	TreeStats []TreeStat
+}
+
+// TreeStat is one tree's execution record (Result.TreeStats): what
+// became of it and how much wall clock it cost. Meant for bench JSON
+// (hgpbench/2) and observability, not for determinism-sensitive
+// consumers.
+type TreeStat struct {
+	// Outcome is "done" (completed, cost in PerTreeCosts), "pruned"
+	// (+Inf sentinel), or "failed" (NaN sentinel).
+	Outcome string
+	// WallMS is the wall-clock milliseconds spent solving this tree —
+	// including, under the concurrent portfolio, any raced attempt a
+	// reduction re-solve replaced.
+	WallMS float64
+	// AbortFrac is the fraction of the tree's DP tables completed when
+	// its outcome was decided: a bound abort records TablesDone/Total
+	// (small = the bound bit early, near the leaves), a completed tree
+	// records 1, a tree demoted to pruned by the post-hoc reduction
+	// records 1 (its full DP ran before demotion), a failed tree 0.
+	AbortFrac float64
 }
 
 // Solve runs the full pipeline on g and H. Cancellable callers should
@@ -214,14 +270,16 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 		}
 	}
 
+	parallelTrees := 1
 	if s.Prune && len(dec.Trees) > 1 {
-		// Portfolio path (portfolio.go): sequential best-preview-first
-		// trees under an incumbent bound, full budget to node-level DP
-		// parallelism. Sequencing trees costs nothing on saturated
-		// hardware — the same worker budget runs either way — and keeps
-		// the bound each tree sees a pure function of the completed
-		// prefix, never of scheduler timing.
-		s.solvePortfolio(ctx, g, H, dec, outs, budget, record)
+		// Portfolio path (portfolio.go): best-preview-first trees under
+		// an incumbent bound. By default (Workers > 1) the trees race
+		// concurrently with a shared live bound and a deterministic
+		// post-hoc reduction; SequentialPortfolio (or a budget of 1)
+		// runs them one at a time with the full budget on node-level DP
+		// parallelism. Either way the result is bit-identical to the
+		// sequential pruned run.
+		parallelTrees = s.solvePortfolio(ctx, g, H, dec, outs, budget, record)
 	} else {
 		// Solve the independent per-tree DPs concurrently; selection
 		// below is by fixed tree index, so results are deterministic
@@ -234,6 +292,7 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 			treeWorkers = len(dec.Trees)
 		}
 		nodeWorkers := budget / treeWorkers
+		parallelTrees = treeWorkers
 		var wg sync.WaitGroup
 		work := make(chan int)
 		for w := 0; w < treeWorkers; w++ {
@@ -268,6 +327,7 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 		if s.AllowPartial {
 			if res, _ := s.gather(g, H, outs); res != nil {
 				res.Partial = true
+				res.ParallelTrees = parallelTrees
 				return res, nil
 			}
 		}
@@ -278,17 +338,20 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 	if res == nil {
 		return nil, firstErr
 	}
+	res.ParallelTrees = parallelTrees
 	return res, nil
 }
 
 type treeOut struct {
-	assign   metrics.Assignment
-	cost     float64
-	treeCost float64
-	dpCost   float64 // relaxed DP optimum (≥ treeCost ≥ cost)
-	states   int
-	pruned   bool // aborted by the portfolio's incumbent bound
-	err      error
+	assign    metrics.Assignment
+	cost      float64
+	treeCost  float64
+	dpCost    float64 // relaxed DP optimum (≥ treeCost ≥ cost)
+	states    int
+	pruned    bool    // aborted by the portfolio's incumbent bound
+	wallMS    float64 // wall clock spent on this tree (see TreeStat.WallMS)
+	abortFrac float64 // DP progress at decision (see TreeStat.AbortFrac)
+	err       error
 }
 
 // solveTree runs one tree's DP and maps its solution back onto the
@@ -298,9 +361,14 @@ type treeOut struct {
 // bound, when non-nil, is the portfolio's incumbent cost bound (see
 // portfolio.go); nil means unbounded.
 func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dt *treedecomp.DecompTree, ti, nodeWorkers int, bound *hgpt.CostBound) (out treeOut) {
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			out = treeOut{err: fmt.Errorf("hgp: tree %d: panic: %v", ti, r)}
+		}
+		out.wallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if out.err == nil {
+			out.abortFrac = 1
 		}
 	}()
 	sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers, Bound: bound}.SolveContext(ctx, dt.T, H)
@@ -330,12 +398,17 @@ func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hier
 // tick TreesPruned. It returns nil and the first tree error when no
 // tree completed.
 func (s Solver) gather(g *graph.Graph, H *hierarchy.Hierarchy, outs []treeOut) (*Result, error) {
-	res := &Result{TreeIndex: -1, PerTreeCosts: make([]float64, 0, len(outs))}
+	res := &Result{
+		TreeIndex:    -1,
+		PerTreeCosts: make([]float64, 0, len(outs)),
+		TreeStats:    make([]TreeStat, 0, len(outs)),
+	}
 	var firstErr error
 	for ti := range outs {
 		o := &outs[ti]
 		if o.pruned {
 			res.PerTreeCosts = append(res.PerTreeCosts, math.Inf(1))
+			res.TreeStats = append(res.TreeStats, TreeStat{Outcome: "pruned", WallMS: o.wallMS, AbortFrac: o.abortFrac})
 			res.TreesPruned++
 			continue
 		}
@@ -344,11 +417,13 @@ func (s Solver) gather(g *graph.Graph, H *hierarchy.Hierarchy, outs []treeOut) (
 				firstErr = o.err
 			}
 			res.PerTreeCosts = append(res.PerTreeCosts, math.NaN())
+			res.TreeStats = append(res.TreeStats, TreeStat{Outcome: "failed", WallMS: o.wallMS})
 			continue
 		}
 		res.States += o.states
 		res.TreesDone++
 		res.PerTreeCosts = append(res.PerTreeCosts, o.cost)
+		res.TreeStats = append(res.TreeStats, TreeStat{Outcome: "done", WallMS: o.wallMS, AbortFrac: o.abortFrac})
 		if res.TreeIndex == -1 || o.cost < res.Cost {
 			res.Assignment = o.assign
 			res.Cost = o.cost

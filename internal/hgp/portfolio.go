@@ -3,7 +3,9 @@ package hgp
 import (
 	"context"
 	"errors"
+	"math"
 	"sort"
+	"sync"
 
 	"hierpart/internal/graph"
 	"hierpart/internal/hgpt"
@@ -22,21 +24,35 @@ import (
 //     cost of a greedy first-fit placement of the tree's DFS leaf order
 //     onto the hierarchy leaves — and orders trees best-preview-first,
 //     so the tree most likely to win runs first;
-//  2. runs the trees SEQUENTIALLY in that order, handing the entire
-//     worker budget to node-level DP parallelism, with an incumbent
-//     hgpt.CostBound derived from the best mapped cost completed so
-//     far (distortion-scaled — see solvePortfolio): a later tree whose
+//  2. runs the trees in that order under an incumbent hgpt.CostBound
+//     derived from the best mapped cost completed so far
+//     (distortion-scaled — see portfolioStats.bound): a tree whose
 //     every DP partial already exceeds the bound aborts early
 //     (hgpt.ErrBoundExceeded) and records a +Inf sentinel in
 //     PerTreeCosts instead of a finished cost.
 //
+// Execution has two modes. The SEQUENTIAL mode (Workers == 1, or
+// Solver.SequentialPortfolio) runs trees one at a time with the whole
+// budget on node-level DP parallelism; each tree's bound is then a pure
+// function of the completed prefix. The CONCURRENT mode (default when
+// Workers > 1) races trees under the tree×node worker split with ONE
+// shared live CostBound: each completion tightens it, and in-flight
+// DPs re-read it per table, so cross-tree parallelism compounds the
+// node-level scheduler without losing pruning power. Because which
+// trees abort then depends on timing, a deterministic post-hoc
+// reduction (reducePortfolio) replays the preview order against the
+// pure-function sequential bound and re-validates every outcome, so
+// the returned placement, cost, PerTreeCosts, and TreesPruned are
+// bit-identical to the sequential pruned run.
+//
 // Determinism: the preview order is a pure function of (trees, H, g);
 // the first tree always runs unbounded, so a result always exists; and
-// each subsequent tree sees a bound that is a pure function of the
-// completed prefix — never of scheduler timing. The DP's bound filter
-// drops only entries strictly above the bound, so a bounded tree that
-// completes is bit-identical to its unbounded solve, and the identity
-// battery (TestPruneIdentityBattery) pins that the returned placement,
+// each tree's EFFECTIVE bound (after reduction, in concurrent mode) is
+// a pure function of the completed prefix — never of scheduler timing.
+// The DP's bound filter drops only entries strictly above the bound,
+// so a bounded tree that completes is bit-identical to its unbounded
+// solve, and the identity battery (TestPruneIdentityBattery and the
+// concurrent-vs-sequential battery) pins that the returned placement,
 // cost, and TreeIndex match the unpruned run across every generator
 // and worker count.
 //
@@ -126,18 +142,45 @@ const (
 	pruneMinN  = 64
 )
 
-// solvePortfolio is the Prune=true body of SolveDecomposition: the
-// sequential best-preview-first incumbent-bounded portfolio described
-// above. outs is filled per tree exactly like the concurrent path
-// (record() feeds AllowPartial/OnIncumbent incumbents); pruned trees
-// are marked rather than errored.
+// portfolioStats is the completed-prefix statistics the incumbent
+// bound is computed from: bestMapped is the incumbent mapped cost,
+// maxDist the largest observed DPCost/mapped distortion, and minDPCost
+// the cheapest completed DP optimum. One struct serves three call
+// sites — the sequential loop, the concurrent race's publisher, and
+// the post-hoc reduction — so all three compute the bound with the
+// same pure function.
+type portfolioStats struct {
+	bestMapped float64 // best mapped cost over completed trees; -1 = none yet
+	maxDist    float64 // max DPCost/mapped over completed trees; starts at 1
+	minDPCost  float64 // min DP optimum over completed trees; -1 = none yet
+}
+
+func newPortfolioStats() portfolioStats {
+	return portfolioStats{bestMapped: -1, maxDist: 1, minDPCost: -1}
+}
+
+// update folds one completed tree into the prefix statistics.
+func (p *portfolioStats) update(o *treeOut) {
+	if p.bestMapped < 0 || o.cost < p.bestMapped {
+		p.bestMapped = o.cost
+	}
+	if p.minDPCost < 0 || o.dpCost < p.minDPCost {
+		p.minDPCost = o.dpCost
+	}
+	if o.cost > 0 {
+		if d := o.dpCost / o.cost; d > p.maxDist {
+			p.maxDist = d
+		}
+	}
+}
+
+// bound returns the incumbent bound value derived from the prefix
+// statistics and whether bounding applies at all — a pure function of
+// the stats (and the bounding flag), never of timing.
 //
-// The bound a tree sees is max(bestMapped × maxDist, minDPCost) ×
-// boundSlack, all over the completed prefix, where bestMapped is the
-// incumbent mapped cost, maxDist the largest observed DPCost/mapped
-// distortion, and minDPCost the cheapest completed DP optimum. The two
-// rails cover the two ways a winner could hide behind a large DP cost
-// (both caught by the identity battery during development):
+// The value is max(bestMapped × maxDist, minDPCost) × boundSlack. The
+// two rails cover the two ways a winner could hide behind a large DP
+// cost (both caught by the identity battery during development):
 //
 //   - bestMapped×maxDist: a pruned tree i has DPCost_i above it, so
 //     unless its distortion exceeds every distortion seen so far,
@@ -150,10 +193,9 @@ const (
 //     pruned, whatever the mapped incumbent says.
 //
 // boundSlack absorbs tree-to-tree distortion drift past the prefix's
-// maximum. The bound can LOOSEN when a newly completed tree raises
-// maxDist, so each tree gets a fresh CostBound rather than sharing one
-// monotone bound; the value is still a pure function of the completed
-// prefix, never of timing.
+// maximum. A zero-cost incumbent cannot be beaten, so it bounds at
+// exactly 0 (zero-cost ties still complete — the DP filter keeps
+// ties) and overrides the distortion gate.
 //
 // distGate switches pruning off entirely the moment any completed tree
 // shows DPCost/mapped distortion above it. High distortion means the
@@ -164,48 +206,228 @@ const (
 // was of that shape. At serving scale (n≥128) distortions cluster
 // within ~1% of 1.01, far under the gate, so pruning stays active
 // exactly in the regime where it is both safe and worth having.
-func (s Solver) solvePortfolio(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dec *treedecomp.Decomposition, outs []treeOut, budget int, record func(int)) {
-	bestMapped := -1.0 // no incumbent yet
-	maxDist := 1.0
-	minDPCost := -1.0
+//
+// Note the value can LOOSEN as the prefix grows (maxDist rises, or the
+// gate trips): the sequential loop therefore hands each tree a fresh
+// CostBound, while the concurrent race shares one monotone bound and
+// lets the reduction repair any over-tight abort (see reducePortfolio).
+func (p *portfolioStats) bound(bounding bool) (float64, bool) {
+	if !bounding || p.bestMapped < 0 {
+		return 0, false
+	}
+	if p.bestMapped == 0 {
+		return 0, true
+	}
+	if p.maxDist > distGate {
+		return 0, false
+	}
+	v := p.bestMapped * p.maxDist
+	if p.minDPCost > v {
+		v = p.minDPCost
+	}
+	return v * boundSlack, true
+}
+
+// prunedOut converts a bound-aborted tree outcome into the pruned
+// sentinel, preserving wall time and extracting the abort depth from
+// the typed BoundError.
+func prunedOut(o *treeOut) treeOut {
+	out := treeOut{pruned: true, wallMS: o.wallMS}
+	var be *hgpt.BoundError
+	if errors.As(o.err, &be) && be.TablesTotal > 0 {
+		out.abortFrac = float64(be.TablesDone) / float64(be.TablesTotal)
+	}
+	return out
+}
+
+// minAppliedOf extracts the tightest bound value an aborted run
+// filtered under; -Inf when the abort carried no detail (forces a
+// re-solve in the reduction — never assume).
+func minAppliedOf(err error) float64 {
+	var be *hgpt.BoundError
+	if errors.As(err, &be) {
+		return be.MinApplied
+	}
+	return math.Inf(-1)
+}
+
+// solvePortfolio is the Prune=true body of SolveDecomposition. It
+// fills outs per tree (record() feeds AllowPartial/OnIncumbent
+// incumbents), marks pruned trees rather than erroring them, and
+// returns the number of tree-level workers used (1 = sequential).
+//
+// Mode selection: trees race concurrently by default when the worker
+// budget allows more than one tree in flight; Solver.SequentialPortfolio
+// forces the sequential mode. Both modes produce bit-identical results
+// (the concurrent mode via reducePortfolio), so the choice is purely a
+// wall-clock/observability knob.
+func (s Solver) solvePortfolio(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dec *treedecomp.Decomposition, outs []treeOut, budget int, record func(int)) int {
+	order := portfolioOrder(g, H, dec)
 	bounding := g.N() >= pruneMinN
-	for _, ti := range portfolioOrder(g, H, dec) {
+	treeWorkers := budget
+	if treeWorkers > len(dec.Trees) {
+		treeWorkers = len(dec.Trees)
+	}
+	if s.SequentialPortfolio || treeWorkers <= 1 {
+		s.solvePortfolioSeq(ctx, g, H, dec, outs, order, bounding, budget, record)
+		return 1
+	}
+	s.solvePortfolioPar(ctx, g, H, dec, outs, order, bounding, budget, treeWorkers, record)
+	return treeWorkers
+}
+
+// solvePortfolioSeq runs the trees one at a time in preview order,
+// handing the whole budget to node-level DP parallelism. Each tree
+// gets a FRESH static CostBound computed from the completed prefix
+// (the bound formula can loosen; a shared monotone bound could not).
+func (s Solver) solvePortfolioSeq(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dec *treedecomp.Decomposition, outs []treeOut, order []int, bounding bool, budget int, record func(int)) {
+	st := newPortfolioStats()
+	for _, ti := range order {
 		if err := ctx.Err(); err != nil {
 			outs[ti].err = err
 			continue
 		}
 		var bound *hgpt.CostBound
-		if bounding && bestMapped > 0 && maxDist <= distGate {
+		if v, ok := st.bound(bounding); ok {
 			bound = hgpt.NewCostBound()
-			v := bestMapped * maxDist
-			if minDPCost > v {
-				v = minDPCost
-			}
-			bound.Tighten(v * boundSlack)
-		} else if bounding && bestMapped == 0 {
-			// A zero-cost incumbent cannot be beaten; zero-cost ties
-			// still complete (the DP filter keeps ties).
-			bound = hgpt.NewCostBound()
-			bound.Tighten(0)
+			bound.Tighten(v)
 		}
 		outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, budget, bound)
 		switch {
 		case outs[ti].err == nil:
 			record(ti)
-			o := &outs[ti]
-			if bestMapped < 0 || o.cost < bestMapped {
-				bestMapped = o.cost
-			}
-			if minDPCost < 0 || o.dpCost < minDPCost {
-				minDPCost = o.dpCost
-			}
-			if o.cost > 0 {
-				if d := o.dpCost / o.cost; d > maxDist {
-					maxDist = d
+			st.update(&outs[ti])
+		case errors.Is(outs[ti].err, hgpt.ErrBoundExceeded):
+			outs[ti] = prunedOut(&outs[ti])
+		}
+	}
+}
+
+// solvePortfolioPar races the trees under the tree×node worker split
+// with ONE shared live CostBound: every completion folds into the race
+// statistics and publishes a (monotone) tightening, which in-flight
+// DPs pick up at their next table. The race's outcomes are
+// timing-dependent — which trees abort, and how deep — so a
+// deterministic reduction replays them afterwards.
+//
+// The shared bound can be OVER-TIGHT relative to the sequential bound
+// (the formula can loosen as maxDist rises or the gate trips, but a
+// published tightening cannot be retracted); that only costs wasted
+// aborts, which the reduction repairs by re-solving. It is never
+// under-sound: every value published satisfies the same two-rail
+// formula over SOME completed set, and the reduction re-validates
+// against the sequential prefix anyway.
+func (s Solver) solvePortfolioPar(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dec *treedecomp.Decomposition, outs []treeOut, order []int, bounding bool, budget, treeWorkers int, record func(int)) {
+	nodeWorkers := budget / treeWorkers
+	shared := hgpt.NewCostBound()
+	var raceMu sync.Mutex
+	race := newPortfolioStats()
+	publish := func(o *treeOut) {
+		raceMu.Lock()
+		race.update(o)
+		v, ok := race.bound(bounding)
+		raceMu.Unlock()
+		if ok {
+			shared.Tighten(v)
+		}
+	}
+	var bound *hgpt.CostBound
+	if bounding {
+		bound = shared
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < treeWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				if err := ctx.Err(); err != nil {
+					outs[ti].err = err
+					continue
+				}
+				outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, bound)
+				if outs[ti].err == nil {
+					record(ti)
+					publish(&outs[ti])
 				}
 			}
-		case errors.Is(outs[ti].err, hgpt.ErrBoundExceeded):
-			outs[ti] = treeOut{pruned: true}
+		}()
+	}
+	for _, ti := range order {
+		work <- ti
+	}
+	close(work)
+	wg.Wait()
+
+	s.reducePortfolio(ctx, g, H, dec, outs, order, bounding, budget, record)
+}
+
+// reducePortfolio is the deterministic post-hoc reduction: replay the
+// preview order sequentially, maintaining the same prefix statistics
+// the sequential mode would have, and re-validate each race outcome
+// against the pure-function sequential bound B. Soundness rests on two
+// facts proven in hgpt (scheduler.go invariant note):
+//
+//   - a run that COMPLETED under the live bound is bit-identical to
+//     its unbounded solve, so its dpCost is exact: it is sequentially
+//     pruned iff B applies and dpCost > B (a static bound B completes
+//     a tree iff its unbounded DP optimum is ≤ B);
+//   - a run that ABORTED proves only dpCost > minApplied (the
+//     tightest value it filtered under): when B ≤ minApplied the
+//     sequential run would have pruned it too, and otherwise the abort
+//     is inconclusive — the tree is re-solved under exactly B (static,
+//     full budget — the race is over) and the static-bound iff decides.
+//
+// Trees the reduction completes update the prefix statistics exactly
+// as the sequential loop would, so every later tree's B matches the
+// sequential run's bound value bit for bit; by induction the kept set,
+// the pruned set, and every completed cost equal the sequential run's.
+// Real (non-bound) errors record NaN and never update the statistics,
+// in both modes alike. Wasted work is bounded: each tree is re-solved
+// at most once, and only when the race's shared bound over-tightened
+// past the sequential value.
+func (s Solver) reducePortfolio(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dec *treedecomp.Decomposition, outs []treeOut, order []int, bounding bool, budget int, record func(int)) {
+	st := newPortfolioStats()
+	for _, ti := range order {
+		o := &outs[ti]
+		b, useBound := st.bound(bounding)
+		switch {
+		case o.err == nil:
+			if useBound && o.dpCost > b {
+				// Completed in the race, but the sequential bound would
+				// have pruned it: demote. Its full DP ran, so the abort
+				// depth is 1 by convention.
+				outs[ti] = treeOut{pruned: true, wallMS: o.wallMS, abortFrac: 1}
+				continue
+			}
+			st.update(o)
+		case errors.Is(o.err, hgpt.ErrBoundExceeded):
+			if useBound && b <= minAppliedOf(o.err) {
+				outs[ti] = prunedOut(o)
+				continue
+			}
+			// Inconclusive abort (shared bound was tighter than the
+			// sequential bound, or no bound applies sequentially):
+			// re-solve under exactly the sequential conditions.
+			var rb *hgpt.CostBound
+			if useBound {
+				rb = hgpt.NewCostBound()
+				rb.Tighten(b)
+			}
+			raced := o.wallMS
+			outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, budget, rb)
+			outs[ti].wallMS += raced // total spent on this tree
+			switch {
+			case outs[ti].err == nil:
+				record(ti)
+				st.update(&outs[ti])
+			case errors.Is(outs[ti].err, hgpt.ErrBoundExceeded):
+				outs[ti] = prunedOut(&outs[ti])
+			}
 		}
+		// Real errors (and cancellations) fall through untouched: NaN in
+		// PerTreeCosts, no statistics update — same as the sequential mode.
 	}
 }

@@ -2,6 +2,7 @@ package hgpt
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -12,22 +13,63 @@ import (
 // portfolio solver (internal/hgp) maps this sentinel to a pruned tree
 // (+Inf in Result.PerTreeCosts) rather than an errored one (NaN).
 //
+// Aborts carry a *BoundError (match with errors.Is against this
+// sentinel, or errors.As to read the abort detail): MinApplied is the
+// tightest bound value the run actually filtered under, which is the
+// fact an abort proves — the tree's unbounded DP optimum strictly
+// exceeds MinApplied. Under a shared live bound (concurrent portfolio)
+// different runs of the same tree observe different MinApplied values,
+// so the caller's determinism reduction uses it to decide whether the
+// abort also holds under the schedule-independent sequential bound.
+//
 // One documented corner: a tree that is genuinely infeasible (demand
 // exceeds total capacity) also surfaces as ErrBoundExceeded when a
-// finite bound is active, because an empty DP table cannot distinguish
-// "all partials filtered" from "no partials existed". Callers that need
-// the distinction must re-solve without a bound.
+// finite bound was applied, because an empty DP table cannot
+// distinguish "all partials filtered" from "no partials existed".
+// Callers that need the distinction must re-solve without a bound.
 var ErrBoundExceeded = errors.New("hgpt: cost bound exceeded (tree cannot beat incumbent)")
+
+// BoundError is the concrete error of a bound abort. It wraps
+// ErrBoundExceeded (errors.Is matches) and records what the abort
+// proved and how far the DP ran before proving it.
+type BoundError struct {
+	// MinApplied is the tightest incumbent value this run filtered
+	// under; the abort proves the tree's unbounded DP optimum is
+	// strictly greater than it.
+	MinApplied float64
+	// TablesDone / TablesTotal locate the abort: how many of the
+	// binarized tree's DP tables had completed when the bound emptied
+	// one (the "abort depth" — small values mean the bound bit early,
+	// near the leaves; values near 1 mean the tree was almost fully
+	// solved before it was proven hopeless).
+	TablesDone, TablesTotal int
+}
+
+func (e *BoundError) Error() string {
+	return fmt.Sprintf("%v (optimum > %g; aborted after %d/%d tables)",
+		ErrBoundExceeded, e.MinApplied, e.TablesDone, e.TablesTotal)
+}
+
+func (e *BoundError) Unwrap() error { return ErrBoundExceeded }
 
 // CostBound publishes a monotonically non-increasing cost ceiling to
 // DP runs. The zero value is NOT usable (it reads as bound 0, pruning
 // everything) — construct with NewCostBound, which starts at +Inf.
 //
 // Concurrency: Tighten/Load are atomic, so a bound may be shared across
-// goroutines. Determinism note: each DP run snapshots the bound ONCE at
-// start (see Solver.Bound), so tightening mid-run never changes that
-// run's outcome — the set of table entries a run produces depends only
-// on the snapshot, keeping results independent of scheduler timing.
+// goroutines — including runs already in flight. A run RE-READS the
+// bound at its existing poll points (once per table, or per shard batch
+// under the concurrent scheduler), so tightening mid-run makes every
+// in-flight DP filter harder from its next table on. Determinism note:
+// because the bound only ever decreases over time and a table's
+// children always complete (and so loaded their ceilings) before it
+// does, a run that COMPLETES still returns a result bit-identical to
+// its unbounded solve — any surviving completion ≤ the root's ceiling
+// implies the true optimum also survived every earlier, looser filter.
+// Only whether a run completes (and, on abort, how early) depends on
+// timing; callers that need a schedule-independent pruned set
+// re-validate aborts against a pure-function bound (see the
+// determinism reduction in internal/hgp/portfolio.go).
 type CostBound struct {
 	bits atomic.Uint64
 }
@@ -61,7 +103,44 @@ func (b *CostBound) Load() float64 {
 	return math.Float64frombits(b.bits.Load())
 }
 
-// bounded reports whether this run carries a finite cost bound.
-func (d *dpRun) bounded() bool {
-	return !math.IsInf(d.bound, 1)
+// hasBound reports whether this run carries a bound source at all. The
+// source may still read +Inf (no incumbent yet) — per-table ceilings
+// decide actual filtering.
+func (d *dpRun) hasBound() bool {
+	return d.boundSrc != nil
+}
+
+// loadBound re-reads the live incumbent bound and records it in the
+// run's applied-minimum tracker. Called once per table (and once per
+// sharded node, so all shards of a node share one ceiling snapshot —
+// the per-node invariant in scheduler.go requires it).
+func (d *dpRun) loadBound() float64 {
+	if d.boundSrc == nil {
+		return math.Inf(1)
+	}
+	v := d.boundSrc.Load()
+	for {
+		old := d.applied.Load()
+		if math.Float64frombits(old) <= v {
+			return v
+		}
+		if d.applied.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}
+
+// minApplied returns the tightest bound value this run has loaded
+// (+Inf when unbounded or never tightened).
+func (d *dpRun) minApplied() float64 {
+	return math.Float64frombits(d.applied.Load())
+}
+
+// boundErr builds the typed abort error for this run.
+func (d *dpRun) boundErr(tablesDone int) error {
+	return &BoundError{
+		MinApplied:  d.minApplied(),
+		TablesDone:  tablesDone,
+		TablesTotal: d.bt.N(),
+	}
 }

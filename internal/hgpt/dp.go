@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierpart/internal/hierarchy"
@@ -52,16 +53,25 @@ type Solver struct {
 	// the E20 ablation that measures its effect on state counts.
 	DisablePruning bool
 
-	// Bound, when non-nil and finite, is an incumbent cost ceiling: DP
-	// entries whose partial objective strictly exceeds it are dropped at
-	// insertion (ties are kept), because per-level merge increments are
-	// never negative — Δ(k) = (cm(k−1)−cm(k))/2 ≥ 0 on a non-increasing
-	// cm — so a partial above the bound can only grow. When filtering
-	// empties a table (or leaves no valid root signature), the solve
-	// aborts with ErrBoundExceeded instead of finishing a tree that
-	// cannot beat the incumbent. The bound is snapshotted once per run
-	// (see CostBound), so results never depend on scheduler timing; a
-	// +Inf bound is bit-identical to no bound at every worker count.
+	// Bound, when non-nil, is an incumbent cost ceiling: DP entries
+	// whose partial objective strictly exceeds its current value are
+	// dropped at insertion (ties are kept), because per-level merge
+	// increments are never negative — Δ(k) = (cm(k−1)−cm(k))/2 ≥ 0 on a
+	// non-increasing cm — so a partial above the bound can only grow.
+	// When filtering under a finite ceiling empties a table (or leaves
+	// no valid root signature), the solve aborts with a *BoundError
+	// wrapping ErrBoundExceeded instead of finishing a tree that cannot
+	// beat the incumbent.
+	//
+	// The bound is RE-READ at the run's existing poll points — once per
+	// table, once per sharded node — so a shared bound tightened by a
+	// concurrent tree (internal/hgp's parallel portfolio) bites mid-DP.
+	// Because CostBound is monotone non-increasing and children complete
+	// before their parents, a run that completes is still bit-identical
+	// to its unbounded solve at every worker count (see CostBound); only
+	// whether it completes — and the surviving States count — can depend
+	// on when the bound tightened. A bound that stays +Inf for the whole
+	// run is bit-identical to no bound.
 	Bound *CostBound
 }
 
@@ -198,11 +208,13 @@ func (s Solver) SolveContext(ctx context.Context, t *tree.Tree, H *hierarchy.Hie
 		}
 	}
 	if math.IsInf(bestCost, 1) {
-		if dp.bounded() {
-			// Every completion was filtered by the incumbent bound (or,
-			// corner case, the tree was infeasible to begin with — see
-			// ErrBoundExceeded).
-			return nil, ErrBoundExceeded
+		if !math.IsInf(dp.minApplied(), 1) {
+			// A finite ceiling was applied somewhere: every completion was
+			// filtered by the incumbent bound (or, corner case, the tree
+			// was infeasible to begin with — see ErrBoundExceeded). A
+			// bound source that stayed +Inf for the whole run never
+			// filtered anything and falls through to the infeasible error.
+			return nil, dp.boundErr(bt.N())
 		}
 		return nil, errors.New("hgpt: no feasible relaxed solution (demand exceeds total capacity)")
 	}
@@ -237,9 +249,15 @@ type dpRun struct {
 	du            []int // scaled leaf demand, indexed by binarized node ID
 	unit          float64
 	total         int
-	bound         float64 // incumbent ceiling snapshot (+Inf = none)
-	literalEq4    bool    // ablation: Equation (4) verbatim
-	noZeroRegions bool    // ablation: forbid zero-demand mirror regions
+	boundSrc      *CostBound // live incumbent ceiling (nil = unbounded)
+	literalEq4    bool       // ablation: Equation (4) verbatim
+	noZeroRegions bool       // ablation: forbid zero-demand mirror regions
+
+	// applied tracks (as float bits) the tightest bound value loadBound
+	// has returned: the fact an abort proves (optimum > minApplied), and
+	// the discriminator between "bound exceeded" and "infeasible" at the
+	// root. Atomic because scheduler workers load concurrently.
+	applied atomic.Uint64
 
 	// scratch pools the per-merge signature buffers so the DP inner loop
 	// allocates nothing per child-signature pair (shared safely by the
@@ -309,17 +327,14 @@ func (s Solver) newRun(t *tree.Tree, H *hierarchy.Hierarchy) (*dpRun, []int, err
 		delta[j] = (H.CM(j-1) - H.CM(j)) / 2
 	}
 
-	// The bound is snapshotted exactly once per run: concurrent Tighten
-	// calls after this point cannot change which entries this run keeps.
-	bound := math.Inf(1)
-	if s.Bound != nil {
-		bound = s.Bound.Load()
-	}
 	dp := &dpRun{
 		bt: bt, h: h, codec: codec, capS: capS, delta: delta, du: du,
-		unit: unit, total: total, bound: bound,
+		unit: unit, total: total, boundSrc: s.Bound,
 		literalEq4: s.AblateLiteralEq4, noZeroRegions: s.AblateNoZeroRegions,
 	}
+	// No bound value applied yet: the tracker starts at +Inf and records
+	// every live value the run filters under (see loadBound).
+	dp.applied.Store(math.Float64bits(math.Inf(1)))
 	dp.scratch.New = func() any {
 		return &dpScratch{sig: make([]int, h+1), parent: make([]int, h+1)}
 	}

@@ -106,7 +106,7 @@ func TestShardedCrossMatchesSequential(t *testing.T) {
 func exhaustiveTable(d *dpRun, v int, tabs []map[uint64]entry) map[uint64]entry {
 	h := d.h
 	if d.bt.IsLeaf(v) {
-		return d.table(v, tabs, d.bound)
+		return d.table(v, tabs, d.loadBound())
 	}
 	maxSp := h
 	if d.noZeroRegions {

@@ -46,23 +46,26 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 		// futureMin bookkeeping (see the invariant note below): the sum of
 		// minimum entry costs over completed-but-unmerged tables, and the
 		// per-node minima needed to exclude a node's own children from its
-		// snapshot. Only maintained under an active bound.
+		// snapshot. Only maintained when a bound source is attached.
 		var pendSum float64
 		var mins []float64
-		if d.bounded() {
+		if d.hasBound() {
 			mins = make([]float64, d.bt.N())
 		}
+		done := 0
 		for _, v := range d.bt.PostOrder() {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
-			effBound := d.bound
+			// Live bound: re-read the incumbent once per table, so a bound
+			// shared with concurrent trees bites from the next table on.
+			effBound := d.loadBound()
 			if mins != nil {
 				childSum := 0.0
 				for _, c := range d.bt.Children(v) {
 					childSum += mins[c]
 				}
-				effBound = d.bound - (pendSum - childSum)
+				effBound -= pendSum - childSum
 			}
 			tab, err := d.safeTable(ctx, v, tabs, effBound)
 			if err != nil {
@@ -72,8 +75,8 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 			if pruneOn {
 				d.prune(tabs[v])
 			}
-			if len(tabs[v]) == 0 && d.bounded() {
-				return nil, 0, ErrBoundExceeded
+			if len(tabs[v]) == 0 && !math.IsInf(effBound, 1) {
+				return nil, 0, d.boundErr(done)
 			}
 			if mins != nil {
 				m := tabMinCost(tab)
@@ -84,6 +87,7 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 				mins[v] = m
 				pendSum += m - childSum
 			}
+			done++
 			states += len(tabs[v])
 			if maxStates > 0 && states > maxStates {
 				return nil, 0, budgetErr(states, maxStates)
@@ -103,7 +107,7 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 		maxStates: maxStates,
 		pruneOn:   pruneOn,
 	}
-	if d.bounded() {
+	if d.hasBound() {
 		s.mins = make([]float64, n)
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -174,17 +178,18 @@ type tableSched struct {
 	remaining int   // nodes whose table is not yet complete
 	pending   []int // unfinished children per node
 
-	// futureMin bookkeeping, maintained only under an active incumbent
-	// bound (mins == nil otherwise). pendSum is the sum of minimum entry
-	// costs over completed tables not yet replaced by their parent's
-	// table; mins[v] is node v's table minimum. When node v's table is
-	// built, every table counted in pendSum other than v's own children
-	// belongs to a subtree disjoint from v (descendants were replaced
-	// when their parents completed), and each such subtree contributes at
-	// least its table minimum to any root completion — costs are additive
-	// across merged children and merge increments are never negative. So
-	// bound - (pendSum - Σ childMins) is an admissible per-node entry
-	// ceiling: it can only drop entries no ≤-bound completion uses.
+	// futureMin bookkeeping, maintained only when an incumbent bound
+	// source is attached (mins == nil otherwise). pendSum is the sum of
+	// minimum entry costs over completed tables not yet replaced by their
+	// parent's table; mins[v] is node v's table minimum. When node v's
+	// table is built, every table counted in pendSum other than v's own
+	// children belongs to a subtree disjoint from v (descendants were
+	// replaced when their parents completed), and each such subtree
+	// contributes at least its table minimum to any root completion —
+	// costs are additive across merged children and merge increments are
+	// never negative. So liveBound - (pendSum - Σ childMins) is an
+	// admissible per-node entry ceiling: it can only drop entries no
+	// ≤-bound completion uses.
 	//
 	// Invariant (why results stay bit-identical even though snapshots are
 	// schedule-dependent): within one node all candidates see the same
@@ -194,12 +199,37 @@ type tableSched struct {
 	// bound under every admissible snapshot, so it survives every
 	// schedule; slots that differ across schedules are only those no
 	// ≤-bound completion can use. The root table (futureMin = 0) and the
-	// winning backpointer chain are therefore schedule-independent, and a
-	// tree completes under the bound iff its unpruned DP optimum does.
-	// Only the surviving-state count of bound-affected tables varies with
-	// worker count. pendSum is non-decreasing (a parent's minimum is at
-	// least the sum of its children's), so a stale snapshot only
-	// under-filters — never unsoundly over-filters.
+	// winning backpointer chain are therefore schedule-independent, and
+	// under a STATIC bound B a tree completes iff its unpruned DP optimum
+	// is ≤ B. Only the surviving-state count of bound-affected tables
+	// varies with worker count. pendSum is non-decreasing (a parent's
+	// minimum is at least the sum of its children's), so a stale snapshot
+	// only under-filters — never unsoundly over-filters.
+	//
+	// LIVE bound extension (concurrent portfolio): the bound value is
+	// re-read per table, so different tables of one run may filter under
+	// different values b₁ ≥ b₂ ≥ … (CostBound is monotone non-increasing
+	// in time). Two facts keep this sound and reducible:
+	//
+	//   1. Abort ⇒ optimum > min(bᵢ). If the unpruned optimum were ≤
+	//      every applied value, the induction above protects its whole
+	//      backpointer chain through every filter, so no table on it can
+	//      empty and the root keeps a valid completion.
+	//   2. Completion ⇒ bit-identical to the unbounded solve. Children
+	//      load their ceilings before their ancestors do (a node becomes
+	//      ready only after its children complete), so along any
+	//      root-to-leaf chain the applied values are non-increasing
+	//      upward: b_child ≥ b_root. A surviving root completion c'
+	//      passed the root filter, so optimum ≤ c' ≤ b_root ≤ b_v for
+	//      every chain node v — the optimum's chain survived every
+	//      earlier, looser filter too, and the slot-minimum invariant
+	//      makes the winning chain exactly the unbounded one.
+	//
+	// What the live bound does NOT keep schedule-independent is WHETHER a
+	// given run aborts (min(bᵢ) depends on when concurrent trees
+	// tightened the shared bound) and the States count. The portfolio's
+	// post-hoc reduction (internal/hgp/portfolio.go) restores a
+	// deterministic pruned set from fact 1 + the static-bound iff above.
 	pendSum float64
 	mins    []float64
 }
@@ -215,19 +245,21 @@ func tabMinCost(tab map[uint64]entry) float64 {
 	return m
 }
 
-// effBoundFor snapshots node v's entry ceiling: the incumbent bound
-// minus the pending-minima sum, excluding v's own children (their costs
-// are already accumulated in the entries being filtered).
+// effBoundFor snapshots node v's entry ceiling: the live incumbent
+// bound (re-read here, once per node) minus the pending-minima sum,
+// excluding v's own children (their costs are already accumulated in
+// the entries being filtered).
 func (s *tableSched) effBoundFor(v int) float64 {
+	b := s.d.loadBound()
 	if s.mins == nil {
-		return s.d.bound
+		return b
 	}
 	s.mu.Lock()
 	childSum := 0.0
 	for _, c := range s.d.bt.Children(v) {
 		childSum += s.mins[c]
 	}
-	eff := s.d.bound - (s.pendSum - childSum)
+	eff := b - (s.pendSum - childSum)
 	s.mu.Unlock()
 	return eff
 }
@@ -321,12 +353,13 @@ func (s *tableSched) nodeTask(v int) func() {
 				return
 			}
 		}
-		tab, err := d.safeTable(s.ctx, v, s.tabs, s.effBoundFor(v))
+		eff := s.effBoundFor(v)
+		tab, err := d.safeTable(s.ctx, v, s.tabs, eff)
 		if err != nil {
 			s.fail(err)
 			return
 		}
-		s.complete(v, tab)
+		s.complete(v, tab, eff)
 	}
 }
 
@@ -372,7 +405,7 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 				for _, p := range partials[1:] {
 					mergeTables(final, p)
 				}
-				s.complete(v, final)
+				s.complete(v, final, effBound)
 			}
 		})
 	}
@@ -381,18 +414,22 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 
 // complete prunes and records node v's finished table, propagates the
 // dependency count to the parent, and stops the pool on completion or
-// on a tripped state budget.
-func (s *tableSched) complete(v int, tab map[uint64]entry) {
+// on a tripped state budget. eff is the ceiling v's table was filtered
+// under (the effBoundFor snapshot), needed to classify an empty table.
+func (s *tableSched) complete(v int, tab map[uint64]entry, eff float64) {
 	if s.pruneOn {
 		s.d.prune(tab)
 	}
-	// An empty table under a finite bound means every partial for this
+	// An empty table under a finite ceiling means every partial for this
 	// subtree costs strictly more than the incumbent; nothing downstream
-	// can recover, so the whole run aborts. Deterministic across worker
-	// counts: the table's content (and hence emptiness) is the same
-	// candidate-set minimum regardless of evaluation order.
-	if len(tab) == 0 && s.d.bounded() {
-		s.fail(ErrBoundExceeded)
+	// can recover, so the whole run aborts. An empty table under a +Inf
+	// ceiling (bound attached but never tightened) is genuine
+	// infeasibility and falls through to the root's no-solution error.
+	if len(tab) == 0 && !math.IsInf(eff, 1) {
+		s.mu.Lock()
+		done := s.d.bt.N() - s.remaining
+		s.mu.Unlock()
+		s.fail(s.d.boundErr(done))
 		return
 	}
 	s.mu.Lock()

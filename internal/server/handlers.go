@@ -165,6 +165,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		Eps: req.Eps, Trees: req.Trees, Seed: req.Seed,
 		FMPasses: req.FMPasses, FlowRefine: req.FlowRefine,
 		Workers: s.cfg.SolverWorkers, MaxStates: maxStates,
+		SequentialPortfolio: s.cfg.SerialPortfolio,
 	}
 
 	// Result-cache precheck, before any admission cost is paid: a repeat
@@ -489,8 +490,24 @@ type StatsResponse struct {
 	Cache     *cacheStats    `json:"cache,omitempty"`     // omitted when caching is disabled
 	// ResultCache is the full-result cache's accounting; omitted when
 	// disabled. Hits here are whole solves never run.
-	ResultCache *cacheStats        `json:"result_cache,omitempty"`
-	Metrics     telemetry.Snapshot `json:"metrics"`
+	ResultCache *cacheStats `json:"result_cache,omitempty"`
+	// Portfolio is the tree-portfolio accounting: incumbent pruning and
+	// tree-level concurrency across all solves. Always present.
+	Portfolio portfolioBlock     `json:"portfolio"`
+	Metrics   telemetry.Snapshot `json:"metrics"`
+}
+
+// portfolioBlock is the `portfolio` block of /v1/stats. The counters
+// aggregate over real solves only (result-cache hits run no portfolio);
+// ParallelTrees is the most recent solve's tree-level worker count.
+type portfolioBlock struct {
+	TreesPrunedTotal      int64 `json:"trees_pruned_total"`
+	ParallelTrees         int64 `json:"parallel_trees"`
+	ParallelSolvesTotal   int64 `json:"parallel_solves_total"`
+	SequentialSolvesTotal int64 `json:"sequential_solves_total"`
+	// SerialForced reports the -serial-portfolio escape hatch: when
+	// true, every pruned portfolio runs trees one at a time.
+	SerialForced bool `json:"serial_forced"`
 }
 
 // breakerStats is the `breaker` block of /v1/stats.
@@ -586,6 +603,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits: rs.Hits, Misses: rs.Misses, Evictions: rs.Evictions,
 			Len: rs.Len, Capacity: rs.Capacity, HitRatio: rs.HitRatio,
 		}
+	}
+	resp.Portfolio = portfolioBlock{
+		TreesPrunedTotal:      s.reg.Counter("trees_pruned_total").Value(),
+		ParallelTrees:         s.reg.Gauge("portfolio_parallel_trees").Value(),
+		ParallelSolvesTotal:   s.reg.Counter("portfolio_parallel_solves_total").Value(),
+		SequentialSolvesTotal: s.reg.Counter("portfolio_sequential_solves_total").Value(),
+		SerialForced:          s.cfg.SerialPortfolio,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -54,6 +54,12 @@ type Config struct {
 	// SolverWorkers is the per-solve concurrency budget
 	// (hgp.Solver.Workers). Zero means GOMAXPROCS.
 	SolverWorkers int
+	// SerialPortfolio forces the pruned tree portfolio to run trees one
+	// at a time (hgp.Solver.SequentialPortfolio) instead of racing them
+	// under a shared incumbent bound. Results are bit-identical either
+	// way; this is an operational escape hatch (and A/B knob) for the
+	// concurrent portfolio, surfaced as hgpd -serial-portfolio.
+	SerialPortfolio bool
 	// MaxStates caps the DP state budget per request; requests may ask
 	// for less but never more. Zero means 50 million (a guard against
 	// pathological instances, not a tuning knob).
@@ -227,6 +233,13 @@ func New(cfg Config) (*Server, error) {
 		store.StartFlusher(cfg.SnapshotInterval)
 	}
 	s.reg.Gauge("limiter_ceiling").Set(int64(cfg.MaxConcurrent))
+	// Pre-register the portfolio metrics so they appear (at zero) in the
+	// Prometheus text and /v1/stats before the first pruned solve runs —
+	// scrapers should never see a series pop into existence mid-flight.
+	s.reg.Counter("trees_pruned_total")
+	s.reg.Counter("portfolio_parallel_solves_total")
+	s.reg.Counter("portfolio_sequential_solves_total")
+	s.reg.Gauge("portfolio_parallel_trees")
 	s.solve = s.cachedSolve
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -396,7 +409,26 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 	if err != nil {
 		return nil, cacheHit, decompDur, time.Since(t0), err
 	}
+	s.publishPortfolioMetrics(res)
 	return res, cacheHit, decompDur, time.Since(t0), nil
+}
+
+// publishPortfolioMetrics mirrors one completed solve's portfolio
+// outcome into the registry (the `portfolio` block of /v1/stats and
+// the Prometheus text): how many trees the incumbent bound pruned,
+// and whether trees ran concurrently (ParallelTrees > 1) or one at a
+// time. Result-cache hits never pass through here — these series count
+// real solves only.
+func (s *Server) publishPortfolioMetrics(res *hgp.Result) {
+	if res.TreesPruned > 0 {
+		s.reg.Counter("trees_pruned_total").Add(int64(res.TreesPruned))
+	}
+	s.reg.Gauge("portfolio_parallel_trees").Set(int64(res.ParallelTrees))
+	if res.ParallelTrees > 1 {
+		s.reg.Counter("portfolio_parallel_solves_total").Inc()
+	} else {
+		s.reg.Counter("portfolio_sequential_solves_total").Inc()
+	}
 }
 
 func (s *Server) uptime() float64 { return time.Since(s.start).Seconds() }
