@@ -1,4 +1,4 @@
-// Command hgpbench runs the reproduction's experiment suite (E1–E24,
+// Command hgpbench runs the reproduction's experiment suite (E1–E25,
 // F1–F2; see EXPERIMENTS.md) and prints the result tables.
 //
 // Usage:
@@ -116,6 +116,7 @@ func main() {
 		{"E22", experiments.E22AnytimeLadder},
 		{"E23", experiments.E23WarmRestart},
 		{"E24", experiments.E24MultiCoreMatrix},
+		{"E25", experiments.E25CanonCache},
 		{"F1", experiments.F1BadSetSplit},
 		{"F2", experiments.F2ActiveSets},
 	}

@@ -46,6 +46,7 @@ func main() {
 		snapInterval = flag.Duration("snapshot-interval", 2*time.Second, "how often the background flusher snapshots staged cache entries")
 		adaptive     = flag.Bool("adaptive", false, "AIMD concurrency limiter: move the solve ceiling with observed latency vs. deadline headroom")
 		maxHeap      = flag.Int64("max-heap-bytes", 0, "memory-pressure breaker threshold on the live heap (0 = disabled)")
+		canonFlag    = flag.Bool("canon", false, "canonical-form graph fingerprinting: key caches by a label-invariant fingerprint so isomorphic (relabelled) submissions share entries; responses carry canon_hit")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -77,6 +78,7 @@ func main() {
 		SnapshotInterval:   *snapInterval,
 		Adaptive:           *adaptive,
 		MaxHeapBytes:       *maxHeap,
+		Canon:              *canonFlag,
 	})
 	if err != nil {
 		log.Fatalf("hgpd: %v", err)

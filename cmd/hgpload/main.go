@@ -6,6 +6,13 @@
 // and prints a JSON summary with latency percentiles and the fraction of
 // 200s the daemon answered from its full-solve result cache.
 //
+// Two workload shapes are available: -workload seeds (the default; one
+// fixed two-clique instance under rotating decomposition seeds) and
+// -workload zipf (a zipf-distributed multi-tenant population, each
+// tenant resubmitting its own streaming-topology instance under fresh
+// vertex relabellings — the shape canonical fingerprinting exists for;
+// pair it with a daemon running -canon and watch canon_hit_ratio).
+//
 // With -strict and/or the -slo-* flags it doubles as an assertion
 // harness: transport errors, unexpected statuses (5xx without a
 // machine-readable shed_reason), a p99 over budget, or a success rate
@@ -18,12 +25,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
+
+	"hierpart/internal/graph"
+	"hierpart/internal/stream"
 )
 
 // loadRequest is the POST /v1/partition body hgpload sends: the
@@ -60,6 +71,115 @@ func loadRequest(seed int64, trees, timeoutMS int) []byte {
 	return buf
 }
 
+// identityFraction is the share of zipf-workload requests that resubmit
+// a tenant's instance with its ORIGINAL labelling instead of a fresh
+// random relabelling. It keeps the canon-off baseline's hit ratio
+// nonzero (identical bytes hit the label-sensitive keys), so the E25
+// on/off comparison measures the fingerprint's lift, not division by
+// zero.
+const identityFraction = 0.1
+
+// zipfWorkload models the multi-tenant resubmission pattern ROADMAP
+// item 4 describes: a zipf-distributed tenant population, each tenant
+// owning one topology-family instance (rotating through the
+// internal/stream families), autoscaling resubmitting that instance
+// under fresh vertex labellings. Without canonicalization almost every
+// such request misses the label-sensitive caches; with -canon on the
+// daemon they collapse onto shared canonical entries.
+type zipfWorkload struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	tenants []tenantInstance
+	trees   int
+	timeout int
+}
+
+// tenantInstance is one tenant's base instance in array form, ready to
+// relabel and marshal.
+type tenantInstance struct {
+	n       int
+	demands []float64
+	edges   [][3]float64
+}
+
+func newZipfWorkload(tenants int, s float64, trees, timeoutMS int) *zipfWorkload {
+	rng := rand.New(rand.NewSource(1))
+	w := &zipfWorkload{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, s, 1, uint64(tenants-1)),
+		trees:   trees,
+		timeout: timeoutMS,
+	}
+	for t := 0; t < tenants; t++ {
+		// Per-tenant generator stream: every tenant owns a distinct
+		// instance (distinct random stage demands and rates) of one of
+		// the four streaming topology families.
+		trng := rand.New(rand.NewSource(int64(t) + 1000))
+		var g *graph.Graph
+		switch t % 4 {
+		case 0:
+			g = stream.Pipeline(trng, 4, 3, 0.1, 0.4, 64).CommGraph()
+		case 1:
+			g = stream.Diamond(trng, 3, 0.1, 0.4, 64).CommGraph()
+		case 2:
+			g = stream.FanInAggregation(trng, 4, 2, 0.1, 0.4, 60).CommGraph()
+		default:
+			g = stream.WordCount(trng, 3, 3, 0.1, 0.4, 64).CommGraph()
+		}
+		ti := tenantInstance{n: g.N(), demands: make([]float64, g.N())}
+		for v := 0; v < g.N(); v++ {
+			ti.demands[v] = g.Demand(v)
+		}
+		for _, e := range g.Edges() {
+			ti.edges = append(ti.edges, [3]float64{float64(e.U), float64(e.V), e.Weight})
+		}
+		w.tenants = append(w.tenants, ti)
+	}
+	return w
+}
+
+// body draws a tenant from the zipf distribution and marshals that
+// tenant's instance — relabelled through a fresh random permutation,
+// except for the identityFraction of requests that reuse the base
+// labelling.
+func (w *zipfWorkload) body() []byte {
+	w.mu.Lock()
+	ti := w.tenants[int(w.zipf.Uint64())]
+	var perm []int
+	if w.rng.Float64() >= identityFraction {
+		perm = w.rng.Perm(ti.n)
+	}
+	w.mu.Unlock()
+
+	demands := ti.demands
+	edges := ti.edges
+	if perm != nil {
+		demands = make([]float64, ti.n)
+		for v, d := range ti.demands {
+			demands[perm[v]] = d
+		}
+		edges = make([][3]float64, len(ti.edges))
+		for i, e := range ti.edges {
+			edges[i] = [3]float64{float64(perm[int(e[0])]), float64(perm[int(e[1])]), e[2]}
+		}
+	}
+	body := map[string]any{
+		"hierarchy":  map[string]any{"deg": []int{2, 4}, "cm": []float64{8, 2, 0}},
+		"n":          ti.n,
+		"demands":    demands,
+		"edges":      edges,
+		"seed":       1, // fixed: isomorphic submissions must share solver identity
+		"trees":      w.trees,
+		"timeout_ms": w.timeout,
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
 // sample is one completed request, as recorded by a worker.
 type sample struct {
 	status    int
@@ -67,6 +187,7 @@ type sample struct {
 	latency   time.Duration
 	err       bool
 	resultHit bool // 200 served from the daemon's full-solve result cache
+	canonHit  bool // 200 answered through the canonical-fingerprint key
 }
 
 // Summary is the JSON report printed on stdout.
@@ -87,6 +208,12 @@ type Summary struct {
 	// once every distinct instance has been solved once.
 	ResultCacheHits     int     `json:"result_cache_hits"`
 	ResultCacheHitRatio float64 `json:"result_cache_hit_ratio"`
+	// CanonHits counts 200s served through a canonical-fingerprint cache
+	// key (canon_hit in the response): the daemon recognized the instance
+	// as isomorphic to one it had already processed. Always zero unless
+	// the daemon runs with -canon.
+	CanonHits     int     `json:"canon_hits"`
+	CanonHitRatio float64 `json:"canon_hit_ratio"`
 }
 
 func main() {
@@ -96,25 +223,39 @@ func main() {
 		workers   = flag.Int("workers", 4, "closed-loop worker count")
 		rate      = flag.Float64("rate", 20, "open-loop arrivals per second")
 		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
-		seeds     = flag.Int("seeds", 4, "rotate this many decomposition seeds (cache hit/miss mix)")
+		seeds     = flag.Int("seeds", 4, "rotate this many decomposition seeds (cache hit/miss mix; seeds workload only)")
 		trees     = flag.Int("trees", 2, "trees per request")
 		timeoutMS = flag.Int("timeout-ms", 2000, "per-request deadline sent to the daemon")
+		workload  = flag.String("workload", "seeds", `"seeds" (one instance, rotating decomposition seeds) or "zipf" (multi-tenant: zipf-distributed tenants resubmitting relabelled instances)`)
+		tenants   = flag.Int("tenants", 16, "zipf workload: tenant population size")
+		zipfS     = flag.Float64("zipf-s", 1.3, "zipf workload: skew exponent (must be > 1; larger = hotter head tenants)")
 		strict    = flag.Bool("strict", false, "exit 1 on any transport error or unexpected status")
 		sloP99    = flag.Duration("slo-p99", 0, "exit 1 when the p99 latency of 200s exceeds this (0 = no assertion)")
 		sloOK     = flag.Float64("slo-success", 0, "exit 1 when the fraction of requests answered 200 is below this")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 || (*mode != "closed" && *mode != "open") || *workers < 1 || *rate <= 0 ||
-		*duration <= 0 || *seeds < 1 || *timeoutMS < 0 {
+		*duration <= 0 || *seeds < 1 || *timeoutMS < 0 ||
+		(*workload != "seeds" && *workload != "zipf") || *tenants < 2 || *zipfS <= 1 {
 		fmt.Fprintln(os.Stderr, "usage: hgpload [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	// Pre-marshal one body per seed; workers round-robin through them.
-	bodies := make([][]byte, *seeds)
-	for i := range bodies {
-		bodies[i] = loadRequest(int64(i+1), *trees, *timeoutMS)
+	// bodyFor yields the next request body. The seeds workload
+	// pre-marshals one body per decomposition seed and round-robins;
+	// the zipf workload synthesizes a (usually relabelled) tenant
+	// instance per call.
+	var bodyFor func(seq int) []byte
+	if *workload == "zipf" {
+		zw := newZipfWorkload(*tenants, *zipfS, *trees, *timeoutMS)
+		bodyFor = func(int) []byte { return zw.body() }
+	} else {
+		bodies := make([][]byte, *seeds)
+		for i := range bodies {
+			bodies[i] = loadRequest(int64(i+1), *trees, *timeoutMS)
+		}
+		bodyFor = func(seq int) []byte { return bodies[seq%len(bodies)] }
 	}
 	client := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 10*time.Second}
 	url := *target + "/v1/partition"
@@ -133,7 +274,7 @@ func main() {
 	// Retry-After on a shed (capped), a short pause after a transport
 	// error (so a dead daemon is polled, not hammered), zero otherwise.
 	shoot := func(seq int) time.Duration {
-		body := bodies[seq%len(bodies)]
+		body := bodyFor(seq)
 		t0 := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -143,12 +284,14 @@ func main() {
 		var envelope struct {
 			ShedReason     string `json:"shed_reason"`
 			ResultCacheHit bool   `json:"result_cache_hit"`
+			CanonHit       bool   `json:"canon_hit"`
 		}
 		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		_ = json.Unmarshal(raw, &envelope)
 		record(sample{status: resp.StatusCode, shed: envelope.ShedReason,
-			latency: time.Since(t0), resultHit: envelope.ResultCacheHit})
+			latency: time.Since(t0), resultHit: envelope.ResultCacheHit,
+			canonHit: envelope.CanonHit})
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 			backoff := 50 * time.Millisecond
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -239,6 +382,9 @@ func main() {
 			if s.resultHit {
 				sum.ResultCacheHits++
 			}
+			if s.canonHit {
+				sum.CanonHits++
+			}
 			okLat = append(okLat, s.latency)
 		case s.status == http.StatusTooManyRequests, s.status == http.StatusGatewayTimeout:
 			// Sheds and deadline misses: expected under overload.
@@ -262,6 +408,7 @@ func main() {
 	}
 	if sum.OK > 0 {
 		sum.ResultCacheHitRatio = float64(sum.ResultCacheHits) / float64(sum.OK)
+		sum.CanonHitRatio = float64(sum.CanonHits) / float64(sum.OK)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

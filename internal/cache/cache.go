@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash"
 	"math"
 	"sync"
 
@@ -102,36 +103,46 @@ func (c *LRU) Stats() Stats {
 	return s
 }
 
-// DecompKey returns the canonical cache key for the decomposition of g
-// under opt: a SHA-256 over the vertex count, every vertex demand, the
-// sorted (U < V, by (U,V)) edge list, and the option fields that shape
-// the emitted tree distribution (Trees, Seed, FMPasses — with the
-// solver's effective default of 4 for a zero value — FlowRefine,
-// Strategy). Options.Workers is deliberately excluded: the per-tree
-// sub-seeded RNG streams make the distribution identical at every
-// worker count, so keying on it would only fragment the cache.
-func DecompKey(g *graph.Graph, opt treedecomp.Options) string {
-	h := sha256.New()
-	var buf [8]byte
-	wInt := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	wFloat := func(v float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
+// DecompEntry is the value stored in the decomposition cache when the
+// server runs with canonicalization enabled: the decomposition of the
+// CANONICAL graph plus the orig→canonical permutation of the request
+// that wrote the entry. The permutation is provenance — each reader
+// translates through its own request's permutation, never the stored
+// one — but persisting it lets snapshots round-trip the full entry and
+// lets tests pin writer/reader consistency.
+type DecompEntry struct {
+	Dec  *treedecomp.Decomposition
+	Perm []int // orig→canonical mapping of the writing request; nil when canon was off
+}
 
-	wInt(int64(g.N()))
-	for v := 0; v < g.N(); v++ {
-		wFloat(g.Demand(v))
-	}
-	for _, e := range g.Edges() {
-		wInt(int64(e.U))
-		wInt(int64(e.V))
-		wFloat(e.Weight)
-	}
+// keyHasher accumulates the canonical little-endian serialization of
+// key material shared by all cache-key derivations.
+type keyHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
 
+func newKeyHasher() *keyHasher { return &keyHasher{h: sha256.New()} }
+
+func (k *keyHasher) bytes(b []byte) { k.h.Write(b) }
+
+func (k *keyHasher) int(v int64) {
+	binary.LittleEndian.PutUint64(k.buf[:], uint64(v))
+	k.h.Write(k.buf[:])
+}
+
+func (k *keyHasher) float(v float64) {
+	binary.LittleEndian.PutUint64(k.buf[:], math.Float64bits(v))
+	k.h.Write(k.buf[:])
+}
+
+// options folds in the treedecomp option fields that shape the emitted
+// tree distribution (Trees, Seed, FMPasses — with the solver's
+// effective default of 4 for a zero value — FlowRefine, Strategy).
+// Options.Workers is deliberately excluded: the per-tree sub-seeded RNG
+// streams make the distribution identical at every worker count, so
+// keying on it would only fragment the cache.
+func (k *keyHasher) options(opt treedecomp.Options) {
 	trees := opt.Trees
 	if trees == 0 {
 		trees = 1
@@ -140,16 +151,70 @@ func DecompKey(g *graph.Graph, opt treedecomp.Options) string {
 	if passes == 0 {
 		passes = 4
 	}
-	wInt(int64(trees))
-	wInt(opt.Seed)
-	wInt(int64(passes))
+	k.int(int64(trees))
+	k.int(opt.Seed)
+	k.int(int64(passes))
 	if opt.FlowRefine {
-		wInt(1)
+		k.int(1)
 	} else {
-		wInt(0)
+		k.int(0)
 	}
-	wInt(int64(opt.Strategy))
-	return hex.EncodeToString(h.Sum(nil))
+	k.int(int64(opt.Strategy))
+}
+
+// hierarchy folds in the hierarchy shape (deg and cm level by level).
+func (k *keyHasher) hierarchy(H *hierarchy.Hierarchy) {
+	k.int(int64(H.Height()))
+	for j := 0; j < H.Height(); j++ {
+		k.int(int64(H.Deg(j)))
+	}
+	for j := 0; j <= H.Height(); j++ {
+		k.float(H.CM(j))
+	}
+}
+
+func (k *keyHasher) sum() string { return hex.EncodeToString(k.h.Sum(nil)) }
+
+// DecompKey returns the canonical cache key for the decomposition of g
+// under opt: a SHA-256 over the vertex count, every vertex demand, the
+// sorted (U < V, by (U,V)) edge list, and the option fields that shape
+// the emitted tree distribution (see keyHasher.options for the
+// included/excluded fields). The key is label-SENSITIVE: vertex-identical
+// graphs collide deliberately, relabelled isomorphic graphs miss — see
+// DecompKeyCanon for the label-invariant variant.
+func DecompKey(g *graph.Graph, opt treedecomp.Options) string {
+	k := newKeyHasher()
+	k.int(int64(g.N()))
+	for v := 0; v < g.N(); v++ {
+		k.float(g.Demand(v))
+	}
+	for _, e := range g.Edges() {
+		k.int(int64(e.U))
+		k.int(int64(e.V))
+		k.float(e.Weight)
+	}
+	k.options(opt)
+	return k.sum()
+}
+
+// DecompKeyCanon returns the label-INVARIANT decomposition cache key
+// derived from a canon.Form fingerprint: any two isomorphic submissions
+// that canonicalize share it, so they share one cached decomposition of
+// the canonical graph. The "decomp-canon\x02" prefix domain-separates
+// the canonical key space from DecompKey's v1 space — a v1 key can
+// never alias a v2 key even though both are hex SHA-256 strings,
+// because the fingerprint itself is a hash over a different domain
+// ("hgp-canon\x01" + canonical serialization) than DecompKey's raw
+// serialization. Soundness: equal fingerprints imply byte-identical
+// canonical graphs (the fingerprint hashes the canonical serialization,
+// not a WL summary), so a hit hands back a decomposition of exactly the
+// graph the reader is solving.
+func DecompKeyCanon(fingerprint string, opt treedecomp.Options) string {
+	k := newKeyHasher()
+	k.bytes([]byte("decomp-canon\x02"))
+	k.bytes([]byte(fingerprint))
+	k.options(opt)
+	return k.sum()
 }
 
 // ResultKey returns the canonical cache key for a FULL solve result —
@@ -170,30 +235,30 @@ func DecompKey(g *graph.Graph, opt treedecomp.Options) string {
 //     sentinels differ (+Inf for pruned trees), so cached results keep
 //     whichever sentinel pattern the first solve produced.
 func ResultKey(g *graph.Graph, H *hierarchy.Hierarchy, opt treedecomp.Options, eps float64, maxStates int) string {
-	h := sha256.New()
-	var buf [8]byte
-	wInt := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	wFloat := func(v float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
-
+	k := newKeyHasher()
 	// Domain-separate from DecompKey so the two key spaces can never
 	// collide, then fold in the decomposition identity.
-	h.Write([]byte("result\x00"))
-	h.Write([]byte(DecompKey(g, opt)))
+	k.bytes([]byte("result\x00"))
+	k.bytes([]byte(DecompKey(g, opt)))
+	k.hierarchy(H)
+	k.float(eps)
+	k.int(int64(maxStates))
+	return k.sum()
+}
 
-	wInt(int64(H.Height()))
-	for j := 0; j < H.Height(); j++ {
-		wInt(int64(H.Deg(j)))
-	}
-	for j := 0; j <= H.Height(); j++ {
-		wFloat(H.CM(j))
-	}
-	wFloat(eps)
-	wInt(int64(maxStates))
-	return hex.EncodeToString(h.Sum(nil))
+// ResultKeyCanon is ResultKey's label-invariant counterpart: it extends
+// DecompKeyCanon's identity with the hierarchy shape and the solver's
+// Eps and MaxStates, under its own "result-canon\x02" domain. The same
+// Workers/Prune exclusions apply (the cached result is the solve of the
+// canonical graph, bit-identical across both), and the translation back
+// to submission labels is a pure relabelling that cannot change the
+// cost — see DESIGN.md §12.
+func ResultKeyCanon(fingerprint string, H *hierarchy.Hierarchy, opt treedecomp.Options, eps float64, maxStates int) string {
+	k := newKeyHasher()
+	k.bytes([]byte("result-canon\x02"))
+	k.bytes([]byte(DecompKeyCanon(fingerprint, opt)))
+	k.hierarchy(H)
+	k.float(eps)
+	k.int(int64(maxStates))
+	return k.sum()
 }

@@ -30,9 +30,15 @@ import (
 // different randomness stream rejects the whole snapshot generation:
 // serving another stream's trees would silently break the "same key ⇒
 // same distribution" contract the cache is built on.
+//
+// Format history: v1 payloads held a bare decomposition; v2 (the
+// canonical-fingerprinting release) prepends the writing request's
+// orig→canonical vertex permutation. v1 files are skipped-and-counted
+// on load exactly like any other version mismatch — a pre-canon
+// snapshot generation degrades to a colder start, never a failed one.
 const (
 	magic         = "HGPSNAP\x01"
-	formatVersion = 1
+	formatVersion = 2
 	headerLen     = len(magic) + 4 + 4 + 8 + sha256.Size
 
 	entrySuffix = ".snap"
@@ -53,7 +59,7 @@ type Store struct {
 	maxEntries int
 
 	mu        sync.Mutex
-	pending   map[string]*treedecomp.Decomposition
+	pending   map[string]pendingEntry
 	lastFlush time.Time
 	bytes     int64
 	entries   int
@@ -78,7 +84,7 @@ func Open(dir string, maxEntries int, reg *telemetry.Registry) (*Store, error) {
 		dir:        dir,
 		reg:        reg,
 		maxEntries: maxEntries,
-		pending:    map[string]*treedecomp.Decomposition{},
+		pending:    map[string]pendingEntry{},
 	}
 	s.refreshAccounting()
 	return s, nil
@@ -101,14 +107,22 @@ func (s *Store) entryPath(key string) string {
 	return filepath.Join(s.dir, clean+entrySuffix)
 }
 
+// pendingEntry is one staged write: the decomposition plus the writing
+// request's orig→canonical permutation (nil when canon was off).
+type pendingEntry struct {
+	d    *treedecomp.Decomposition
+	perm []int
+}
+
 // Save writes one entry atomically: encode, write to a temp file, fsync,
 // rename over the final name, fsync the directory. A crash at any point
 // leaves either the old entry, no entry, or a stray temp file (ignored
 // and removed on load) — never a half-written entry under the final
 // name — and once Save returns the entry survives power loss, not just
-// process death.
-func (s *Store) Save(key string, d *treedecomp.Decomposition) error {
-	payload := encodeDecomposition(d)
+// process death. perm is the writing request's orig→canonical vertex
+// permutation; pass nil for label-sensitive (canon-off) entries.
+func (s *Store) Save(key string, d *treedecomp.Decomposition, perm []int) error {
+	payload := encodeEntry(d, perm)
 	if err := faultinject.Fire(nil, faultinject.DiskWrite); err != nil {
 		s.reg.Counter("snapshot_save_errors_total").Inc()
 		return fmt.Errorf("diskstore: write %s: %w", key, err)
@@ -177,19 +191,21 @@ func (s *Store) syncDir() error {
 	return err
 }
 
-// Load reads and validates one entry. The boolean reports whether a
-// valid entry was found; invalid entries (corrupt, truncated, version
-// mismatch) return false with the per-reason counters ticked, exactly
-// like LoadAll, so callers treat them as cache misses.
-func (s *Store) Load(key string) (*treedecomp.Decomposition, bool) {
-	d, err := s.loadFile(s.entryPath(key))
+// Load reads and validates one entry, returning the decomposition and
+// the stored orig→canonical permutation (nil for canon-off entries).
+// The boolean reports whether a valid entry was found; invalid entries
+// (corrupt, truncated, version mismatch) return false with the
+// per-reason counters ticked, exactly like LoadAll, so callers treat
+// them as cache misses.
+func (s *Store) Load(key string) (*treedecomp.Decomposition, []int, bool) {
+	d, perm, err := s.loadFile(s.entryPath(key))
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
 			s.skip(err)
 		}
-		return nil, false
+		return nil, nil, false
 	}
-	return d, true
+	return d, perm, true
 }
 
 // errVersionMismatch tags entries written under a different format or
@@ -197,35 +213,35 @@ func (s *Store) Load(key string) (*treedecomp.Decomposition, bool) {
 // serve.
 var errVersionMismatch = errors.New("version mismatch")
 
-func (s *Store) loadFile(path string) (*treedecomp.Decomposition, error) {
+func (s *Store) loadFile(path string) (*treedecomp.Decomposition, []int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(raw) < headerLen {
-		return nil, fmt.Errorf("diskstore: %s: truncated header (%d bytes)", filepath.Base(path), len(raw))
+		return nil, nil, fmt.Errorf("diskstore: %s: truncated header (%d bytes)", filepath.Base(path), len(raw))
 	}
 	if string(raw[:len(magic)]) != magic {
-		return nil, fmt.Errorf("diskstore: %s: bad magic", filepath.Base(path))
+		return nil, nil, fmt.Errorf("diskstore: %s: bad magic", filepath.Base(path))
 	}
 	off := len(magic)
 	format := binary.LittleEndian.Uint32(raw[off:])
 	stream := binary.LittleEndian.Uint32(raw[off+4:])
 	plen := binary.LittleEndian.Uint64(raw[off+8:])
 	if format != formatVersion || stream != treedecomp.RNGStreamVersion {
-		return nil, fmt.Errorf("diskstore: %s: format %d stream %d, want %d/%d: %w",
+		return nil, nil, fmt.Errorf("diskstore: %s: format %d stream %d, want %d/%d: %w",
 			filepath.Base(path), format, stream, formatVersion, treedecomp.RNGStreamVersion, errVersionMismatch)
 	}
 	var sum [sha256.Size]byte
 	copy(sum[:], raw[off+16:])
 	payload := raw[headerLen:]
 	if uint64(len(payload)) != plen {
-		return nil, fmt.Errorf("diskstore: %s: payload %d bytes, header says %d", filepath.Base(path), len(payload), plen)
+		return nil, nil, fmt.Errorf("diskstore: %s: payload %d bytes, header says %d", filepath.Base(path), len(payload), plen)
 	}
 	if sha256.Sum256(payload) != sum {
-		return nil, fmt.Errorf("diskstore: %s: checksum mismatch", filepath.Base(path))
+		return nil, nil, fmt.Errorf("diskstore: %s: checksum mismatch", filepath.Base(path))
 	}
-	return decodeDecomposition(payload)
+	return decodeEntry(payload)
 }
 
 func (s *Store) skip(err error) {
@@ -241,7 +257,7 @@ func (s *Store) skip(err error) {
 // mismatched entries are skipped with a counter — a damaged snapshot
 // directory degrades to a colder start, never a failed one. Stray temp
 // files from interrupted writes are removed.
-func (s *Store) LoadAll(limit int, fn func(key string, d *treedecomp.Decomposition)) error {
+func (s *Store) LoadAll(limit int, fn func(key string, d *treedecomp.Decomposition, perm []int)) error {
 	files, err := s.listEntries()
 	if err != nil {
 		return err
@@ -251,12 +267,12 @@ func (s *Store) LoadAll(limit int, fn func(key string, d *treedecomp.Decompositi
 		if limit > 0 && loaded >= limit {
 			break
 		}
-		d, err := s.loadFile(filepath.Join(s.dir, f.name))
+		d, perm, err := s.loadFile(filepath.Join(s.dir, f.name))
 		if err != nil {
 			s.skip(err)
 			continue
 		}
-		fn(strings.TrimSuffix(f.name, entrySuffix), d)
+		fn(strings.TrimSuffix(f.name, entrySuffix), d, perm)
 		loaded++
 		s.reg.Counter("snapshot_loaded_total").Inc()
 	}
@@ -341,10 +357,11 @@ func (s *Store) prune() {
 // Enqueue schedules an entry for the background flusher. It never
 // blocks the serving path: the entry is staged in memory and written at
 // the next flush tick (or Flush call). Without a running flusher the
-// entry simply waits for an explicit Flush.
-func (s *Store) Enqueue(key string, d *treedecomp.Decomposition) {
+// entry simply waits for an explicit Flush. perm follows the Save
+// contract (nil for canon-off entries).
+func (s *Store) Enqueue(key string, d *treedecomp.Decomposition, perm []int) {
 	s.mu.Lock()
-	s.pending[key] = d
+	s.pending[key] = pendingEntry{d: d, perm: perm}
 	s.mu.Unlock()
 	select {
 	case s.flushChan() <- struct{}{}:
@@ -370,7 +387,7 @@ func (s *Store) flushChan() chan struct{} {
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	batch := s.pending
-	s.pending = map[string]*treedecomp.Decomposition{}
+	s.pending = map[string]pendingEntry{}
 	s.mu.Unlock()
 
 	var firstErr error
@@ -381,7 +398,7 @@ func (s *Store) Flush() error {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if err := s.Save(k, batch[k]); err != nil {
+		if err := s.Save(k, batch[k].d, batch[k].perm); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}

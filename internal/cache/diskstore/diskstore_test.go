@@ -61,10 +61,10 @@ func TestSaveLoadRoundTripBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, key := testDecomp(t, 7)
-	if err := s.Save(key, d); err != nil {
+	if err := s.Save(key, d, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Load(key)
+	got, _, ok := s.Load(key)
 	if !ok {
 		t.Fatal("entry not found after Save")
 	}
@@ -84,7 +84,7 @@ func TestLoadMissingKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Load("deadbeef"); ok {
+	if _, _, ok := s.Load("deadbeef"); ok {
 		t.Fatal("missing key must not load")
 	}
 }
@@ -130,10 +130,20 @@ func TestCorruptEntriesSkipped(t *testing.T) {
 			// reject it even though the hash passes.
 			// Rebuild: header + mutated payload + fixed checksum.
 			payload := append([]byte(nil), b[headerLen:]...)
-			// tree count (4 bytes) + node count (4 bytes), then node 1's
-			// parent uint32.
-			payload[8] = 0xff
+			// perm length (4 bytes, zero here) + tree count (4 bytes) +
+			// node count (4 bytes), then node 1's parent uint32.
+			payload[12] = 0xff
 			return rebuildEntry(payload)
+		}, "snapshot_corrupt_total"},
+		{"checksum-matches-corrupt-perm", func(b []byte) []byte {
+			// A duplicated permutation entry must be rejected even under
+			// a valid checksum: serving it would scramble translations.
+			payload := append([]byte(nil), b[headerLen:]...)
+			// The original perm length is 0; synthesize perm [0,0].
+			perm := binary.LittleEndian.AppendUint32(nil, 2)
+			perm = binary.LittleEndian.AppendUint32(perm, 0)
+			perm = binary.LittleEndian.AppendUint32(perm, 0)
+			return rebuildEntry(append(perm, payload[4:]...))
 		}, "snapshot_corrupt_total"},
 	}
 	for _, tc := range cases {
@@ -143,7 +153,7 @@ func TestCorruptEntriesSkipped(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Save(key, d); err != nil {
+			if err := s.Save(key, d, nil); err != nil {
 				t.Fatal(err)
 			}
 			path := s.entryPath(key)
@@ -154,7 +164,7 @@ func TestCorruptEntriesSkipped(t *testing.T) {
 			if err := os.WriteFile(path, tc.mutate(raw), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			if _, ok := s.Load(key); ok {
+			if _, _, ok := s.Load(key); ok {
 				t.Fatal("corrupt entry must not load")
 			}
 			if got := reg.Counter(tc.counter).Value(); got != 1 {
@@ -162,7 +172,7 @@ func TestCorruptEntriesSkipped(t *testing.T) {
 			}
 			// LoadAll must skip it too, without error.
 			n := 0
-			if err := s.LoadAll(0, func(string, *treedecomp.Decomposition) { n++ }); err != nil {
+			if err := s.LoadAll(0, func(string, *treedecomp.Decomposition, []int) { n++ }); err != nil {
 				t.Fatal(err)
 			}
 			if n != 0 {
@@ -193,7 +203,7 @@ func TestLoadAllNewestFirstWithLimit(t *testing.T) {
 	var keys []string
 	for i := int64(0); i < 3; i++ {
 		d, key := testDecomp(t, 20+i)
-		if err := s.Save(key, d); err != nil {
+		if err := s.Save(key, d, nil); err != nil {
 			t.Fatal(err)
 		}
 		// Distinct mtimes so newest-first ordering is deterministic.
@@ -204,7 +214,7 @@ func TestLoadAllNewestFirstWithLimit(t *testing.T) {
 		keys = append(keys, key)
 	}
 	var got []string
-	if err := s.LoadAll(2, func(k string, _ *treedecomp.Decomposition) { got = append(got, k) }); err != nil {
+	if err := s.LoadAll(2, func(k string, _ *treedecomp.Decomposition, _ []int) { got = append(got, k) }); err != nil {
 		t.Fatal(err)
 	}
 	// Newest two = the last two saved, newest first.
@@ -221,10 +231,10 @@ func TestFlusherWritesEnqueuedEntries(t *testing.T) {
 	}
 	d, key := testDecomp(t, 31)
 	s.StartFlusher(10 * time.Millisecond)
-	s.Enqueue(key, d)
+	s.Enqueue(key, d, nil)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, ok := s.Load(key); ok {
+		if _, _, ok := s.Load(key); ok {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -243,11 +253,11 @@ func TestCloseFlushesPendingWithoutFlusher(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, key := testDecomp(t, 37)
-	s.Enqueue(key, d)
+	s.Enqueue(key, d, nil)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Load(key); !ok {
+	if _, _, ok := s.Load(key); !ok {
 		t.Fatal("Close must flush staged entries")
 	}
 }
@@ -259,7 +269,7 @@ func TestPruneBoundsGeneration(t *testing.T) {
 	}
 	for i := int64(0); i < 4; i++ {
 		d, key := testDecomp(t, 40+i)
-		s.Enqueue(key, d)
+		s.Enqueue(key, d, nil)
 		mt := time.Now().Add(time.Duration(i-4) * time.Hour)
 		if err := s.Flush(); err != nil {
 			t.Fatal(err)
@@ -292,7 +302,7 @@ func TestDiskFaultInjection(t *testing.T) {
 			injected := errors.New("injected disk fault")
 			restore := faultinject.Activate(faultinject.New(1).On(point, faultinject.Fault{Prob: 1, Err: injected}))
 			d, key := testDecomp(t, 51)
-			saveErr := s.Save(key, d)
+			saveErr := s.Save(key, d, nil)
 			restore()
 			if !errors.Is(saveErr, injected) {
 				t.Fatalf("Save = %v, want injected fault", saveErr)
@@ -300,7 +310,7 @@ func TestDiskFaultInjection(t *testing.T) {
 			if reg.Counter("snapshot_save_errors_total").Value() != 1 {
 				t.Fatal("save error not counted")
 			}
-			if _, ok := s.Load(key); ok {
+			if _, _, ok := s.Load(key); ok {
 				t.Fatal("failed Save must not leave a loadable entry")
 			}
 			ents, err := os.ReadDir(s.Dir())
@@ -313,10 +323,10 @@ func TestDiskFaultInjection(t *testing.T) {
 				}
 			}
 			// The store recovers once the fault clears.
-			if err := s.Save(key, d); err != nil {
+			if err := s.Save(key, d, nil); err != nil {
 				t.Fatal(err)
 			}
-			if _, ok := s.Load(key); !ok {
+			if _, _, ok := s.Load(key); !ok {
 				t.Fatal("entry must load after recovery")
 			}
 		})
@@ -331,7 +341,7 @@ func TestFlushRestagesFailedEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, key := testDecomp(t, 77)
-	s.Enqueue(key, d)
+	s.Enqueue(key, d, nil)
 
 	injected := errors.New("injected disk fault")
 	restore := faultinject.Activate(faultinject.New(1).
@@ -352,7 +362,7 @@ func TestFlushRestagesFailedEntries(t *testing.T) {
 	if st := s.Stats(); st.Pending != 0 {
 		t.Fatalf("pending after recovery flush = %d, want 0", st.Pending)
 	}
-	got, ok := s.Load(key)
+	got, _, ok := s.Load(key)
 	if !ok {
 		t.Fatal("entry must be loadable after the recovery flush")
 	}
@@ -368,10 +378,97 @@ func TestStrayTempFilesRemovedOnLoad(t *testing.T) {
 	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.LoadAll(0, func(string, *treedecomp.Decomposition) {}); err != nil {
+	if err := s.LoadAll(0, func(string, *treedecomp.Decomposition, []int) {}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
 		t.Fatal("stray temp file must be removed on load")
+	}
+}
+
+// Format v2: the writing request's orig→canonical permutation rides in
+// the payload and round-trips exactly, through both the synchronous
+// Save path and the staged Enqueue/Flush path; canon-off entries
+// round-trip a nil perm.
+func TestPermRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, key := testDecomp(t, 91)
+	perm := rand.New(rand.NewSource(91)).Perm(len(d.Trees[0].LeafOf))
+	if err := s.Save(key, d, perm); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPerm, ok := s.Load(key)
+	if !ok {
+		t.Fatal("entry not found after Save")
+	}
+	sameDecomp(t, d, got)
+	if !reflect.DeepEqual(gotPerm, perm) {
+		t.Fatalf("perm round-trip = %v, want %v", gotPerm, perm)
+	}
+
+	d2, key2 := testDecomp(t, 92)
+	s.Enqueue(key2, d2, perm)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotPerm, ok := s.Load(key2); !ok || !reflect.DeepEqual(gotPerm, perm) {
+		t.Fatalf("flushed perm = %v (ok=%v), want %v", gotPerm, ok, perm)
+	}
+
+	d3, key3 := testDecomp(t, 93)
+	if err := s.Save(key3, d3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotPerm, ok := s.Load(key3); !ok || gotPerm != nil {
+		t.Fatalf("canon-off entry perm = %v (ok=%v), want nil", gotPerm, ok)
+	}
+}
+
+// A pre-canon (format v1) snapshot file — v2 header version rewritten
+// to 1 over a v1-shaped payload — is skipped and counted as a version
+// mismatch, by both Load and LoadAll, exactly like the stream-version
+// case: old generations degrade to a colder start.
+func TestV1FormatFilesSkippedAndCounted(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(t.TempDir(), 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, key := testDecomp(t, 95)
+	if err := s.Save(key, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1 payload is the bare decomposition encoding (no perm section).
+	v1 := rebuildEntry(encodeDecomposition(d))
+	binary.LittleEndian.PutUint32(v1[len(magic):], 1)
+	if err := os.WriteFile(s.entryPath(key), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Load(key); ok {
+		t.Fatal("v1 entry must not load")
+	}
+	if got := reg.Counter("snapshot_version_mismatch_total").Value(); got != 1 {
+		t.Fatalf("snapshot_version_mismatch_total = %d, want 1", got)
+	}
+	n := 0
+	if err := s.LoadAll(0, func(string, *treedecomp.Decomposition, []int) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("LoadAll surfaced %d v1 entries", n)
+	}
+	// Restore the v2 bytes: the same file loads again.
+	if err := os.WriteFile(s.entryPath(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Load(key); !ok {
+		t.Fatal("restored v2 entry must load")
 	}
 }

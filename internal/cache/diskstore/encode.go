@@ -10,11 +10,16 @@ import (
 )
 
 // The payload encoding is a canonical little-endian serialization of a
-// treedecomp.Decomposition. Canonical matters: equal decompositions
-// encode to equal bytes, so the restart tests can assert bit-identity
-// by comparing encodings, and the entry checksum covers exactly the
-// information the solver will consume.
+// snapshot entry. Canonical matters: equal entries encode to equal
+// bytes, so the restart tests can assert bit-identity by comparing
+// encodings, and the entry checksum covers exactly the information the
+// solver will consume.
 //
+// Format v2 entry layout:
+//
+//	uint32  perm length (0 = canon-off entry, no permutation)
+//	per vertex: uint32 canonical label (the orig→canonical permutation
+//	            of the request that wrote the entry)
 //	uint32  tree count
 //	per tree:
 //	  uint32  node count n
@@ -25,6 +30,50 @@ import (
 //
 // Infinite edge weights (binarization dummies) survive the float64-bits
 // round trip; NaN weights are invalid in a tree and rejected on decode.
+
+// encodeEntry prepends the permutation section to the decomposition
+// encoding. A nil/empty perm encodes as length 0 and decodes back to
+// nil.
+func encodeEntry(d *treedecomp.Decomposition, perm []int) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(perm)))
+	for _, c := range perm {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	return append(buf, encodeDecomposition(d)...)
+}
+
+// decodeEntry parses the permutation section — validating it is a true
+// permutation, since a corrupt one would silently scramble every
+// translated placement — then hands the rest to decodeDecomposition.
+func decodeEntry(buf []byte) (*treedecomp.Decomposition, []int, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("diskstore: truncated payload at byte 0")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint64(len(buf)) < uint64(n)*4 {
+		return nil, nil, fmt.Errorf("diskstore: implausible perm length %d for %d payload bytes", n, len(buf))
+	}
+	var perm []int
+	if n > 0 {
+		perm = make([]int, n)
+		seen := make([]bool, n)
+		for v := range perm {
+			c := binary.LittleEndian.Uint32(buf[v*4:])
+			if c >= n || seen[c] {
+				return nil, nil, fmt.Errorf("diskstore: perm[%d]=%d is not a valid permutation entry", v, c)
+			}
+			seen[c] = true
+			perm[v] = int(c)
+		}
+		buf = buf[n*4:]
+	}
+	d, err := decodeDecomposition(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, perm, nil
+}
 
 func encodeDecomposition(d *treedecomp.Decomposition) []byte {
 	var buf []byte

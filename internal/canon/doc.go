@@ -1,0 +1,32 @@
+// Package canon computes canonical forms of weighted graphs so that
+// isomorphic submissions — the same topology under relabelled vertex
+// IDs, the common case when autoscaled tenants resubmit replicas of one
+// pipeline/diamond/join-tree family — map to a single label-invariant
+// cache identity.
+//
+// Canonicalize runs iterated Weisfeiler–Leman colour refinement over
+// the graph (vertex demands seed the colours; each round absorbs the
+// sorted multiset of (neighbour colour, edge weight) pairs) and, when
+// refinement stabilizes short of discrete, an exact
+// individualization-refinement backtracking search that breaks the
+// residual automorphism-class ties: the lexicographically smallest
+// certificate over the full search is a true canonical form. The
+// result is a Form: a SHA-256 Fingerprint hashed from the canonical
+// graph's serialization, the permutation that produced it, and the
+// canonically relabelled graph itself.
+//
+// Two escape hatches keep the worst case cheap, at the cost of a
+// missed cross-user hit (never a wrong one): graphs whose stable
+// partition contains a colour class larger than Options.MaxClass, or
+// whose tie-break search exceeds Options.MaxBranch nodes, are refused —
+// callers fall back to the label-sensitive cache key. Soundness never
+// depends on WL completeness: the fingerprint covers the canonical
+// serialization, so WL-equivalent non-isomorphic graphs either receive
+// distinct fingerprints (tie-break resolved them) or are refused —
+// they can never collide.
+//
+// internal/cache derives domain-separated v2 cache keys from the
+// Fingerprint, and internal/server translates cached canonical-space
+// placements back through Form.TranslateAssignment. See DESIGN.md §12
+// for the soundness argument.
+package canon

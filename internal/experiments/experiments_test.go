@@ -401,9 +401,35 @@ func TestE23WarmRestart(t *testing.T) {
 	}
 }
 
+func TestE25CanonCache(t *testing.T) {
+	tab := E25CanonCache(quickCfg())
+	checkTable(t, tab)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E25: want off/on/lift rows, got %d: %v", len(tab.Rows), tab.Rows)
+	}
+	off, on, lift := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	if off[0] != "off" || on[0] != "on" || lift[0] != "lift" {
+		t.Fatalf("E25: unexpected row order: %v", tab.Rows)
+	}
+	// The acceptance bar: canonical fingerprinting lifts the hit ratio at
+	// least 5x over the identity-only baseline, and a cache hit's cost is
+	// bit-identical to a fresh solve (the |Δcost| cells print exactly 0).
+	if r := parseF(t, lift[4]); r < 5 {
+		t.Fatalf("E25: hit-ratio lift %v < 5", r)
+	}
+	if parseF(t, on[4]) <= parseF(t, off[4]) {
+		t.Fatalf("E25: canon=on ratio %s not above canon=off %s", on[4], off[4])
+	}
+	for _, r := range [][]string{off, on} {
+		if r[8] != "0" {
+			t.Fatalf("E25 canon=%s: max |Δcost| = %q, want exactly 0", r[0], r[8])
+		}
+	}
+}
+
 func TestAllProducesEveryTable(t *testing.T) {
 	tabs := All(quickCfg())
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "F1", "F2"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "F1", "F2"}
 	if len(tabs) != len(want) {
 		t.Fatalf("All returned %d tables", len(tabs))
 	}

@@ -71,7 +71,7 @@ func E23WarmRestart(cfg Config) *Table {
 			continue
 		}
 		seedDec := treedecomp.Build(g, opts)
-		if err := store.Save(key, seedDec); err != nil {
+		if err := store.Save(key, seedDec, nil); err != nil {
 			t.AddRow(fam.name, g.N(), 0, "save: "+err.Error(), "", "", "", "")
 			continue
 		}
@@ -98,7 +98,7 @@ func E23WarmRestart(cfg Config) *Table {
 			warmStore, err := diskstore.Open(dir, 0, telemetry.NewRegistry())
 			if err == nil {
 				t0 = time.Now()
-				loaded, ok := warmStore.Load(key)
+				loaded, _, ok := warmStore.Load(key)
 				if !ok {
 					t.AddRow(fam.name, g.N(), trial, "", "", "snapshot missing", "", "")
 					fail = true

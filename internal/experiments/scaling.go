@@ -196,6 +196,7 @@ func All(cfg Config) []*Table {
 		E22AnytimeLadder(cfg),
 		E23WarmRestart(cfg),
 		E24MultiCoreMatrix(cfg),
+		E25CanonCache(cfg),
 		F1BadSetSplit(cfg),
 		F2ActiveSets(cfg),
 	}

@@ -13,6 +13,7 @@ import (
 
 	"hierpart/internal/anytime"
 	"hierpart/internal/cache"
+	"hierpart/internal/canon"
 	"hierpart/internal/faultinject"
 	"hierpart/internal/graph"
 	"hierpart/internal/hgp"
@@ -77,6 +78,13 @@ type PartitionResponse struct {
 	// is false on such responses (the decomposition cache was never
 	// consulted), and DecomposeMS/SolveMS are 0.
 	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
+	// CanonHit reports that this request canonicalized (-canon) and was
+	// answered from a cache keyed by the label-invariant fingerprint —
+	// either a decomposition hit (CacheHit) or a full-result hit
+	// (ResultCacheHit). The hit may have been written by a different
+	// user's isomorphic submission; the assignment was translated back
+	// through this request's own permutation.
+	CanonHit bool `json:"canon_hit,omitempty"`
 	// ElapsedMS, DecomposeMS, SolveMS are wall-clock phase timings;
 	// DecomposeMS is 0 on a cache hit. For a ladder response they
 	// describe the winning tier (0/0 for a baseline win — that tier
@@ -168,18 +176,41 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		SequentialPortfolio: s.cfg.SerialPortfolio,
 	}
 
+	// Canonicalization: map the submission to its canonical vertex
+	// ordering so every cache below keys on the label-invariant
+	// fingerprint and the solver runs in canonical space. A refusal
+	// (large automorphism class, exhausted tie-break budget) falls back
+	// to the label-sensitive keys — a missed cross-user hit, never a
+	// wrong one.
+	var cn *canon.Form
+	gSolve := g
+	if s.cfg.Canon {
+		s.reg.Counter("canon_attempts_total").Inc()
+		if f, ok := canon.Canonicalize(g); ok {
+			s.reg.Counter("canon_ok_total").Inc()
+			cn = f
+			gSolve = f.Graph
+		} else {
+			s.reg.Counter("canon_fallback_total").Inc()
+		}
+	}
+
 	// Result-cache precheck, before any admission cost is paid: a repeat
 	// of a completed full-quality solve is served straight from memory —
 	// no breaker probe, no queue slot, no decomposition, no DP. The key
-	// (cache.ResultKey) covers everything that shapes the returned
-	// placement; Workers is excluded because results are bit-identical
-	// at every worker count.
+	// (cache.ResultKey, or cache.ResultKeyCanon once canonicalized)
+	// covers everything that shapes the returned placement; Workers is
+	// excluded because results are bit-identical at every worker count.
 	var rkey string
 	if s.results != nil {
-		rkey = cache.ResultKey(g, H, sv.DecompOptions(), sv.Eps, sv.MaxStates)
+		if cn != nil {
+			rkey = cache.ResultKeyCanon(cn.Fingerprint, H, sv.DecompOptions(), sv.Eps, sv.MaxStates)
+		} else {
+			rkey = cache.ResultKey(g, H, sv.DecompOptions(), sv.Eps, sv.MaxStates)
+		}
 		if v, ok := s.results.Get(rkey); ok {
 			s.reg.Counter("result_cache_hits_total").Inc()
-			s.writePartitionOK(w, start, v.(*hgp.Result), false, true, 0, 0, nil)
+			s.writePartitionOK(w, start, v.(*hgp.Result), false, true, 0, 0, nil, cn)
 			return
 		}
 		s.reg.Counter("result_cache_misses_total").Inc()
@@ -270,7 +301,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	runSolve := func() (*solveOutcome, error) {
 		oc := &solveOutcome{}
 		if noDegrade {
-			res, hit, dd, sd, serr := s.solve(ctx, g, H, sv)
+			res, hit, dd, sd, serr := s.solve(ctx, gSolve, H, sv, cn)
 			if serr != nil {
 				return nil, serr
 			}
@@ -299,7 +330,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			var phaseMu sync.Mutex
 			phases := map[anytime.Tier]tierPhases{}
 			ladderOpts.SolveDP = func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, error) {
-				r, hit, d, sd, serr := s.solve(ctx, g, H, sv)
+				r, hit, d, sd, serr := s.solve(ctx, g, H, sv, cn)
 				if tier, ok := anytime.TierFromContext(ctx); ok && serr == nil {
 					phaseMu.Lock()
 					phases[tier] = tierPhases{hit: hit, decomp: d, slve: sd}
@@ -307,7 +338,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 				}
 				return r, serr
 			}
-			out, serr := anytime.Solve(ctx, g, H, ladderOpts)
+			out, serr := anytime.Solve(ctx, gSolve, H, ladderOpts)
 			if serr != nil {
 				return nil, serr
 			}
@@ -387,7 +418,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.writePartitionOK(w, start, oc.res, oc.cacheHit, false, oc.decompDur, oc.solveDur, oc.degResp)
+	s.writePartitionOK(w, start, oc.res, oc.cacheHit, false, oc.decompDur, oc.solveDur, oc.degResp, cn)
 }
 
 // solveOutcome bundles one completed solve so identical concurrent
@@ -405,12 +436,28 @@ type solveOutcome struct {
 // representable in JSON; TreesPruned carries the distinction. The solve
 // latency histogram only sees real solves: a result-cache hit did no
 // solving and would drag the distribution toward zero.
-func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *hgp.Result, cacheHit, resultHit bool, decompDur, solveDur time.Duration, degResp *DegradationResponse) {
+//
+// With a canonical form (cn non-nil) res lives in canonical space —
+// possibly shared with other requests through the caches — so the
+// assignment is translated back through this request's own permutation
+// into a FRESH slice before rendering; the cached result is never
+// mutated. Cost, violations, and per-tree costs are label-invariant
+// and pass through untouched.
+func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *hgp.Result, cacheHit, resultHit bool, decompDur, solveDur time.Duration, degResp *DegradationResponse, cn *canon.Form) {
 	perTree := make([]*float64, len(res.PerTreeCosts))
 	for i, c := range res.PerTreeCosts {
 		if !math.IsNaN(c) && !math.IsInf(c, 1) {
 			c := c
 			perTree[i] = &c
+		}
+	}
+	assignment := res.Assignment
+	canonHit := false
+	if cn != nil {
+		assignment = cn.TranslateAssignment(res.Assignment)
+		if cacheHit || resultHit {
+			canonHit = true
+			s.reg.Counter("canon_hits_total").Inc()
 		}
 	}
 	elapsed := time.Since(start)
@@ -421,7 +468,7 @@ func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *h
 		s.reg.Histogram("solve_seconds").Observe(solveDur.Seconds())
 	}
 	writeJSON(w, http.StatusOK, PartitionResponse{
-		Assignment:     res.Assignment,
+		Assignment:     assignment,
 		Cost:           res.Cost,
 		TreeCost:       res.TreeCost,
 		TreeIndex:      res.TreeIndex,
@@ -431,6 +478,7 @@ func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *h
 		States:         res.States,
 		CacheHit:       cacheHit,
 		ResultCacheHit: resultHit,
+		CanonHit:       canonHit,
 		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
 		DecomposeMS:    float64(decompDur.Microseconds()) / 1000,
 		SolveMS:        float64(solveDur.Microseconds()) / 1000,
@@ -493,8 +541,25 @@ type StatsResponse struct {
 	ResultCache *cacheStats `json:"result_cache,omitempty"`
 	// Portfolio is the tree-portfolio accounting: incumbent pruning and
 	// tree-level concurrency across all solves. Always present.
-	Portfolio portfolioBlock     `json:"portfolio"`
-	Metrics   telemetry.Snapshot `json:"metrics"`
+	Portfolio portfolioBlock `json:"portfolio"`
+	// Canon is the canonical-fingerprinting accounting. Always present;
+	// Enabled mirrors the -canon flag and the counters stay zero while
+	// it is off.
+	Canon   canonBlock         `json:"canon"`
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+// canonBlock is the `canon` block of /v1/stats. Attempts split into ok
+// (canonicalized; label-invariant keys used) and fallback (refused;
+// label-sensitive keys used). HitsTotal counts responses answered from
+// a canonically-keyed cache — the cross-user reuse the fingerprint
+// exists to create.
+type canonBlock struct {
+	Enabled        bool  `json:"enabled"`
+	AttemptsTotal  int64 `json:"attempts_total"`
+	OKTotal        int64 `json:"ok_total"`
+	FallbackTotal  int64 `json:"fallback_total"`
+	CanonHitsTotal int64 `json:"hits_total"`
 }
 
 // portfolioBlock is the `portfolio` block of /v1/stats. The counters
@@ -610,6 +675,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ParallelSolvesTotal:   s.reg.Counter("portfolio_parallel_solves_total").Value(),
 		SequentialSolvesTotal: s.reg.Counter("portfolio_sequential_solves_total").Value(),
 		SerialForced:          s.cfg.SerialPortfolio,
+	}
+	resp.Canon = canonBlock{
+		Enabled:        s.cfg.Canon,
+		AttemptsTotal:  s.reg.Counter("canon_attempts_total").Value(),
+		OKTotal:        s.reg.Counter("canon_ok_total").Value(),
+		FallbackTotal:  s.reg.Counter("canon_fallback_total").Value(),
+		CanonHitsTotal: s.reg.Counter("canon_hits_total").Value(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -14,6 +14,7 @@ import (
 
 	"hierpart/internal/cache"
 	"hierpart/internal/cache/diskstore"
+	"hierpart/internal/canon"
 	"hierpart/internal/faultinject"
 	"hierpart/internal/graph"
 	"hierpart/internal/hgp"
@@ -51,6 +52,16 @@ type Config struct {
 	// decomposition cache, and small enough that holding them on disk
 	// buys little.
 	ResultCacheEntries int
+	// Canon enables canonical-form graph fingerprinting (hgpd -canon):
+	// each submission is mapped to its canonical vertex ordering
+	// (internal/canon), both caches key on the label-invariant
+	// fingerprint, the solver runs in canonical space, and the placement
+	// is translated back through the request's own permutation before
+	// answering. Isomorphic submissions from different users then share
+	// cache entries. Graphs that refuse to canonicalize (large
+	// automorphism classes, exhausted search budget) fall back to the
+	// label-sensitive keys, counted by canon_fallback_total.
+	Canon bool
 	// SolverWorkers is the per-solve concurrency budget
 	// (hgp.Solver.Workers). Zero means GOMAXPROCS.
 	SolverWorkers int
@@ -195,10 +206,12 @@ type Server struct {
 	solve solveFunc
 }
 
-// solveFunc runs one partition solve. It reports the result, whether
-// the decomposition came from the cache, and the decompose/solve phase
-// durations.
-type solveFunc func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, s hgp.Solver) (res *hgp.Result, cacheHit bool, decompose, solve time.Duration, err error)
+// solveFunc runs one partition solve. g is the graph to solve — the
+// request's canonical form when cn is non-nil, the submission as-is
+// otherwise; cn only selects the cache-key family (label-invariant vs
+// label-sensitive). It reports the result, whether the decomposition
+// came from the cache, and the decompose/solve phase durations.
+type solveFunc func(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, s hgp.Solver, cn *canon.Form) (res *hgp.Result, cacheHit bool, decompose, solve time.Duration, err error)
 
 // New builds a Server. Call Handler to obtain its http.Handler. The
 // error is non-nil only when Config.StateDir cannot be prepared (or is
@@ -240,6 +253,12 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Counter("portfolio_parallel_solves_total")
 	s.reg.Counter("portfolio_sequential_solves_total")
 	s.reg.Gauge("portfolio_parallel_trees")
+	// Same for the canonicalization series: present at zero from the
+	// first scrape, whether or not -canon is set.
+	s.reg.Counter("canon_attempts_total")
+	s.reg.Counter("canon_ok_total")
+	s.reg.Counter("canon_fallback_total")
+	s.reg.Counter("canon_hits_total")
 	s.solve = s.cachedSolve
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -257,17 +276,17 @@ func New(cfg Config) (*Server, error) {
 // Invalid entries were already skipped (and counted) by the store.
 func (s *Server) warmStart() {
 	type kv struct {
-		key string
-		dec *treedecomp.Decomposition
+		key   string
+		entry *cache.DecompEntry
 	}
 	var entries []kv
-	if err := s.store.LoadAll(s.cfg.CacheEntries, func(key string, d *treedecomp.Decomposition) {
-		entries = append(entries, kv{key, d})
+	if err := s.store.LoadAll(s.cfg.CacheEntries, func(key string, d *treedecomp.Decomposition, perm []int) {
+		entries = append(entries, kv{key, &cache.DecompEntry{Dec: d, Perm: perm}})
 	}); err != nil {
 		return
 	}
 	for i := len(entries) - 1; i >= 0; i-- {
-		s.dec.Add(entries[i].key, entries[i].dec)
+		s.dec.Add(entries[i].key, entries[i].entry)
 	}
 	s.reg.Gauge("snapshot_warm_entries").Set(int64(len(entries)))
 }
@@ -351,8 +370,12 @@ func (s *Server) isDraining() bool {
 // cachedSolve is the production solve backend: look the decomposition
 // up in the LRU by canonical key, build (and insert) on a miss —
 // coalescing concurrent identical misses into one build via the
-// singleflight group — then run the per-tree DPs on it.
-func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver) (*hgp.Result, bool, time.Duration, time.Duration, error) {
+// singleflight group — then run the per-tree DPs on it. With a
+// canonical form (cn non-nil) the LRU and snapshot store key on the
+// label-invariant fingerprint and g is the canonical graph, so
+// isomorphic submissions share one entry; the stored DecompEntry
+// carries the writing request's permutation as provenance.
+func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, sv hgp.Solver, cn *canon.Form) (*hgp.Result, bool, time.Duration, time.Duration, error) {
 	if err := faultinject.Fire(ctx, faultinject.CacheLookup); err != nil {
 		return nil, false, 0, 0, err
 	}
@@ -363,9 +386,14 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 		decompDur time.Duration
 	)
 	if s.dec != nil {
-		key := cache.DecompKey(g, opts)
+		var key string
+		if cn != nil {
+			key = cache.DecompKeyCanon(cn.Fingerprint, opts)
+		} else {
+			key = cache.DecompKey(g, opts)
+		}
 		if v, ok := s.dec.Get(key); ok {
-			dec = v.(*treedecomp.Decomposition)
+			dec = v.(*cache.DecompEntry).Dec
 			cacheHit = true
 			s.reg.Counter("decomp_cache_hits_total").Inc()
 		} else {
@@ -377,11 +405,15 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 					return nil, err
 				}
 				s.reg.Counter("decomp_builds_total").Inc()
-				s.dec.Add(key, built)
+				var perm []int
+				if cn != nil {
+					perm = cn.Perm
+				}
+				s.dec.Add(key, &cache.DecompEntry{Dec: built, Perm: perm})
 				if s.store != nil {
 					// Stage for the background flusher: the expensive
 					// build outlives this process.
-					s.store.Enqueue(key, built)
+					s.store.Enqueue(key, built, perm)
 				}
 				return built, nil
 			})
