@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +49,12 @@ func main() {
 		adaptive     = flag.Bool("adaptive", false, "AIMD concurrency limiter: move the solve ceiling with observed latency vs. deadline headroom")
 		maxHeap      = flag.Int64("max-heap-bytes", 0, "memory-pressure breaker threshold on the live heap (0 = disabled)")
 		canonFlag    = flag.Bool("canon", false, "canonical-form graph fingerprinting: key caches by a label-invariant fingerprint so isomorphic (relabelled) submissions share entries; responses carry canon_hit")
+
+		peersFlag    = flag.String("peers", "", "cluster mode: comma-separated base URLs of EVERY member of the shard group, including this daemon's own (see -self); each cache key gets one owner by rendezvous hashing, non-owners fetch from the owner and push local builds back")
+		selfFlag     = flag.String("self", "", "this daemon's own entry in -peers (the base URL peers reach it at); required with -peers")
+		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-attempt timeout for peer fetches and pushes")
+		peerRetries  = flag.Int("peer-retries", 2, "retries after a failed peer fetch attempt (attempts = retries+1, jittered exponential backoff between them)")
+		peerCooldown = flag.Duration("peer-breaker-cooldown", 2*time.Second, "how long a peer's fetch breaker fast-fails after opening (3 consecutive failures) before a half-open probe")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -54,9 +62,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	peers := splitPeers(*peersFlag)
 	if err := validateFlags(*concurrency, *queue, *cacheSize, *resultCache, *timeout, *maxTimeout,
 		*workers, *maxStates, *maxVertices, *maxEdges, *drainWait,
 		*stateDir, *snapInterval, *maxHeap); err != nil {
+		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validateClusterFlags(peers, *selfFlag, *cacheSize, *peerTimeout, *peerRetries, *peerCooldown); err != nil {
 		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
 		os.Exit(2)
 	}
@@ -79,6 +92,12 @@ func main() {
 		Adaptive:           *adaptive,
 		MaxHeapBytes:       *maxHeap,
 		Canon:              *canonFlag,
+
+		Peers:               peers,
+		Self:                *selfFlag,
+		PeerTimeout:         *peerTimeout,
+		PeerRetries:         *peerRetries,
+		PeerBreakerCooldown: *peerCooldown,
 	})
 	if err != nil {
 		log.Fatalf("hgpd: %v", err)
@@ -162,6 +181,47 @@ func validateFlags(concurrency, queue, cacheSize, resultCache int, timeout, maxT
 		return fmt.Errorf("-max-heap-bytes %d: must be >= 0 (0 = breaker disabled)", maxHeap)
 	case stateDir != "" && cacheSize == -1:
 		return fmt.Errorf("-state-dir requires caching: -cache must not be -1")
+	}
+	return nil
+}
+
+// splitPeers parses the -peers value: comma-separated, whitespace
+// around entries tolerated, empty segments dropped. An empty flag
+// yields nil (cluster mode off).
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// validateClusterFlags checks the cluster flag group's internal
+// consistency. server.New re-validates (tests construct Config
+// directly), but catching operator typos here yields a flag-named
+// message and exit code 2 instead of a runtime error.
+func validateClusterFlags(peers []string, self string, cacheSize int, peerTimeout time.Duration, peerRetries int, peerCooldown time.Duration) error {
+	if len(peers) == 0 {
+		if self != "" {
+			return fmt.Errorf("-self %q: requires -peers", self)
+		}
+		return nil
+	}
+	switch {
+	case self == "":
+		return fmt.Errorf("-peers requires -self: name this daemon's own entry in the peer list")
+	case !slices.Contains(peers, self):
+		return fmt.Errorf("-self %q: must appear in -peers %v", self, peers)
+	case cacheSize == -1:
+		return fmt.Errorf("-peers requires caching: -cache must not be -1")
+	case peerTimeout <= 0:
+		return fmt.Errorf("-peer-timeout %v: must be > 0", peerTimeout)
+	case peerRetries < 0:
+		return fmt.Errorf("-peer-retries %d: must be >= 0", peerRetries)
+	case peerCooldown <= 0:
+		return fmt.Errorf("-peer-breaker-cooldown %v: must be > 0", peerCooldown)
 	}
 	return nil
 }

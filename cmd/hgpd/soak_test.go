@@ -160,7 +160,7 @@ var listenRE = regexp.MustCompile(`listening on (\S+:\d+)`)
 // from its log output.
 func startDaemon(t *testing.T, bin, stateDir string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	return startDaemonArgs(t, bin,
 		"-addr", "127.0.0.1:0",
 		"-state-dir", stateDir,
 		"-snapshot-interval", "50ms",
@@ -170,6 +170,14 @@ func startDaemon(t *testing.T, bin, stateDir string) *daemon {
 		"-timeout", "5s",
 		"-drain-wait", "20s",
 	)
+}
+
+// startDaemonArgs launches hgpd with the given flags (which must
+// include -addr), parses the resolved listen address from its log
+// output, and waits for the daemon to report healthy.
+func startDaemonArgs(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -224,12 +232,14 @@ func waitHealthy(t *testing.T, base string) {
 	}
 }
 
-// loadSummary mirrors hgpload's JSON report (the fields the soak needs).
+// loadSummary mirrors hgpload's JSON report (the fields the soaks need).
 type loadSummary struct {
-	Requests   int `json:"requests"`
-	OK         int `json:"ok"`
-	Errors     int `json:"errors"`
-	Unexpected int `json:"unexpected"`
+	Requests      int `json:"requests"`
+	OK            int `json:"ok"`
+	Errors        int `json:"errors"`
+	Unexpected    int `json:"unexpected"`
+	PeerFetchHits int `json:"peer_fetch_hits"`
+	Failovers     int `json:"failovers"`
 }
 
 type loadRun struct {
@@ -282,6 +292,15 @@ type soakStats struct {
 		Counters map[string]int64 `json:"counters"`
 		Gauges   map[string]int64 `json:"gauges"`
 	} `json:"metrics"`
+	Cluster struct {
+		Enabled bool `json:"enabled"`
+		Peers   []struct {
+			Peer    string `json:"peer"`
+			Self    bool   `json:"self"`
+			Healthy bool   `json:"healthy"`
+		} `json:"peers"`
+		FetchHits int64 `json:"fetch_hits"`
+	} `json:"cluster"`
 }
 
 func (st soakStats) counter(name string) int64 { return st.Metrics.Counters[name] }
@@ -376,6 +395,13 @@ func TestFlagValidation(t *testing.T) {
 		{"zero snapshot-interval", []string{"-snapshot-interval", "0s"}},
 		{"negative max-heap-bytes", []string{"-max-heap-bytes", "-1"}},
 		{"state-dir without cache", []string{"-state-dir", "/tmp/x", "-cache", "-1"}},
+		{"peers without self", []string{"-peers", "http://a:1,http://b:2"}},
+		{"self without peers", []string{"-self", "http://a:1"}},
+		{"self not in peers", []string{"-peers", "http://a:1,http://b:2", "-self", "http://c:3"}},
+		{"peers without cache", []string{"-peers", "http://a:1,http://b:2", "-self", "http://a:1", "-cache", "-1"}},
+		{"zero peer-timeout", []string{"-peers", "http://a:1,http://b:2", "-self", "http://a:1", "-peer-timeout", "0s"}},
+		{"negative peer-retries", []string{"-peers", "http://a:1,http://b:2", "-self", "http://a:1", "-peer-retries", "-1"}},
+		{"zero peer-breaker-cooldown", []string{"-peers", "http://a:1,http://b:2", "-self", "http://a:1", "-peer-breaker-cooldown", "0s"}},
 	}
 	if testing.Short() {
 		t.Skip("spawns the built binary; skipped with -short")
@@ -388,7 +414,7 @@ func TestFlagValidation(t *testing.T) {
 			if !ok || ee.ExitCode() != 2 {
 				t.Fatalf("args %v: err = %v (output %s), want exit code 2", tc.args, err, out)
 			}
-			if !strings.Contains(string(out), "must") {
+			if !strings.Contains(string(out), "must") && !strings.Contains(string(out), "requires") {
 				t.Fatalf("args %v: error message %q lacks guidance", tc.args, out)
 			}
 		})

@@ -13,6 +13,13 @@
 // vertex relabellings — the shape canonical fingerprinting exists for;
 // pair it with a daemon running -canon and watch canon_hit_ratio).
 //
+// With -endpoints a,b,c it drives a whole hgpd cluster: requests
+// rotate across the endpoints, transport errors fail over to the next
+// one (counting the request once, by its final outcome), and the
+// summary adds per-endpoint latency percentiles plus peer_fetch_hits —
+// the 200s a daemon answered from an entry fetched off the owning
+// peer.
+//
 // With -strict and/or the -slo-* flags it doubles as an assertion
 // harness: transport errors, unexpected statuses (5xx without a
 // machine-readable shed_reason), a p99 over budget, or a success rate
@@ -30,6 +37,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -180,14 +188,77 @@ func (w *zipfWorkload) body() []byte {
 	return buf
 }
 
-// sample is one completed request, as recorded by a worker.
+// sample is one completed request, as recorded by a worker. A request
+// that failed over between endpoints is still ONE sample — classified
+// by its final outcome, with failovers counting the abandoned
+// attempts — so SLO math stays per-request, not per-attempt.
 type sample struct {
 	status    int
 	shed      string
 	latency   time.Duration
 	err       bool
-	resultHit bool // 200 served from the daemon's full-solve result cache
-	canonHit  bool // 200 answered through the canonical-fingerprint key
+	resultHit bool   // 200 served from the daemon's full-solve result cache
+	canonHit  bool   // 200 answered through the canonical-fingerprint key
+	peerFetch bool   // 200 built from an entry fetched off a cluster peer
+	endpoint  string // base URL that produced the final outcome
+	failovers int    // endpoints abandoned (transport error) before this outcome
+}
+
+// endpointPool rotates load across the -endpoints list and implements
+// client-side failover: a transport error cools the endpoint for
+// coolDown, and order() pushes cooled endpoints to the back so workers
+// prefer live daemons while still probing dead ones once the cooldown
+// lapses (a restarted daemon rejoins the rotation by itself).
+type endpointPool struct {
+	bases []string // as given, for reporting
+	urls  []string // bases + "/v1/partition"
+
+	mu        sync.Mutex
+	coolUntil []time.Time
+	rr        int
+}
+
+const endpointCoolDown = time.Second
+
+func newEndpointPool(bases []string) *endpointPool {
+	p := &endpointPool{
+		bases:     bases,
+		urls:      make([]string, len(bases)),
+		coolUntil: make([]time.Time, len(bases)),
+	}
+	for i, b := range bases {
+		p.urls[i] = strings.TrimRight(b, "/") + "/v1/partition"
+	}
+	return p
+}
+
+// order returns every endpoint index in preference order for one
+// request: round-robin from a moving start, with cooled endpoints
+// moved to the back (they are last-resort retry targets, not skipped —
+// when everything is down the request must still fail against a real
+// connection attempt).
+func (p *endpointPool) order() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	warm := make([]int, 0, len(p.urls))
+	var cold []int
+	for k := 0; k < len(p.urls); k++ {
+		i := (p.rr + k) % len(p.urls)
+		if now.Before(p.coolUntil[i]) {
+			cold = append(cold, i)
+		} else {
+			warm = append(warm, i)
+		}
+	}
+	p.rr = (p.rr + 1) % len(p.urls)
+	return append(warm, cold...)
+}
+
+func (p *endpointPool) cool(i int) {
+	p.mu.Lock()
+	p.coolUntil[i] = time.Now().Add(endpointCoolDown)
+	p.mu.Unlock()
 }
 
 // Summary is the JSON report printed on stdout.
@@ -214,11 +285,52 @@ type Summary struct {
 	// the daemon runs with -canon.
 	CanonHits     int     `json:"canon_hits"`
 	CanonHitRatio float64 `json:"canon_hit_ratio"`
+	// PeerFetchHits counts 200s a daemon answered from an entry it
+	// fetched off the owning cluster peer (peer_fetch_hit in the
+	// response). Always zero unless the daemons run with -peers.
+	PeerFetchHits     int     `json:"peer_fetch_hits"`
+	PeerFetchHitRatio float64 `json:"peer_fetch_hit_ratio"`
+	// Failovers counts endpoint attempts abandoned on transport error
+	// before the request's recorded outcome (multi-endpoint mode).
+	Failovers int `json:"failovers"`
+	// Endpoints breaks requests down per base URL in multi-endpoint
+	// mode (-endpoints with more than one entry); omitted otherwise.
+	Endpoints map[string]*EndpointSummary `json:"endpoints,omitempty"`
+}
+
+// EndpointSummary is the per-endpoint slice of the report: how one
+// daemon behaved under its share of the load.
+type EndpointSummary struct {
+	Requests    int                `json:"requests"`
+	OK          int                `json:"ok"`
+	Errors      int                `json:"errors"`
+	ShedReasons map[string]int     `json:"shed_reasons,omitempty"`
+	LatencyMS   map[string]float64 `json:"latency_ms"` // over 200s: p50/p90/p99/max
+}
+
+// latencyStats computes the p50/p90/p99/max map over 200-latencies,
+// sorting its argument in place. Empty input yields an empty map.
+func latencyStats(lat []time.Duration) map[string]float64 {
+	out := map[string]float64{}
+	if len(lat) == 0 {
+		return out
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx].Microseconds()) / 1000
+	}
+	out["p50"] = pct(0.50)
+	out["p90"] = pct(0.90)
+	out["p99"] = pct(0.99)
+	out["max"] = float64(lat[len(lat)-1].Microseconds()) / 1000
+	return out
 }
 
 func main() {
 	var (
-		target    = flag.String("addr", "http://127.0.0.1:8080", "hgpd base URL")
+		target    = flag.String("addr", "http://127.0.0.1:8080", "hgpd base URL (single-endpoint mode; see -endpoints)")
+		endpoints = flag.String("endpoints", "", "comma-separated hgpd base URLs to spread load across (cluster mode); overrides -addr. A transport error fails the request over to the next endpoint (cooling the dead one ~1s) and the request is counted ONCE, by its final outcome")
 		mode      = flag.String("mode", "closed", `"closed" (worker pool) or "open" (fixed arrival rate)`)
 		workers   = flag.Int("workers", 4, "closed-loop worker count")
 		rate      = flag.Float64("rate", 20, "open-loop arrivals per second")
@@ -258,7 +370,20 @@ func main() {
 		bodyFor = func(seq int) []byte { return bodies[seq%len(bodies)] }
 	}
 	client := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 10*time.Second}
-	url := *target + "/v1/partition"
+	bases := []string{*target}
+	if *endpoints != "" {
+		bases = nil
+		for _, b := range strings.Split(*endpoints, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bases = append(bases, b)
+			}
+		}
+		if len(bases) == 0 {
+			fmt.Fprintln(os.Stderr, "hgpload: -endpoints: no usable URLs")
+			os.Exit(2)
+		}
+	}
+	pool := newEndpointPool(bases)
 
 	var (
 		mu      sync.Mutex
@@ -269,42 +394,54 @@ func main() {
 		samples = append(samples, s)
 		mu.Unlock()
 	}
-	// shoot issues one request. Its return value is the backoff a
-	// closed-loop worker should honor before its next shot: the daemon's
-	// Retry-After on a shed (capped), a short pause after a transport
-	// error (so a dead daemon is polled, not hammered), zero otherwise.
+	// shoot issues one request, failing over across endpoints on
+	// transport errors. Its return value is the backoff a closed-loop
+	// worker should honor before its next shot: the daemon's Retry-After
+	// on a shed (capped), a short pause after every endpoint failed (so
+	// a dead cluster is polled, not hammered), zero otherwise.
 	shoot := func(seq int) time.Duration {
 		body := bodyFor(seq)
+		order := pool.order()
 		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-		if err != nil {
-			record(sample{err: true, latency: time.Since(t0)})
-			return 50 * time.Millisecond
-		}
-		var envelope struct {
-			ShedReason     string `json:"shed_reason"`
-			ResultCacheHit bool   `json:"result_cache_hit"`
-			CanonHit       bool   `json:"canon_hit"`
-		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		_ = json.Unmarshal(raw, &envelope)
-		record(sample{status: resp.StatusCode, shed: envelope.ShedReason,
-			latency: time.Since(t0), resultHit: envelope.ResultCacheHit,
-			canonHit: envelope.CanonHit})
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			backoff := 50 * time.Millisecond
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-					backoff = time.Duration(secs) * time.Second
+		for attempt, idx := range order {
+			resp, err := client.Post(pool.urls[idx], "application/json", bytes.NewReader(body))
+			if err != nil {
+				pool.cool(idx)
+				if attempt < len(order)-1 {
+					continue // fail over; counted via the final sample's failovers
 				}
+				record(sample{err: true, latency: time.Since(t0),
+					endpoint: pool.bases[idx], failovers: attempt})
+				return 50 * time.Millisecond
 			}
-			if backoff > 2*time.Second {
-				backoff = 2 * time.Second
+			var envelope struct {
+				ShedReason     string `json:"shed_reason"`
+				ResultCacheHit bool   `json:"result_cache_hit"`
+				CanonHit       bool   `json:"canon_hit"`
+				PeerFetchHit   bool   `json:"peer_fetch_hit"`
 			}
-			return backoff
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			_ = json.Unmarshal(raw, &envelope)
+			record(sample{status: resp.StatusCode, shed: envelope.ShedReason,
+				latency: time.Since(t0), resultHit: envelope.ResultCacheHit,
+				canonHit: envelope.CanonHit, peerFetch: envelope.PeerFetchHit,
+				endpoint: pool.bases[idx], failovers: attempt})
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				backoff := 50 * time.Millisecond
+				if ra := resp.Header.Get("Retry-After"); ra != "" {
+					if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+						backoff = time.Duration(secs) * time.Second
+					}
+				}
+				if backoff > 2*time.Second {
+					backoff = 2 * time.Second
+				}
+				return backoff
+			}
+			return 0
 		}
-		return 0
+		return 0 // unreachable: order() is never empty
 	}
 
 	start := time.Now()
@@ -366,26 +503,46 @@ func main() {
 		ShedReasons:     map[string]int{},
 		LatencyMS:       map[string]float64{},
 	}
+	perEndpoint := map[string]*EndpointSummary{}
+	epLat := map[string][]time.Duration{}
+	epFor := func(base string) *EndpointSummary {
+		es := perEndpoint[base]
+		if es == nil {
+			es = &EndpointSummary{ShedReasons: map[string]int{}}
+			perEndpoint[base] = es
+		}
+		return es
+	}
 	var okLat []time.Duration
 	for _, s := range samples {
+		sum.Failovers += s.failovers
+		es := epFor(s.endpoint)
+		es.Requests++
 		if s.err {
 			sum.Errors++
+			es.Errors++
 			continue
 		}
 		sum.Statuses[fmt.Sprint(s.status)]++
 		if s.shed != "" {
 			sum.ShedReasons[s.shed]++
+			es.ShedReasons[s.shed]++
 		}
 		switch {
 		case s.status == http.StatusOK:
 			sum.OK++
+			es.OK++
 			if s.resultHit {
 				sum.ResultCacheHits++
 			}
 			if s.canonHit {
 				sum.CanonHits++
 			}
+			if s.peerFetch {
+				sum.PeerFetchHits++
+			}
 			okLat = append(okLat, s.latency)
+			epLat[s.endpoint] = append(epLat[s.endpoint], s.latency)
 		case s.status == http.StatusTooManyRequests, s.status == http.StatusGatewayTimeout:
 			// Sheds and deadline misses: expected under overload.
 		case s.status == http.StatusServiceUnavailable && s.shed != "":
@@ -394,21 +551,18 @@ func main() {
 			sum.Unexpected++
 		}
 	}
-	if len(okLat) > 0 {
-		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
-		pct := func(p float64) float64 {
-			idx := int(p * float64(len(okLat)-1))
-			return float64(okLat[idx].Microseconds()) / 1000
-		}
-		sum.LatencyMS["p50"] = pct(0.50)
-		sum.LatencyMS["p90"] = pct(0.90)
-		sum.LatencyMS["p99"] = pct(0.99)
-		sum.LatencyMS["max"] = float64(okLat[len(okLat)-1].Microseconds()) / 1000
-		sum.Throughput = float64(sum.OK) / elapsed.Seconds()
-	}
+	sum.LatencyMS = latencyStats(okLat)
 	if sum.OK > 0 {
+		sum.Throughput = float64(sum.OK) / elapsed.Seconds()
 		sum.ResultCacheHitRatio = float64(sum.ResultCacheHits) / float64(sum.OK)
 		sum.CanonHitRatio = float64(sum.CanonHits) / float64(sum.OK)
+		sum.PeerFetchHitRatio = float64(sum.PeerFetchHits) / float64(sum.OK)
+	}
+	if len(bases) > 1 {
+		for base, es := range perEndpoint {
+			es.LatencyMS = latencyStats(epLat[base])
+		}
+		sum.Endpoints = perEndpoint
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

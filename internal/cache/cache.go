@@ -56,6 +56,21 @@ func (c *LRU) Get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// Peek returns the value under key without promoting it and without
+// ticking the hit/miss counters. It exists for the cluster peer-serve
+// path: a peer probing this daemon for a key it may not hold must not
+// distort the serving cache's recency order or its hit-ratio
+// accounting, which describe this daemon's own request stream.
+func (c *LRU) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
+}
+
 // Add inserts val under key (refreshing the entry if present), evicting
 // the least recently used entry when the cache is full.
 func (c *LRU) Add(key string, val any) {

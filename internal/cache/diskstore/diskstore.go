@@ -122,21 +122,13 @@ type pendingEntry struct {
 // process death. perm is the writing request's orig→canonical vertex
 // permutation; pass nil for label-sensitive (canon-off) entries.
 func (s *Store) Save(key string, d *treedecomp.Decomposition, perm []int) error {
-	payload := encodeEntry(d, perm)
+	payload := EncodeDecompEntry(d, perm)
 	if err := faultinject.Fire(nil, faultinject.DiskWrite); err != nil {
 		s.reg.Counter("snapshot_save_errors_total").Inc()
 		return fmt.Errorf("diskstore: write %s: %w", key, err)
 	}
 
-	buf := make([]byte, 0, headerLen+len(payload))
-	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
-	buf = binary.LittleEndian.AppendUint32(buf, treedecomp.RNGStreamVersion)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
-	sum := sha256.Sum256(payload)
-	buf = append(buf, sum[:]...)
-	buf = append(buf, payload...)
-
+	buf := WrapWire(payload)
 	final := s.entryPath(key)
 	tmp := final + tempSuffix
 	if err := s.commit(tmp, final, buf); err != nil {
@@ -208,44 +200,75 @@ func (s *Store) Load(key string) (*treedecomp.Decomposition, []int, bool) {
 	return d, perm, true
 }
 
-// errVersionMismatch tags entries written under a different format or
+// ErrVersionMismatch tags entries written under a different format or
 // RNG-stream version — structurally sound, but not this binary's to
 // serve.
-var errVersionMismatch = errors.New("version mismatch")
+var ErrVersionMismatch = errors.New("version mismatch")
 
 func (s *Store) loadFile(path string) (*treedecomp.Decomposition, []int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
+	payload, err := UnwrapWire(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diskstore: %s: %w", filepath.Base(path), err)
+	}
+	return DecodeDecompEntry(payload)
+}
+
+// WrapWire frames payload with the store's content-addressed header:
+// magic, format version, the binary's treedecomp.RNGStreamVersion,
+// payload length, and a SHA-256 checksum of the payload. The same
+// framing serves two transports — snapshot files on disk and the
+// cluster's internal peer-fetch wire format — so a body that arrives
+// over the network is validated by exactly the code path that guards a
+// snapshot file.
+func WrapWire(payload []byte) []byte {
+	buf := make([]byte, 0, headerLen+len(payload))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, treedecomp.RNGStreamVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// UnwrapWire validates a WrapWire frame — magic, format and RNG-stream
+// versions, length, checksum — and returns the payload. Version skew is
+// reported as ErrVersionMismatch so callers can count it apart from
+// corruption; both outcomes mean "do not trust these bytes".
+func UnwrapWire(raw []byte) ([]byte, error) {
 	if len(raw) < headerLen {
-		return nil, nil, fmt.Errorf("diskstore: %s: truncated header (%d bytes)", filepath.Base(path), len(raw))
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(raw))
 	}
 	if string(raw[:len(magic)]) != magic {
-		return nil, nil, fmt.Errorf("diskstore: %s: bad magic", filepath.Base(path))
+		return nil, fmt.Errorf("bad magic")
 	}
 	off := len(magic)
 	format := binary.LittleEndian.Uint32(raw[off:])
 	stream := binary.LittleEndian.Uint32(raw[off+4:])
 	plen := binary.LittleEndian.Uint64(raw[off+8:])
 	if format != formatVersion || stream != treedecomp.RNGStreamVersion {
-		return nil, nil, fmt.Errorf("diskstore: %s: format %d stream %d, want %d/%d: %w",
-			filepath.Base(path), format, stream, formatVersion, treedecomp.RNGStreamVersion, errVersionMismatch)
+		return nil, fmt.Errorf("format %d stream %d, want %d/%d: %w",
+			format, stream, formatVersion, treedecomp.RNGStreamVersion, ErrVersionMismatch)
 	}
 	var sum [sha256.Size]byte
 	copy(sum[:], raw[off+16:])
 	payload := raw[headerLen:]
 	if uint64(len(payload)) != plen {
-		return nil, nil, fmt.Errorf("diskstore: %s: payload %d bytes, header says %d", filepath.Base(path), len(payload), plen)
+		return nil, fmt.Errorf("payload %d bytes, header says %d", len(payload), plen)
 	}
 	if sha256.Sum256(payload) != sum {
-		return nil, nil, fmt.Errorf("diskstore: %s: checksum mismatch", filepath.Base(path))
+		return nil, fmt.Errorf("checksum mismatch")
 	}
-	return decodeEntry(payload)
+	return payload, nil
 }
 
 func (s *Store) skip(err error) {
-	if errors.Is(err, errVersionMismatch) {
+	if errors.Is(err, ErrVersionMismatch) {
 		s.reg.Counter("snapshot_version_mismatch_total").Inc()
 	} else {
 		s.reg.Counter("snapshot_corrupt_total").Inc()

@@ -31,10 +31,10 @@ import (
 // Infinite edge weights (binarization dummies) survive the float64-bits
 // round trip; NaN weights are invalid in a tree and rejected on decode.
 
-// encodeEntry prepends the permutation section to the decomposition
+// EncodeDecompEntry prepends the permutation section to the decomposition
 // encoding. A nil/empty perm encodes as length 0 and decodes back to
 // nil.
-func encodeEntry(d *treedecomp.Decomposition, perm []int) []byte {
+func EncodeDecompEntry(d *treedecomp.Decomposition, perm []int) []byte {
 	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(perm)))
 	for _, c := range perm {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
@@ -42,10 +42,10 @@ func encodeEntry(d *treedecomp.Decomposition, perm []int) []byte {
 	return append(buf, encodeDecomposition(d)...)
 }
 
-// decodeEntry parses the permutation section — validating it is a true
+// DecodeDecompEntry parses the permutation section — validating it is a true
 // permutation, since a corrupt one would silently scramble every
 // translated placement — then hands the rest to decodeDecomposition.
-func decodeEntry(buf []byte) (*treedecomp.Decomposition, []int, error) {
+func DecodeDecompEntry(buf []byte) (*treedecomp.Decomposition, []int, error) {
 	if len(buf) < 4 {
 		return nil, nil, fmt.Errorf("diskstore: truncated payload at byte 0")
 	}

@@ -1,0 +1,180 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hierpart/internal/hgp"
+	"hierpart/internal/metrics"
+)
+
+// Result wire encoding — the payload carried by the cluster's
+// GET/PUT /v1/peer/result/<hexkey> surface, framed by WrapWire exactly
+// like a decomposition snapshot. Everything that shapes the HTTP
+// response a result-cache hit produces is encoded, so a peer-fetched
+// result renders bit-identically to a locally solved one:
+//
+//	uint32  len(Assignment); per vertex: int64 leaf
+//	float64 bits Cost, TreeCost
+//	int64   TreeIndex
+//	uint32  len(PerTreeCosts); per tree: float64 bits (NaN/±Inf
+//	        sentinels survive the bits round trip)
+//	uint32  len(Violation); per level: float64 bits
+//	int64   States
+//	uint8   Partial (0/1)
+//	int64   TreesDone, TreesPruned
+//
+// Deliberately excluded: ParallelTrees and TreeStats — both are
+// schedule-dependent observability, documented outside the determinism
+// contract, and never rendered into a partition response. A decoded
+// result reports ParallelTrees 0 and nil TreeStats.
+
+// EncodeResult serializes res for the peer wire. Wrap the returned
+// payload with WrapWire before sending it anywhere.
+func EncodeResult(res *hgp.Result) []byte {
+	var buf []byte
+	w32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	w64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	w32(uint32(len(res.Assignment)))
+	for _, leaf := range res.Assignment {
+		w64(uint64(int64(leaf)))
+	}
+	w64(math.Float64bits(res.Cost))
+	w64(math.Float64bits(res.TreeCost))
+	w64(uint64(int64(res.TreeIndex)))
+	w32(uint32(len(res.PerTreeCosts)))
+	for _, c := range res.PerTreeCosts {
+		w64(math.Float64bits(c))
+	}
+	w32(uint32(len(res.Violation)))
+	for _, v := range res.Violation {
+		w64(math.Float64bits(v))
+	}
+	w64(uint64(int64(res.States)))
+	if res.Partial {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	w64(uint64(int64(res.TreesDone)))
+	w64(uint64(int64(res.TreesPruned)))
+	return buf
+}
+
+// DecodeResult parses an EncodeResult payload, validating structure
+// (counts bounded by the remaining bytes, non-negative assignment
+// entries, a winning tree index inside PerTreeCosts) before any value
+// is trusted. Corrupt bytes surface as errors, never panics.
+func DecodeResult(buf []byte) (*hgp.Result, error) {
+	off := 0
+	r32 := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("diskstore: truncated result payload at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	r64 := func() (uint64, error) {
+		if off+8 > len(buf) {
+			return 0, fmt.Errorf("diskstore: truncated result payload at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, nil
+	}
+	rf := func() (float64, error) {
+		v, err := r64()
+		return math.Float64frombits(v), err
+	}
+
+	nAssign, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nAssign) > (len(buf)-off)/8+1 {
+		return nil, fmt.Errorf("diskstore: implausible assignment length %d for %d payload bytes", nAssign, len(buf))
+	}
+	res := &hgp.Result{Assignment: make(metrics.Assignment, nAssign)}
+	for v := range res.Assignment {
+		leaf, err := r64()
+		if err != nil {
+			return nil, err
+		}
+		if int64(leaf) < 0 {
+			return nil, fmt.Errorf("diskstore: assignment[%d] = %d is negative", v, int64(leaf))
+		}
+		res.Assignment[v] = int(int64(leaf))
+	}
+	if res.Cost, err = rf(); err != nil {
+		return nil, err
+	}
+	if res.TreeCost, err = rf(); err != nil {
+		return nil, err
+	}
+	ti, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	res.TreeIndex = int(int64(ti))
+	nTrees, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nTrees) > (len(buf)-off)/8+1 {
+		return nil, fmt.Errorf("diskstore: implausible tree count %d", nTrees)
+	}
+	if res.TreeIndex < 0 || res.TreeIndex >= int(nTrees) {
+		return nil, fmt.Errorf("diskstore: tree index %d outside %d trees", res.TreeIndex, nTrees)
+	}
+	res.PerTreeCosts = make([]float64, nTrees)
+	for i := range res.PerTreeCosts {
+		if res.PerTreeCosts[i], err = rf(); err != nil {
+			return nil, err
+		}
+	}
+	nViol, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nViol) > (len(buf)-off)/8+1 {
+		return nil, fmt.Errorf("diskstore: implausible violation length %d", nViol)
+	}
+	res.Violation = make([]float64, nViol)
+	for i := range res.Violation {
+		if res.Violation[i], err = rf(); err != nil {
+			return nil, err
+		}
+	}
+	st, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	res.States = int(int64(st))
+	if off+1 > len(buf) {
+		return nil, fmt.Errorf("diskstore: truncated result payload at byte %d", off)
+	}
+	switch buf[off] {
+	case 0:
+	case 1:
+		res.Partial = true
+	default:
+		return nil, fmt.Errorf("diskstore: invalid partial flag %d", buf[off])
+	}
+	off++
+	td, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	res.TreesDone = int(int64(td))
+	tp, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	res.TreesPruned = int(int64(tp))
+	if off != len(buf) {
+		return nil, fmt.Errorf("diskstore: %d trailing bytes after result payload", len(buf)-off)
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package diskstore
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"hierpart/internal/hgp"
+	"hierpart/internal/metrics"
+)
+
+func sampleResult() *hgp.Result {
+	return &hgp.Result{
+		Assignment:   metrics.Assignment{3, 1, 4, 1, 5, 9, 2, 6},
+		Cost:         12.5,
+		TreeCost:     13.25,
+		TreeIndex:    2,
+		PerTreeCosts: []float64{14.0, math.NaN(), 13.25, math.Inf(1)},
+		Violation:    []float64{0, 0.125},
+		States:       4242,
+		TreesDone:    2,
+		TreesPruned:  1,
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := sampleResult()
+	got, err := DecodeResult(EncodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN != NaN defeats reflect.DeepEqual; compare the sentinel slice
+	// by bit pattern and the rest structurally.
+	if len(got.PerTreeCosts) != len(res.PerTreeCosts) {
+		t.Fatalf("per-tree costs %d, want %d", len(got.PerTreeCosts), len(res.PerTreeCosts))
+	}
+	for i := range res.PerTreeCosts {
+		if math.Float64bits(got.PerTreeCosts[i]) != math.Float64bits(res.PerTreeCosts[i]) {
+			t.Fatalf("per-tree cost %d = %v, want bit-identical %v", i, got.PerTreeCosts[i], res.PerTreeCosts[i])
+		}
+	}
+	got.PerTreeCosts, res.PerTreeCosts = nil, nil
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, res)
+	}
+	// Canonical encoding: equal results encode to equal bytes.
+	if !bytes.Equal(EncodeResult(sampleResult()), EncodeResult(sampleResult())) {
+		t.Fatal("encoding is not canonical")
+	}
+}
+
+func TestResultWireRoundTrip(t *testing.T) {
+	raw := WrapWire(EncodeResult(sampleResult()))
+	payload, err := UnwrapWire(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every truncation and every single-byte corruption of the framed wire
+// body must be rejected — the cluster serves peer fetches through
+// exactly this validation.
+func TestResultWireRejectsDamage(t *testing.T) {
+	raw := WrapWire(EncodeResult(sampleResult()))
+	for cut := 0; cut < len(raw); cut += 7 {
+		if payload, err := UnwrapWire(raw[:cut]); err == nil {
+			if _, derr := DecodeResult(payload); derr == nil {
+				t.Fatalf("truncation at %d/%d accepted", cut, len(raw))
+			}
+		}
+	}
+	for i := 0; i < len(raw); i += 11 {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0xFF
+		if payload, err := UnwrapWire(bad); err == nil {
+			if _, derr := DecodeResult(payload); derr == nil {
+				t.Fatalf("byte flip at %d accepted", i)
+			}
+		}
+	}
+}
+
+func TestUnwrapWireVersionSkew(t *testing.T) {
+	raw := WrapWire(EncodeResult(sampleResult()))
+	// Stream version lives after the magic + format version.
+	bad := append([]byte(nil), raw...)
+	bad[len(magic)+4]++
+	if _, err := UnwrapWire(bad); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stream skew error = %v, want ErrVersionMismatch", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[len(magic)]++
+	if _, err := UnwrapWire(bad); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("format skew error = %v, want ErrVersionMismatch", err)
+	}
+}

@@ -34,11 +34,17 @@ const (
 	// DiskSync fires before the snapshot store's fsync-then-rename
 	// commit step — the window where a crash leaves only the temp file.
 	DiskSync Point = "disk.sync"
+	// PeerFetch fires in the cluster peer-fetch client after a peer's
+	// response body has been read but before it is validated — the
+	// window where a real network can delay, drop, or corrupt the
+	// bytes. Use FireBody at this site so a CorruptBody fault can
+	// actually mangle the payload.
+	PeerFetch Point = "peer.fetch"
 )
 
 // Points lists every hook point compiled into the binary, for batteries
 // that want to inject at all of them.
-var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve, DiskWrite, DiskSync}
+var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve, DiskWrite, DiskSync, PeerFetch}
 
 // Fault describes what happens when a hook point fires. Zero-valued
 // actions are skipped; several may be combined in one Fault (e.g. a
@@ -61,6 +67,10 @@ type Fault struct {
 	// PanicMsg, when non-empty, makes the hook panic — simulating a
 	// solver bug — after the other actions.
 	PanicMsg string
+	// CorruptBody makes FireBody return a copy of its payload with one
+	// byte flipped — torn or bit-rotted bytes on the wire or disk. The
+	// action is meaningful only at FireBody sites; Fire ignores it.
+	CorruptBody bool
 }
 
 // Injector is a deterministic, seed-driven fault source. Each hook
@@ -177,13 +187,25 @@ func Enabled() bool { return active.Load() != nil }
 // order — delay (cancellable by ctx), allocation spike, then the error
 // return or panic. ctx may be nil when the call site has no context.
 func Fire(ctx context.Context, p Point) error {
+	body, err := FireBody(ctx, p, nil)
+	_ = body
+	return err
+}
+
+// FireBody is Fire for hook sites that carry a payload (the peer-fetch
+// client, with the bytes it just read off the wire): a fired fault's
+// CorruptBody action returns a copy of body with one byte flipped, so
+// the site's validation path is exercised with genuinely bad bytes.
+// All other actions behave exactly as in Fire. With no active injector
+// or no firing fault, body is returned unchanged.
+func FireBody(ctx context.Context, p Point, body []byte) ([]byte, error) {
 	in := active.Load()
 	if in == nil {
-		return nil
+		return body, nil
 	}
 	f, ok := in.fire(p)
 	if !ok {
-		return nil
+		return body, nil
 	}
 	if f.Delay > 0 {
 		if ctx == nil {
@@ -194,7 +216,7 @@ func Fire(ctx context.Context, p Point) error {
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
-				return ctx.Err()
+				return body, ctx.Err()
 			}
 		}
 	}
@@ -210,5 +232,12 @@ func Fire(ctx context.Context, p Point) error {
 	if f.PanicMsg != "" {
 		panic(fmt.Sprintf("faultinject: %s: %s", p, f.PanicMsg))
 	}
-	return f.Err
+	if f.CorruptBody && len(body) > 0 {
+		// Flip one byte in the middle of a COPY: the caller may share
+		// the original buffer, and the fault must not mutate it.
+		bad := append([]byte(nil), body...)
+		bad[len(bad)/2] ^= 0xFF
+		body = bad
+	}
+	return body, f.Err
 }

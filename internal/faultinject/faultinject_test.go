@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"strings"
@@ -127,5 +128,47 @@ func TestAllocSpike(t *testing.T) {
 	t.Cleanup(Activate(in))
 	if err := Fire(context.Background(), ServerSolve); err != nil {
 		t.Fatalf("alloc-only fault returned %v", err)
+	}
+}
+
+func TestFireBodyCorrupts(t *testing.T) {
+	in := New(1).On(PeerFetch, Fault{Prob: 1, CorruptBody: true, Count: 1})
+	t.Cleanup(Activate(in))
+	orig := []byte{1, 2, 3, 4, 5}
+	body := append([]byte(nil), orig...)
+	got, err := FireBody(context.Background(), PeerFetch, body)
+	if err != nil {
+		t.Fatalf("FireBody = %v, want nil error", err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("CorruptBody fault returned unmodified bytes")
+	}
+	if !bytes.Equal(body, orig) {
+		t.Fatal("CorruptBody mutated the caller's buffer instead of a copy")
+	}
+	// Count exhausted: the next visit passes the body through untouched.
+	got2, err := FireBody(context.Background(), PeerFetch, body)
+	if err != nil || !bytes.Equal(got2, orig) {
+		t.Fatalf("after Count exhausted: body %v err %v, want original and nil", got2, err)
+	}
+	if in.Visits(PeerFetch) != 2 || in.Fires(PeerFetch) != 1 {
+		t.Fatalf("visits/fires = %d/%d, want 2/1", in.Visits(PeerFetch), in.Fires(PeerFetch))
+	}
+}
+
+func TestFireBodyError(t *testing.T) {
+	werr := errors.New("peer wire fault")
+	in := New(1).On(PeerFetch, Fault{Prob: 1, Err: werr})
+	t.Cleanup(Activate(in))
+	if _, err := FireBody(context.Background(), PeerFetch, []byte("x")); !errors.Is(err, werr) {
+		t.Fatalf("FireBody error = %v, want %v", err, werr)
+	}
+}
+
+func TestFireIgnoresCorruptBody(t *testing.T) {
+	in := New(1).On(ServerSolve, Fault{Prob: 1, CorruptBody: true})
+	t.Cleanup(Activate(in))
+	if err := Fire(context.Background(), ServerSolve); err != nil {
+		t.Fatalf("Fire with corrupt-only fault = %v, want nil", err)
 	}
 }

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierpart/internal/cache"
+	"hierpart/internal/cache/diskstore"
+	"hierpart/internal/hgp"
+	"hierpart/internal/telemetry"
+)
+
+// cluster is the daemon's view of its shard group: the HRW ring that
+// gives every cache key one natural owner, a peerClient per remote
+// peer (retry/backoff/breaker), a health poller that sheds
+// dead/draining/overloaded peers at routing time, and the owner-ward
+// push machinery that keeps "exactly one build per key cluster-wide"
+// true even when a non-owner is the first to see a key.
+//
+// Failure philosophy: the cluster is an accelerator, never a
+// dependency. Every fetch outcome except a hit falls back to the local
+// solve path (singleflight and degradation ladder intact), and every
+// push failure costs only a warm-cache opportunity. A daemon whose
+// whole peer group is dead serves exactly like a single-node daemon.
+type cluster struct {
+	self    string
+	ring    *ring
+	clients map[string]*peerClient // keyed by peer base URL; self excluded
+	reg     *telemetry.Registry
+
+	pollInterval time.Duration
+
+	mu sync.Mutex
+	// health holds the last poll's verdict per remote peer. Peers start
+	// routable (optimistic): a freshly started cluster should fetch
+	// immediately, and a dead peer is demoted by its first failed poll
+	// or by the fetch breaker, whichever fires first.
+	health map[string]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	pollWG   sync.WaitGroup
+	pushWG   sync.WaitGroup
+}
+
+func newCluster(cfg Config) (*cluster, error) {
+	r, err := newRing(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required when Peers is set")
+	}
+	selfInRing := false
+	for _, p := range r.members() {
+		if p == cfg.Self {
+			selfInRing = true
+			break
+		}
+	}
+	if !selfInRing {
+		return nil, fmt.Errorf("cluster: Self %q is not in the peer list", cfg.Self)
+	}
+	// A peer entry without an http(s) scheme would fail every health
+	// poll and fetch with "unsupported protocol scheme" — a cluster
+	// that looks up but sheds every key to local solves forever.
+	// Reject it at startup instead of degrading silently.
+	for _, p := range r.members() {
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL (want e.g. http://host:port)", p)
+		}
+	}
+	c := &cluster{
+		self:         cfg.Self,
+		ring:         r,
+		clients:      map[string]*peerClient{},
+		reg:          cfg.Registry,
+		pollInterval: cfg.PeerHealthInterval,
+		health:       map[string]bool{},
+		stop:         make(chan struct{}),
+	}
+	for _, p := range r.members() {
+		if p == c.self {
+			continue
+		}
+		c.clients[p] = newPeerClient(p, cfg.PeerTimeout, cfg.PeerRetries, cfg.PeerBackoff, cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown)
+		c.health[p] = true
+		c.reg.Gauge(telemetry.Series("peer_healthy", "peer", p)).Set(1)
+		c.reg.Gauge(telemetry.Series("peer_breaker_state", "peer", p)).Set(int64(breakerClosed))
+	}
+	// Pre-register the full outcome families at zero: scrapers should
+	// never see a series pop into existence mid-flight.
+	for _, o := range fetchOutcomes {
+		c.reg.Counter(telemetry.Series("peer_fetch_total", "outcome", string(o)))
+	}
+	c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok"))
+	c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error"))
+	c.reg.Gauge("peer_push_inflight")
+	c.pollWG.Add(1)
+	go c.pollLoop()
+	return c, nil
+}
+
+// close stops the health poller and waits for in-flight pushes — a
+// graceful shutdown must not abandon goroutines mid-PUT.
+func (c *cluster) close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.pollWG.Wait()
+	c.pushWG.Wait()
+}
+
+// ownerOf returns the full-ring owner of key — the peer whose caches
+// and snapshot store are the cluster-wide home for it.
+func (c *cluster) ownerOf(key string) string { return c.ring.owner(key) }
+
+// owned reports whether this daemon is key's owner.
+func (c *cluster) owned(key string) bool { return c.ownerOf(key) == c.self }
+
+func (c *cluster) countFetch(o fetchOutcome) {
+	c.reg.Counter(telemetry.Series("peer_fetch_total", "outcome", string(o))).Inc()
+}
+
+// fetchFrom resolves key's owner and, when it is a routable remote
+// peer, fetches path from it. A nil payload means "solve locally" —
+// the caller never needs to distinguish why.
+func (c *cluster) fetchFrom(ctx context.Context, key, path string) []byte {
+	owner := c.ownerOf(key)
+	if owner == c.self {
+		return nil
+	}
+	pc := c.clients[owner]
+	if pc == nil {
+		return nil
+	}
+	if !c.routable(owner) {
+		c.countFetch(outcomePeerUnhealthy)
+		return nil
+	}
+	payload, outcome := pc.fetch(ctx, path)
+	c.countFetch(outcome)
+	c.publishBreaker(owner, pc)
+	if outcome != outcomeHit {
+		return nil
+	}
+	return payload
+}
+
+// fetchDecomp asks key's owner for its decomposition entry. ok is true
+// only when a validated entry arrived; every other outcome (miss,
+// error, corruption, version skew, breaker, unhealthy owner) is a
+// silent fallback to the local build.
+func (c *cluster) fetchDecomp(ctx context.Context, key string) (*cache.DecompEntry, bool) {
+	payload := c.fetchFrom(ctx, key, "/v1/peer/decomp/"+key)
+	if payload == nil {
+		return nil, false
+	}
+	dec, perm, err := diskstore.DecodeDecompEntry(payload)
+	if err != nil {
+		// The frame verified but the payload didn't decode: corrupt at
+		// the entry layer, same verdict as a damaged snapshot file.
+		c.countFetch(outcomeCorrupt)
+		return nil, false
+	}
+	return &cache.DecompEntry{Dec: dec, Perm: perm}, true
+}
+
+// fetchResult asks key's owner for a full solve result.
+func (c *cluster) fetchResult(ctx context.Context, key string) (*hgp.Result, bool) {
+	payload := c.fetchFrom(ctx, key, "/v1/peer/result/"+key)
+	if payload == nil {
+		return nil, false
+	}
+	res, err := diskstore.DecodeResult(payload)
+	if err != nil {
+		c.countFetch(outcomeCorrupt)
+		return nil, false
+	}
+	return res, true
+}
+
+// pushTo PUTs a framed body to key's owner in the background. The
+// peer_push_inflight gauge is incremented synchronously — before this
+// function returns — so a caller (or test) that polls the gauge to
+// zero after issuing requests has a race-free "all pushes settled"
+// barrier.
+func (c *cluster) pushTo(key, path string, payload []byte) {
+	owner := c.ownerOf(key)
+	if owner == c.self {
+		return
+	}
+	pc := c.clients[owner]
+	if pc == nil || !c.routable(owner) {
+		return
+	}
+	body := diskstore.WrapWire(payload)
+	c.reg.Gauge("peer_push_inflight").Add(1)
+	c.pushWG.Add(1)
+	go func() {
+		defer c.pushWG.Done()
+		defer c.reg.Gauge("peer_push_inflight").Add(-1)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(pc.retries+1)*(pc.timeout+pc.backoff*8))
+		defer cancel()
+		if pc.push(ctx, path, body) {
+			c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok")).Inc()
+		} else {
+			c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error")).Inc()
+		}
+		c.publishBreaker(owner, pc)
+	}()
+}
+
+// pushDecomp replicates a locally built decomposition entry to key's
+// owner, so the build this daemon just paid for becomes the
+// cluster-wide copy instead of being rebuilt when the owner is asked.
+func (c *cluster) pushDecomp(key string, entry *cache.DecompEntry) {
+	c.pushTo(key, "/v1/peer/decomp/"+key, diskstore.EncodeDecompEntry(entry.Dec, entry.Perm))
+}
+
+// pushResult replicates a full-quality solve result to key's owner.
+func (c *cluster) pushResult(key string, res *hgp.Result) {
+	c.pushTo(key, "/v1/peer/result/"+key, diskstore.EncodeResult(res))
+}
+
+// routable reports the last poll's verdict for peer (optimistically
+// true before the first poll completes).
+func (c *cluster) routable(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.health[peer]
+}
+
+func (c *cluster) setRoutable(peer string, ok bool) {
+	c.mu.Lock()
+	c.health[peer] = ok
+	c.mu.Unlock()
+	v := int64(0)
+	if ok {
+		v = 1
+	}
+	c.reg.Gauge(telemetry.Series("peer_healthy", "peer", peer)).Set(v)
+}
+
+func (c *cluster) publishBreaker(peer string, pc *peerClient) {
+	c.reg.Gauge(telemetry.Series("peer_breaker_state", "peer", peer)).Set(int64(pc.brk.snapshot()))
+}
+
+// pollLoop gossips each remote peer's /v1/peer/health on the
+// configured interval, updating the routing-time shed verdicts. One
+// failed or unhealthy poll sheds a peer; one clean poll restores it —
+// the fetch breaker provides the hysteresis, the poller provides the
+// freshest signal.
+func (c *cluster) pollLoop() {
+	defer c.pollWG.Done()
+	t := time.NewTicker(c.pollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for peer, pc := range c.clients {
+			wg.Add(1)
+			go func(peer string, pc *peerClient) {
+				defer wg.Done()
+				hv, err := pc.health(ctx)
+				c.setRoutable(peer, err == nil && hv.routable())
+				c.publishBreaker(peer, pc)
+			}(peer, pc)
+		}
+		wg.Wait()
+		cancel()
+	}
+}
+
+// peerFetchMark is a context-carried flag recording that a request's
+// decomposition arrived via cluster peer fetch. It rides the context
+// (set by the singleflight winner inside cachedSolve, read by the
+// handler when rendering) because solveFunc's signature is part of the
+// test seam — several batteries stub s.solve — and widening it for one
+// observability bit would churn every stub. The bit is atomic: under
+// the anytime ladder the setter may run on a losing tier's goroutine
+// that is still winding down when the handler reads.
+type peerFetchMark struct{ hit atomic.Bool }
+
+type peerFetchMarkKey struct{}
+
+func withPeerFetchMark(ctx context.Context) (context.Context, *peerFetchMark) {
+	m := &peerFetchMark{}
+	return context.WithValue(ctx, peerFetchMarkKey{}, m), m
+}
+
+// markPeerFetch flags the request that owns ctx, if any. Coalesced
+// singleflight waiters share the fetched decomposition but not the
+// winner's context, so only the winner's response reports the fetch —
+// mirroring how decomp_coalesced_total attributes shared builds.
+func markPeerFetch(ctx context.Context) {
+	if m, ok := ctx.Value(peerFetchMarkKey{}).(*peerFetchMark); ok {
+		m.hit.Store(true)
+	}
+}
+
+// clusterPeerStats is one peer's row in the stats block.
+type clusterPeerStats struct {
+	Peer    string `json:"peer"`
+	Self    bool   `json:"self,omitempty"`
+	Healthy bool   `json:"healthy"`
+	// Breaker is this daemon's fetch breaker toward the peer
+	// (0 closed, 1 open, 2 half-open); always 0 for self.
+	Breaker int64 `json:"breaker"`
+}
+
+// clusterStats is the always-present `cluster` block of /v1/stats.
+// With clustering off only Enabled is rendered, so dashboards can key
+// on one shape everywhere.
+type clusterStats struct {
+	Enabled bool               `json:"enabled"`
+	Self    string             `json:"self,omitempty"`
+	Peers   []clusterPeerStats `json:"peers,omitempty"`
+	// Fetch outcomes, mirrored from peer_fetch_total{outcome=...}.
+	FetchHits      int64 `json:"fetch_hits,omitempty"`
+	FetchMisses    int64 `json:"fetch_misses,omitempty"`
+	FetchErrors    int64 `json:"fetch_errors,omitempty"`
+	FetchRejected  int64 `json:"fetch_rejected,omitempty"` // corrupt + version_mismatch
+	FetchShed      int64 `json:"fetch_shed,omitempty"`     // breaker_open + peer_unhealthy
+	PushOK         int64 `json:"push_ok,omitempty"`
+	PushErrors     int64 `json:"push_errors,omitempty"`
+	PushesInflight int64 `json:"pushes_inflight"`
+}
+
+func (c *cluster) stats() clusterStats {
+	get := func(o fetchOutcome) int64 {
+		return c.reg.Counter(telemetry.Series("peer_fetch_total", "outcome", string(o))).Value()
+	}
+	cs := clusterStats{
+		Enabled:        true,
+		Self:           c.self,
+		FetchHits:      get(outcomeHit),
+		FetchMisses:    get(outcomeMiss),
+		FetchErrors:    get(outcomeError),
+		FetchRejected:  get(outcomeCorrupt) + get(outcomeVersionMismatch),
+		FetchShed:      get(outcomeBreakerOpen) + get(outcomePeerUnhealthy),
+		PushOK:         c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok")).Value(),
+		PushErrors:     c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error")).Value(),
+		PushesInflight: c.reg.Gauge("peer_push_inflight").Value(),
+	}
+	for _, p := range c.ring.members() {
+		row := clusterPeerStats{Peer: p}
+		if p == c.self {
+			row.Self = true
+			row.Healthy = true
+		} else {
+			row.Healthy = c.routable(p)
+			row.Breaker = int64(c.clients[p].brk.snapshot())
+		}
+		cs.Peers = append(cs.Peers, row)
+	}
+	return cs
+}

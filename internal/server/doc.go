@@ -16,6 +16,15 @@
 // rejects new solves with 503 while Shutdown waits for every in-flight
 // solve to finish.
 //
+// With Config.Peers set the daemon joins a static shard group
+// (DESIGN.md §13): a rendezvous-hash ring gives every cache key one
+// owner, non-owners fetch the owner's copy over the internal
+// /v1/peer/* surface (snapshot wire framing, validated like snapshot
+// files) before building, and push their own builds owner-ward.
+// Retry/backoff, a per-peer circuit breaker, and health gossip bound
+// the cost of dead or draining peers; every fetch failure falls back
+// to the local solve path.
+//
 // Main entry points: New builds a Server from a Config; Server.Handler
 // returns the http.Handler exposing /v1/partition, /v1/healthz,
 // /v1/stats (JSON or Prometheus text via ?format=prometheus), and

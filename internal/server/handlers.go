@@ -78,6 +78,14 @@ type PartitionResponse struct {
 	// is false on such responses (the decomposition cache was never
 	// consulted), and DecomposeMS/SolveMS are 0.
 	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
+	// PeerFetchHit reports that the answer's expensive artifact came
+	// over the wire from its cluster owner instead of local work: the
+	// decomposition (CacheHit false — the local LRU missed) or, with
+	// ResultCacheHit true, the entire result. Bodies are bit-identical
+	// to the locally produced equivalent; this flag is observability,
+	// not a quality marker. Coalesced waiters behind a fetching request
+	// do not set it.
+	PeerFetchHit bool `json:"peer_fetch_hit,omitempty"`
 	// CanonHit reports that this request canonicalized (-canon) and was
 	// answered from a cache keyed by the label-invariant fingerprint —
 	// either a decomposition hit (CacheHit) or a full-result hit
@@ -210,10 +218,23 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 		if v, ok := s.results.Get(rkey); ok {
 			s.reg.Counter("result_cache_hits_total").Inc()
-			s.writePartitionOK(w, start, v.(*hgp.Result), false, true, 0, 0, nil, cn)
+			s.writePartitionOK(w, start, v.(*hgp.Result), false, true, false, 0, 0, nil, cn)
 			return
 		}
 		s.reg.Counter("result_cache_misses_total").Inc()
+		// Cluster mode: the key's owner may have solved this exact
+		// request already. A validated peer result is inserted locally
+		// (repeat requests here become plain result-cache hits) and
+		// rendered through the same path as a local result-cache hit,
+		// so the body is bit-identical to one. Any failure — miss,
+		// dead owner, corrupt frame — falls through to a local solve.
+		if s.cluster != nil {
+			if res, ok := s.cluster.fetchResult(r.Context(), rkey); ok {
+				s.results.Add(rkey, res)
+				s.writePartitionOK(w, start, res, false, true, true, 0, 0, nil, cn)
+				return
+			}
+		}
 	}
 
 	// Per-request deadline, also cancelled when the client disconnects:
@@ -229,6 +250,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx, pfm := withPeerFetchMark(ctx)
 
 	// The memory-pressure breaker decides the service mode before any
 	// solve capacity is spent: floor-only service while open, a single
@@ -365,6 +387,14 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		if s.results != nil && !oc.degraded && !oc.res.Partial {
 			s.results.Add(rkey, oc.res)
 			s.reg.Counter("result_cache_inserts_total").Inc()
+			if s.cluster != nil && !s.cluster.owned(rkey) {
+				// Replicate the full-quality result to the key's owner
+				// so the next submission of this request anywhere in
+				// the cluster finds it there. Degraded and partial
+				// results never travel, for the same reason they never
+				// enter the local result cache.
+				s.cluster.pushResult(rkey, oc.res)
+			}
 		}
 		return oc, nil
 	}
@@ -418,7 +448,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.writePartitionOK(w, start, oc.res, oc.cacheHit, false, oc.decompDur, oc.solveDur, oc.degResp, cn)
+	s.writePartitionOK(w, start, oc.res, oc.cacheHit, false, pfm.hit.Load(), oc.decompDur, oc.solveDur, oc.degResp, cn)
 }
 
 // solveOutcome bundles one completed solve so identical concurrent
@@ -443,7 +473,7 @@ type solveOutcome struct {
 // into a FRESH slice before rendering; the cached result is never
 // mutated. Cost, violations, and per-tree costs are label-invariant
 // and pass through untouched.
-func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *hgp.Result, cacheHit, resultHit bool, decompDur, solveDur time.Duration, degResp *DegradationResponse, cn *canon.Form) {
+func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *hgp.Result, cacheHit, resultHit, peerFetch bool, decompDur, solveDur time.Duration, degResp *DegradationResponse, cn *canon.Form) {
 	perTree := make([]*float64, len(res.PerTreeCosts))
 	for i, c := range res.PerTreeCosts {
 		if !math.IsNaN(c) && !math.IsInf(c, 1) {
@@ -455,7 +485,11 @@ func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *h
 	canonHit := false
 	if cn != nil {
 		assignment = cn.TranslateAssignment(res.Assignment)
-		if cacheHit || resultHit {
+		// A peer fetch under -canon is a cache hit keyed by the
+		// label-invariant fingerprint — the owner's entry may have been
+		// written by a different user's isomorphic submission — so it
+		// counts as a canon hit like any local one.
+		if cacheHit || resultHit || peerFetch {
 			canonHit = true
 			s.reg.Counter("canon_hits_total").Inc()
 		}
@@ -478,6 +512,7 @@ func (s *Server) writePartitionOK(w http.ResponseWriter, start time.Time, res *h
 		States:         res.States,
 		CacheHit:       cacheHit,
 		ResultCacheHit: resultHit,
+		PeerFetchHit:   peerFetch,
 		CanonHit:       canonHit,
 		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
 		DecomposeMS:    float64(decompDur.Microseconds()) / 1000,
@@ -545,7 +580,12 @@ type StatsResponse struct {
 	// Canon is the canonical-fingerprinting accounting. Always present;
 	// Enabled mirrors the -canon flag and the counters stay zero while
 	// it is off.
-	Canon   canonBlock         `json:"canon"`
+	Canon canonBlock `json:"canon"`
+	// Cluster is the shard-group accounting: membership health, fetch
+	// breakers, and fetch/push outcome totals. Always present; with
+	// clustering off only {"enabled": false} is rendered, so dashboards
+	// key on one shape everywhere.
+	Cluster clusterStats       `json:"cluster"`
 	Metrics telemetry.Snapshot `json:"metrics"`
 }
 
@@ -682,6 +722,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		OKTotal:        s.reg.Counter("canon_ok_total").Value(),
 		FallbackTotal:  s.reg.Counter("canon_fallback_total").Value(),
 		CanonHitsTotal: s.reg.Counter("canon_hits_total").Value(),
+	}
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.stats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hierpart/internal/cache/diskstore"
+	"hierpart/internal/faultinject"
+)
+
+// fetchOutcome classifies one peer-fetch operation for the
+// peer_fetch_total{outcome=...} family. Every fetch ends in exactly one
+// outcome, and every outcome except outcomeHit degrades to the local
+// solve path.
+type fetchOutcome string
+
+const (
+	outcomeHit             fetchOutcome = "hit"
+	outcomeMiss            fetchOutcome = "miss"
+	outcomeError           fetchOutcome = "error"
+	outcomeCorrupt         fetchOutcome = "corrupt"
+	outcomeVersionMismatch fetchOutcome = "version_mismatch"
+	outcomeBreakerOpen     fetchOutcome = "breaker_open"
+	outcomePeerUnhealthy   fetchOutcome = "peer_unhealthy"
+)
+
+// fetchOutcomes lists every outcome, for pre-registering the counter
+// family at zero.
+var fetchOutcomes = []fetchOutcome{
+	outcomeHit, outcomeMiss, outcomeError, outcomeCorrupt,
+	outcomeVersionMismatch, outcomeBreakerOpen, outcomePeerUnhealthy,
+}
+
+// peerBreaker is a per-peer consecutive-failure circuit breaker for the
+// fetch path. Unlike the daemon's memory breaker (a resource guard),
+// this one guards latency: once a peer has failed threshold fetches in
+// a row, further fetches fast-fail to the local solve path for the
+// cooldown instead of paying timeout × retries against a dead socket.
+// After the cooldown one half-open probe is admitted; its success
+// closes the breaker, its failure re-opens it for another cooldown.
+// States reuse the daemon breaker encoding (0 closed, 1 open, 2
+// half-open) so both families read the same on a dashboard.
+type peerBreaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+// allow reports whether a fetch may proceed, transitioning open →
+// half-open when the cooldown has elapsed. In half-open only one probe
+// is admitted at a time.
+func (b *peerBreaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed fetch (hit or definitive miss — the peer
+// answered), closing the breaker.
+func (b *peerBreaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// failure records a failed fetch, opening the breaker when the
+// consecutive-failure threshold is reached (immediately when the
+// failure was a half-open probe).
+func (b *peerBreaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.state == breakerHalfOpen
+	b.probing = false
+	b.consecutive++
+	if wasProbe || b.consecutive >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+func (b *peerBreaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// peerHealthView is the body of GET /v1/peer/health — the signal the
+// health poller uses to shed a peer at routing time before any fetch
+// is attempted against it.
+type peerHealthView struct {
+	// Status is "ok" or "draining". A draining peer still answers peer
+	// fetches for what it holds, but routing sheds it so no new
+	// ownership traffic lands on a daemon that is leaving.
+	Status string `json:"status"`
+	// Breaker is the peer's memory-breaker state (0 closed, 1 open, 2
+	// half-open). An open breaker means the peer is shedding its own
+	// load; routing treats it as unhealthy rather than adding fetches.
+	Breaker int64 `json:"breaker"`
+	// QueueDepth and QueueLimit describe the peer's waiting room; a
+	// full queue marks the peer overloaded.
+	QueueDepth int64 `json:"queue_depth"`
+	QueueLimit int64 `json:"queue_limit"`
+}
+
+// routable reports whether a peer in this state should receive fetch
+// traffic: reachable (the caller established that), not draining, not
+// under memory pressure, waiting room not saturated.
+func (h peerHealthView) routable() bool {
+	if h.Status != "ok" {
+		return false
+	}
+	if h.Breaker == breakerOpen {
+		return false
+	}
+	if h.QueueLimit > 0 && h.QueueDepth >= h.QueueLimit {
+		return false
+	}
+	return true
+}
+
+// peerClient talks to one peer's internal /v1/peer surface: bounded
+// per-attempt timeouts, bounded retries with jittered exponential
+// backoff, and a circuit breaker so a dead peer costs one cooldown, not
+// timeout × retries per key.
+type peerClient struct {
+	base    string // peer base URL, no trailing slash
+	hc      *http.Client
+	timeout time.Duration // per attempt
+	retries int           // attempts = retries + 1
+	backoff time.Duration // base; attempt i sleeps base·2^i·jitter
+	brk     *peerBreaker
+}
+
+func newPeerClient(base string, timeout time.Duration, retries int, backoff time.Duration, brkThreshold int, brkCooldown time.Duration) *peerClient {
+	return &peerClient{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		timeout: timeout,
+		retries: retries,
+		backoff: backoff,
+		brk:     &peerBreaker{threshold: brkThreshold, cooldown: brkCooldown},
+	}
+}
+
+// sleepBackoff waits out the attempt'th backoff (base·2^attempt scaled
+// by a jitter factor in [0.5, 1.5)), returning early with ctx's error
+// if the context dies first. Jitter decorrelates the retry schedules of
+// peers that failed at the same instant — a daemon kill makes every
+// in-flight fetch fail together, and without jitter their retries would
+// keep arriving together.
+func (pc *peerClient) sleepBackoff(ctx context.Context, attempt int) error {
+	d := time.Duration(float64(pc.backoff) * float64(int(1)<<attempt) * (0.5 + rand.Float64()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// maxPeerBody bounds how many bytes fetch will read from a peer
+// response — a corrupted length field or a misbehaving peer must not
+// balloon memory. Matches the daemon's default request-body bound.
+const maxPeerBody = 64 << 20
+
+// fetch GETs path from the peer and returns the validated payload
+// (wire framing already stripped). Outcomes:
+//
+//   - hit: 200 with a frame that passed checksum + version validation;
+//   - miss: 404 — the peer answered definitively, no retry, breaker
+//     credit (the peer is alive);
+//   - version_mismatch / corrupt: the body failed validation exactly
+//     like a damaged snapshot file; deterministic, so no retry, but the
+//     breaker debits the peer;
+//   - error: transport errors, timeouts, and 5xx/503 exhausted the
+//     retry budget;
+//   - breaker_open: the fetch was never attempted.
+//
+// The faultinject.PeerFetch hook fires after the body is read and
+// before validation, so injected corruption exercises the same
+// rejection path real bit rot would.
+func (pc *peerClient) fetch(ctx context.Context, path string) ([]byte, fetchOutcome) {
+	if !pc.brk.allow() {
+		return nil, outcomeBreakerOpen
+	}
+	for attempt := 0; ; attempt++ {
+		payload, outcome, retryable := pc.fetchOnce(ctx, path)
+		switch outcome {
+		case outcomeHit, outcomeMiss:
+			pc.brk.success()
+			return payload, outcome
+		}
+		pc.brk.failure()
+		if !retryable || attempt >= pc.retries {
+			return nil, outcome
+		}
+		// Re-consult the breaker between attempts: this failure may
+		// have opened it (e.g. another goroutine's failures landed
+		// concurrently), and retrying through an open breaker would
+		// defeat its fast-fail purpose.
+		if !pc.brk.allow() {
+			return nil, outcomeBreakerOpen
+		}
+		if err := pc.sleepBackoff(ctx, attempt); err != nil {
+			return nil, outcomeError
+		}
+	}
+}
+
+// fetchOnce runs a single fetch attempt under the per-attempt timeout.
+func (pc *peerClient) fetchOnce(ctx context.Context, path string) (payload []byte, outcome fetchOutcome, retryable bool) {
+	actx, cancel := context.WithTimeout(ctx, pc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, pc.base+path, nil)
+	if err != nil {
+		return nil, outcomeError, false
+	}
+	resp, err := pc.hc.Do(req)
+	if err != nil {
+		return nil, outcomeError, true
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, outcomeMiss, false
+	case resp.StatusCode != http.StatusOK:
+		// 503 (draining, breaker) and 5xx: the peer may recover within
+		// the retry budget.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, outcomeError, true
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+1))
+	if err != nil {
+		return nil, outcomeError, true
+	}
+	if len(raw) > maxPeerBody {
+		return nil, outcomeCorrupt, false
+	}
+	raw, err = faultinject.FireBody(actx, faultinject.PeerFetch, raw)
+	if err != nil {
+		return nil, outcomeError, true
+	}
+	payload, err = diskstore.UnwrapWire(raw)
+	switch {
+	case err == nil:
+		return payload, outcomeHit, false
+	case isVersionMismatch(err):
+		return nil, outcomeVersionMismatch, false
+	default:
+		return nil, outcomeCorrupt, false
+	}
+}
+
+func isVersionMismatch(err error) bool {
+	return errors.Is(err, diskstore.ErrVersionMismatch)
+}
+
+// push PUTs a wire-framed body to path on the peer — the owner-ward
+// replication of an entry this daemon built for a key it does not own.
+// Pushes share the fetch path's timeout/retry/backoff discipline and
+// breaker (a peer too sick to serve fetches is too sick to absorb
+// pushes), but a failed push is only a lost warm-cache opportunity: the
+// owner rebuilds on its next request for the key.
+func (pc *peerClient) push(ctx context.Context, path string, body []byte) bool {
+	if !pc.brk.allow() {
+		return false
+	}
+	for attempt := 0; ; attempt++ {
+		ok, retryable := pc.pushOnce(ctx, path, body)
+		if ok {
+			pc.brk.success()
+			return true
+		}
+		pc.brk.failure()
+		if !retryable || attempt >= pc.retries {
+			return false
+		}
+		if !pc.brk.allow() {
+			return false
+		}
+		if err := pc.sleepBackoff(ctx, attempt); err != nil {
+			return false
+		}
+	}
+}
+
+func (pc *peerClient) pushOnce(ctx context.Context, path string, body []byte) (ok, retryable bool) {
+	actx, cancel := context.WithTimeout(ctx, pc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPut, pc.base+path, bytes.NewReader(body))
+	if err != nil {
+		return false, false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := pc.hc.Do(req)
+	if err != nil {
+		return false, true
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK:
+		return true, false
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		return false, true
+	default:
+		// 4xx: the peer rejected the body (validation failure) —
+		// retrying the same bytes cannot succeed.
+		return false, false
+	}
+}
+
+// health GETs the peer's /v1/peer/health with a single short attempt —
+// the poller runs on an interval, so retrying inside one poll would
+// only delay the next.
+func (pc *peerClient) health(ctx context.Context) (peerHealthView, error) {
+	actx, cancel := context.WithTimeout(ctx, pc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, pc.base+"/v1/peer/health", nil)
+	if err != nil {
+		return peerHealthView{}, err
+	}
+	resp, err := pc.hc.Do(req)
+	if err != nil {
+		return peerHealthView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return peerHealthView{}, fmt.Errorf("peer health: status %d", resp.StatusCode)
+	}
+	var hv peerHealthView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hv); err != nil {
+		return peerHealthView{}, err
+	}
+	return hv, nil
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring assigns every cache key one natural owner among a static peer
+// list via highest-random-weight (rendezvous) hashing: the owner of a
+// key is the peer maximizing hash(peer ‖ key). HRW was chosen over a
+// virtual-node token ring because the properties the cluster tests pin
+// fall out of the definition instead of needing tuning:
+//
+//   - order-invariance: the score of (peer, key) ignores every other
+//     peer, so any permutation of the peer list yields byte-identical
+//     ownership;
+//   - minimal movement: removing a peer reassigns exactly the keys it
+//     owned (~1/N of the corpus) — every other key's argmax is
+//     untouched; adding a peer steals only the keys whose new score
+//     beats all incumbents (~1/(N+1));
+//   - no token-count / balance tradeoff: with 64-bit scores over
+//     SHA-256-derived keys the load split is already even.
+//
+// A ring is immutable after newRing; routing-time health shedding is
+// layered on top via ownerAmong, not by mutating the peer list.
+type ring struct {
+	peers []string // sorted, deduplicated
+}
+
+// newRing builds a ring over the given peer names (base URLs in the
+// cluster's usage). Duplicates are collapsed; at least one peer is
+// required.
+func newRing(peers []string) (*ring, error) {
+	seen := map[string]bool{}
+	var uniq []string
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("ring: empty peer name")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("ring: no peers")
+	}
+	sort.Strings(uniq)
+	return &ring{peers: uniq}, nil
+}
+
+// score is the HRW weight of key on peer: FNV-1a 64 over
+// peer ‖ "\x00" ‖ key. The separator keeps (peer="a", key="bc") and
+// (peer="ab", key="c") from colliding. FNV-1a is sufficient here — the
+// keys being routed are already hex SHA-256 strings, so the input is
+// uniformly distributed and the hash only needs to mix peer identity
+// into it, not resist adversarial inputs.
+func score(peer, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// owner returns the peer owning key: the argmax of score over the full
+// peer list, ties broken toward the lexicographically smaller peer
+// (deterministic because peers is sorted and the scan keeps the first
+// maximum).
+func (r *ring) owner(key string) string {
+	best := r.peers[0]
+	bestScore := score(best, key)
+	for _, p := range r.peers[1:] {
+		if s := score(p, key); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// ownerAmong returns the owner of key restricted to the given peers —
+// the routing-time view where unhealthy peers have been shed. Peers not
+// in the ring are ignored; ok is false when no candidate qualifies.
+// Restriction preserves HRW's stability: shedding a peer moves only the
+// keys that peer owned, exactly like removing it from the ring.
+func (r *ring) ownerAmong(key string, alive map[string]bool) (string, bool) {
+	var best string
+	var bestScore uint64
+	for _, p := range r.peers {
+		if !alive[p] {
+			continue
+		}
+		if s := score(p, key); best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best, best != ""
+}
+
+// members returns the ring's sorted peer list (shared slice; callers
+// must not mutate).
+func (r *ring) members() []string { return r.peers }

@@ -113,6 +113,33 @@ type Config struct {
 	// BreakerCooldown is how long the breaker stays open before a
 	// half-open probe. Zero means 2s.
 	BreakerCooldown time.Duration
+	// Peers, when non-empty, turns on cluster mode: the full static
+	// membership of the shard group as base URLs (including this
+	// daemon's own, which must equal Self). Every cache key is owned by
+	// exactly one peer under rendezvous hashing; non-owners fetch from
+	// the owner on a local miss and push locally built entries back to
+	// it. Requires caching (CacheEntries > 0).
+	Peers []string
+	// Self is this daemon's own entry in Peers — the base URL other
+	// peers reach it at.
+	Self string
+	// PeerTimeout bounds each peer-fetch attempt. Zero means 2s.
+	PeerTimeout time.Duration
+	// PeerRetries is how many times a failed peer fetch is retried
+	// (attempts = retries + 1). Zero means 2; negative means none.
+	PeerRetries int
+	// PeerBackoff is the base of the jittered exponential backoff
+	// between retries. Zero means 50ms.
+	PeerBackoff time.Duration
+	// PeerBreakerThreshold opens a peer's fetch breaker after this many
+	// consecutive failures. Zero means 3.
+	PeerBreakerThreshold int
+	// PeerBreakerCooldown is how long an open peer breaker fast-fails
+	// before a half-open probe. Zero means 2s.
+	PeerBreakerCooldown time.Duration
+	// PeerHealthInterval is how often the health poller gossips
+	// /v1/peer/health. Zero means 1s.
+	PeerHealthInterval time.Duration
 	// Registry receives the daemon's metrics. Nil means
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -158,6 +185,27 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.PeerRetries == 0 {
+		c.PeerRetries = 2
+	}
+	if c.PeerRetries < 0 {
+		c.PeerRetries = 0
+	}
+	if c.PeerBackoff <= 0 {
+		c.PeerBackoff = 50 * time.Millisecond
+	}
+	if c.PeerBreakerThreshold <= 0 {
+		c.PeerBreakerThreshold = 3
+	}
+	if c.PeerBreakerCooldown <= 0 {
+		c.PeerBreakerCooldown = 2 * time.Second
+	}
+	if c.PeerHealthInterval <= 0 {
+		c.PeerHealthInterval = time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -189,8 +237,11 @@ type Server struct {
 	// store snapshots cache entries to cfg.StateDir; nil when the cache
 	// is memory-only.
 	store *diskstore.Store
-	start time.Time
-	mux   *http.ServeMux
+	// cluster is the shard-group state (ring, peer clients, health
+	// poller); nil outside cluster mode.
+	cluster *cluster
+	start   time.Time
+	mux     *http.ServeMux
 
 	queued atomic.Int64
 
@@ -259,6 +310,24 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Counter("canon_ok_total")
 	s.reg.Counter("canon_fallback_total")
 	s.reg.Counter("canon_hits_total")
+	if len(cfg.Peers) > 0 {
+		if s.dec == nil {
+			return nil, fmt.Errorf("server: cluster mode requires caching (CacheEntries > 0)")
+		}
+		cl, err := newCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.cluster = cl
+		// The internal peer surface exists only in cluster mode: a
+		// single-node daemon exposes no routes that replay cache
+		// internals.
+		s.mux.HandleFunc("GET /v1/peer/decomp/{key}", s.handlePeerDecompGet)
+		s.mux.HandleFunc("PUT /v1/peer/decomp/{key}", s.handlePeerDecompPut)
+		s.mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResultGet)
+		s.mux.HandleFunc("PUT /v1/peer/result/{key}", s.handlePeerResultPut)
+		s.mux.HandleFunc("GET /v1/peer/health", s.handlePeerHealth)
+	}
 	s.solve = s.cachedSolve
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -341,6 +410,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		drainErr = fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
+	if s.cluster != nil {
+		// Stops the health poller and waits out in-flight owner-ward
+		// pushes; entries this daemon built still reach their owners.
+		s.cluster.close()
+	}
 	if s.store != nil {
 		if err := s.store.Close(); err != nil && drainErr == nil {
 			drainErr = err
@@ -400,6 +474,27 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 			s.reg.Counter("decomp_cache_misses_total").Inc()
 			t0 := time.Now()
 			v, shared, err := s.flight.Do(ctx, key, func() (any, error) {
+				// Cluster mode: before paying for a build, ask the key's
+				// owner (when that is another peer) for its copy. The
+				// fetch sits INSIDE the singleflight closure so a miss
+				// storm coalesces into one network round trip, exactly
+				// as it coalesces into one build. Any fetch outcome
+				// other than a validated hit falls through to the local
+				// build — the cluster accelerates, never gates.
+				if s.cluster != nil {
+					if entry, ok := s.cluster.fetchDecomp(ctx, key); ok {
+						s.dec.Add(key, entry)
+						if s.store != nil {
+							// Persist the fetched entry locally too: a
+							// restart of THIS daemon warm-starts with
+							// it, and if the owner later dies this
+							// daemon serves its keys from disk.
+							s.store.Enqueue(key, entry.Dec, entry.Perm)
+						}
+						markPeerFetch(ctx)
+						return entry.Dec, nil
+					}
+				}
 				built, err := treedecomp.BuildContext(ctx, g, opts)
 				if err != nil {
 					return nil, err
@@ -409,11 +504,22 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 				if cn != nil {
 					perm = cn.Perm
 				}
-				s.dec.Add(key, &cache.DecompEntry{Dec: built, Perm: perm})
+				entry := &cache.DecompEntry{Dec: built, Perm: perm}
+				s.dec.Add(key, entry)
 				if s.store != nil {
 					// Stage for the background flusher: the expensive
 					// build outlives this process.
 					s.store.Enqueue(key, built, perm)
+				}
+				if s.cluster != nil && !s.cluster.owned(key) {
+					// This daemon built an entry it does not own (the
+					// owner was down, unreachable, or simply cold).
+					// Push it owner-ward in the background so the
+					// cluster-wide copy exists where routing expects
+					// it — without the push, the owner would rebuild
+					// the same decomposition on its next request and
+					// "one build per key cluster-wide" would not hold.
+					s.cluster.pushDecomp(key, entry)
 				}
 				return built, nil
 			})

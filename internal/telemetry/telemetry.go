@@ -249,6 +249,38 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Series renders a labeled series name — `name{k1="v1",k2="v2"}` —
+// from alternating key/value pairs, with the labels sorted by key so
+// every call site produces the same series string for the same label
+// set (the registry stores labeled instruments under their full series
+// name, so two spellings of one label set would silently become two
+// instruments). Values are quoted with %q, matching what
+// WritePrometheus expects to pass through verbatim. An odd trailing
+// label key is ignored; no labels returns name unchanged.
+func Series(name string, labels ...string) string {
+	n := len(labels) / 2
+	if n == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = kv{labels[2*i], labels[2*i+1]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // ObserveDuration records d, in seconds, into the named histogram of
 // the Default registry — the hook the solver pipeline calls to expose
 // phase timings (phase_decompose_seconds, phase_dp_seconds, …).

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -122,5 +123,51 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	if math.Abs(r.Histogram("h").Sum()-8.0) > 1e-6 {
 		t.Fatalf("histogram sum = %g, want 8", r.Histogram("h").Sum())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []string
+		want   string
+	}{
+		{"peer_fetch_total", []string{"outcome", "hit"}, `peer_fetch_total{outcome="hit"}`},
+		{"x_total", nil, "x_total"},
+		{"x_total", []string{"b", "2", "a", "1"}, `x_total{a="1",b="2"}`},
+		{"x_total", []string{"peer", `http://127.0.0.1:8080`}, `x_total{peer="http://127.0.0.1:8080"}`},
+		{"x_total", []string{"k", "v", "dangling"}, `x_total{k="v"}`},
+	}
+	for _, tc := range cases {
+		if got := Series(tc.name, tc.labels...); got != tc.want {
+			t.Errorf("Series(%q, %v) = %q, want %q", tc.name, tc.labels, got, tc.want)
+		}
+	}
+	// Series output must match the hand-rolled %q formatting the server
+	// already uses for its labeled counters, so both spellings land on
+	// the same instrument.
+	if got, want := Series("shed_total", "reason", "queue_full"), fmt.Sprintf("shed_total{reason=%q}", "queue_full"); got != want {
+		t.Fatalf("Series = %q, want %q", got, want)
+	}
+}
+
+// TestSeriesPrometheusFamilyGrouping pins that Series-named instruments
+// render under one TYPE header per family.
+func TestSeriesPrometheusFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Series("peer_fetch_total", "outcome", "hit")).Add(2)
+	r.Counter(Series("peer_fetch_total", "outcome", "error")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE peer_fetch_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE header for the family:\n%s", out)
+	}
+	for _, want := range []string{`peer_fetch_total{outcome="hit"} 2`, `peer_fetch_total{outcome="error"} 1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
 	}
 }
