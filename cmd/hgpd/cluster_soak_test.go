@@ -75,6 +75,10 @@ func TestClusterFailoverSoak(t *testing.T) {
 			"-peer-timeout", "250ms",
 			"-peer-retries", "1",
 			"-peer-breaker-cooldown", "1s",
+			// The soak runs the cluster authenticated, as production
+			// should: every peer fetch/push/health exchange carries the
+			// shared secret end-to-end through real binaries.
+			"-peer-secret", "cluster-soak-secret",
 		)
 	}
 	nodes := make([]*daemon, 3)

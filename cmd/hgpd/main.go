@@ -55,6 +55,7 @@ func main() {
 		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-attempt timeout for peer fetches and pushes")
 		peerRetries  = flag.Int("peer-retries", 2, "retries after a failed peer fetch attempt (attempts = retries+1, jittered exponential backoff between them)")
 		peerCooldown = flag.Duration("peer-breaker-cooldown", 2*time.Second, "how long a peer's fetch breaker fast-fails after opening (3 consecutive failures) before a half-open probe")
+		peerSecret   = flag.String("peer-secret", "", "cluster shared secret: every /v1/peer/* request must carry it (X-Hgpd-Peer-Secret; wrong or missing = 403) and outgoing peer traffic attaches it; all peers must share one value; falls back to the HGPD_PEER_SECRET env var (keeps the secret off the process list); empty = unauthenticated, safe ONLY on a network unreachable by untrusted clients")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -63,6 +64,10 @@ func main() {
 		os.Exit(2)
 	}
 	peers := splitPeers(*peersFlag)
+	secret := *peerSecret
+	if secret == "" {
+		secret = os.Getenv("HGPD_PEER_SECRET")
+	}
 	if err := validateFlags(*concurrency, *queue, *cacheSize, *resultCache, *timeout, *maxTimeout,
 		*workers, *maxStates, *maxVertices, *maxEdges, *drainWait,
 		*stateDir, *snapInterval, *maxHeap); err != nil {
@@ -98,9 +103,13 @@ func main() {
 		PeerTimeout:         *peerTimeout,
 		PeerRetries:         *peerRetries,
 		PeerBreakerCooldown: *peerCooldown,
+		PeerSecret:          secret,
 	})
 	if err != nil {
 		log.Fatalf("hgpd: %v", err)
+	}
+	if len(peers) > 0 && secret == "" {
+		log.Printf("hgpd: WARNING: cluster mode without -peer-secret (or HGPD_PEER_SECRET): /v1/peer/* is unauthenticated, and any client that can reach %s can read or poison the shared caches — run unauthenticated only on a network unreachable by untrusted clients", *addr)
 	}
 
 	// Listen explicitly (rather than ListenAndServe) so -addr :0 works:

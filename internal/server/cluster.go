@@ -88,7 +88,7 @@ func newCluster(cfg Config) (*cluster, error) {
 		if p == c.self {
 			continue
 		}
-		c.clients[p] = newPeerClient(p, cfg.PeerTimeout, cfg.PeerRetries, cfg.PeerBackoff, cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown)
+		c.clients[p] = newPeerClient(p, cfg.PeerTimeout, cfg.PeerRetries, cfg.PeerBackoff, cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown, cfg.PeerSecret)
 		c.health[p] = true
 		c.reg.Gauge(telemetry.Series("peer_healthy", "peer", p)).Set(1)
 		c.reg.Gauge(telemetry.Series("peer_breaker_state", "peer", p)).Set(int64(breakerClosed))
@@ -101,6 +101,7 @@ func newCluster(cfg Config) (*cluster, error) {
 	c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok"))
 	c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error"))
 	c.reg.Gauge("peer_push_inflight")
+	c.reg.Counter("peer_auth_failures_total")
 	c.pollWG.Add(1)
 	go c.pollLoop()
 	return c, nil
@@ -126,9 +127,11 @@ func (c *cluster) countFetch(o fetchOutcome) {
 }
 
 // fetchFrom resolves key's owner and, when it is a routable remote
-// peer, fetches path from it. A nil payload means "solve locally" —
-// the caller never needs to distinguish why.
-func (c *cluster) fetchFrom(ctx context.Context, key, path string) []byte {
+// peer, fetches path from it, running decode (the entry-layer parser)
+// inside the client's outcome classification — one fetch operation,
+// one peer_fetch_total row, one breaker verdict. A nil return means
+// "solve locally" — the caller never needs to distinguish why.
+func (c *cluster) fetchFrom(ctx context.Context, key, path string, decode func([]byte) (any, error)) any {
 	owner := c.ownerOf(key)
 	if owner == c.self {
 		return nil
@@ -141,46 +144,53 @@ func (c *cluster) fetchFrom(ctx context.Context, key, path string) []byte {
 		c.countFetch(outcomePeerUnhealthy)
 		return nil
 	}
-	payload, outcome := pc.fetch(ctx, path)
+	val, outcome := pc.fetch(ctx, path, decode)
 	c.countFetch(outcome)
 	c.publishBreaker(owner, pc)
 	if outcome != outcomeHit {
 		return nil
 	}
-	return payload
+	return val
 }
 
 // fetchDecomp asks key's owner for its decomposition entry. ok is true
 // only when a validated entry arrived; every other outcome (miss,
-// error, corruption, version skew, breaker, unhealthy owner) is a
-// silent fallback to the local build.
+// error, corruption — frame or entry layer — version skew, breaker,
+// unhealthy owner) is a silent fallback to the local build.
 func (c *cluster) fetchDecomp(ctx context.Context, key string) (*cache.DecompEntry, bool) {
-	payload := c.fetchFrom(ctx, key, "/v1/peer/decomp/"+key)
-	if payload == nil {
+	v := c.fetchFrom(ctx, key, "/v1/peer/decomp/"+key, func(payload []byte) (any, error) {
+		dec, perm, err := diskstore.DecodeDecompEntry(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &cache.DecompEntry{Dec: dec, Perm: perm}, nil
+	})
+	if v == nil {
 		return nil, false
 	}
-	dec, perm, err := diskstore.DecodeDecompEntry(payload)
-	if err != nil {
-		// The frame verified but the payload didn't decode: corrupt at
-		// the entry layer, same verdict as a damaged snapshot file.
-		c.countFetch(outcomeCorrupt)
-		return nil, false
-	}
-	return &cache.DecompEntry{Dec: dec, Perm: perm}, true
+	return v.(*cache.DecompEntry), true
 }
 
-// fetchResult asks key's owner for a full solve result.
+// fetchResult asks key's owner for a full solve result. A partial
+// result is rejected at decode — pushers never send one (the result
+// cache holds only complete full-pipeline results), so its appearance
+// on the wire is corruption or hostility, and accepting it would let
+// the local result cache replay a degraded answer as a full one.
 func (c *cluster) fetchResult(ctx context.Context, key string) (*hgp.Result, bool) {
-	payload := c.fetchFrom(ctx, key, "/v1/peer/result/"+key)
-	if payload == nil {
+	v := c.fetchFrom(ctx, key, "/v1/peer/result/"+key, func(payload []byte) (any, error) {
+		res, err := diskstore.DecodeResult(payload)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, fmt.Errorf("partial result on the peer wire")
+		}
+		return res, nil
+	})
+	if v == nil {
 		return nil, false
 	}
-	res, err := diskstore.DecodeResult(payload)
-	if err != nil {
-		c.countFetch(outcomeCorrupt)
-		return nil, false
-	}
-	return res, true
+	return v.(*hgp.Result), true
 }
 
 // pushTo PUTs a framed body to key's owner in the background. The

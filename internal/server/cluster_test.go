@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -663,6 +665,295 @@ func TestClusterConfigValidation(t *testing.T) {
 		if _, err := New(Config{Registry: reg, Peers: []string{bad, "http://b:2"}, Self: "http://b:2"}); err == nil {
 			t.Fatalf("peer %q without an http(s) base URL must be rejected", bad)
 		}
+	}
+}
+
+// With a shared secret configured, the peer surface authenticates every
+// request: authenticated peers interoperate exactly as before, while a
+// client without the secret gets 403 from every peer endpoint and can
+// neither read nor poison the caches.
+func TestClusterPeerSecretEnforced(t *testing.T) {
+	const secret = "soak-test-secret"
+	nodes := startTestCluster(t, 2, func(i int, cfg *Config) {
+		cfg.PeerSecret = secret
+	})
+	req := reqOwnedBy(t, nodes, 0, decompKeyFor)
+	owner, other := nodes[0], nodes[1]
+
+	// Authenticated path first: the cluster works as without a secret
+	// (startTestCluster already proved gossip converges — the pollers
+	// authenticate too).
+	postPartition(t, owner.srv.Handler(), req)
+	fetched := decodeResponse(t, postPartition(t, other.srv.Handler(), req))
+	if !fetched.PeerFetchHit {
+		t.Fatalf("authenticated peer fetch must work: %+v", fetched)
+	}
+
+	key := decompKeyFor(t, req)
+	deny := func(method, url string, body []byte, header http.Header) {
+		t.Helper()
+		var r *http.Request
+		if body != nil {
+			r, _ = http.NewRequest(method, url, bytes.NewReader(body))
+		} else {
+			r, _ = http.NewRequest(method, url, nil)
+		}
+		for k, v := range header {
+			r.Header[k] = v
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e apiError
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if resp.StatusCode != http.StatusForbidden || e.Code != "peer_auth" {
+			t.Fatalf("%s %s without the secret: status %d code %q, want 403 peer_auth", method, url, resp.StatusCode, e.Code)
+		}
+	}
+	// GET: the entry exists on the owner, but an unauthenticated reader
+	// must not see it.
+	deny(http.MethodGet, owner.url+"/v1/peer/decomp/"+key, nil, nil)
+	// PUT: a structurally valid body under an arbitrary key must bounce
+	// off authentication before any validation runs.
+	dec := treedecomp.Build(mustGraph(t), treedecomp.Options{Trees: 1, Seed: 1})
+	forged := diskstore.WrapWire(diskstore.EncodeDecompEntry(dec, nil))
+	forgedKey := "ab12" + key[4:]
+	baseLen := owner.srv.dec.Len()
+	deny(http.MethodPut, owner.url+"/v1/peer/decomp/"+forgedKey, forged, nil)
+	deny(http.MethodPut, owner.url+"/v1/peer/decomp/"+forgedKey, forged,
+		http.Header{"X-Hgpd-Peer-Secret": []string{"wrong"}})
+	if owner.srv.dec.Len() != baseLen {
+		t.Fatal("unauthenticated PUT must not populate the cache")
+	}
+	// Health gossip is gated too: an unauthenticated prober learns
+	// nothing about the daemon's load.
+	deny(http.MethodGet, owner.url+"/v1/peer/health", nil, nil)
+	if got := owner.reg.Counter("peer_auth_failures_total").Value(); got < 4 {
+		t.Fatalf("peer_auth_failures_total = %d, want >= 4", got)
+	}
+}
+
+// A secret mismatch between peers (half-rotated fleet, operator typo)
+// is a deterministic 403: the fetch records one error without burning
+// the retry budget, and the request degrades to a local solve.
+func TestClusterPeerSecretMismatchFallsBack(t *testing.T) {
+	nodes := startTestCluster(t, 2, func(i int, cfg *Config) {
+		cfg.PeerSecret = "secret-" + string(rune('a'+i)) // distinct per node
+		cfg.PeerHealthInterval = time.Hour               // stay optimistic; isolate the fetch path
+	})
+	req := reqOwnedBy(t, nodes, 0, decompKeyFor)
+	owner, other := nodes[0], nodes[1]
+	postPartition(t, owner.srv.Handler(), req)
+
+	rec := postPartition(t, other.srv.Handler(), req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via local fallback", rec.Code)
+	}
+	if resp := decodeResponse(t, rec); resp.PeerFetchHit {
+		t.Fatal("a 403ed fetch must not count as a peer hit")
+	}
+	if got := labeled(other.reg, "peer_fetch_total", "outcome", "error"); got != 1 {
+		t.Fatalf("peer_fetch_total{outcome=error} = %d, want exactly 1 (403 is deterministic; no retries)", got)
+	}
+	if got := other.reg.Counter("decomp_builds_total").Value(); got != 1 {
+		t.Fatalf("fallback must build locally exactly once, got %d", got)
+	}
+}
+
+// A pushed result marked Partial violates the result-cache invariant
+// (only complete full-pipeline results are cached) and must be refused
+// at the trust boundary, not trusted because pushers never send one.
+func TestClusterRejectsPartialResultPush(t *testing.T) {
+	nodes := startTestCluster(t, 2, func(i int, cfg *Config) {
+		cfg.ResultCacheEntries = 64
+	})
+	owner := nodes[0]
+	key := resultKeyFor(t, testRequest())
+
+	partial := &hgp.Result{
+		Assignment:   []int{0, 1},
+		Cost:         1, TreeCost: 1,
+		PerTreeCosts: []float64{1},
+		Partial:      true,
+		TreesDone:    1,
+	}
+	put := func(res *hgp.Result) (*http.Response, apiError) {
+		t.Helper()
+		body := diskstore.WrapWire(diskstore.EncodeResult(res))
+		preq, _ := http.NewRequest(http.MethodPut, owner.url+"/v1/peer/result/"+key, bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(preq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e apiError
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp, e
+	}
+	resp, e := put(partial)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != "partial_result" {
+		t.Fatalf("partial push: status %d code %q, want 400 partial_result", resp.StatusCode, e.Code)
+	}
+	if _, ok := owner.srv.results.Peek(key); ok {
+		t.Fatal("rejected partial result must not enter the result cache")
+	}
+	// The same payload with Partial cleared is a valid push.
+	complete := *partial
+	complete.Partial = false
+	complete.TreesDone = 0
+	if resp, e := put(&complete); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("complete push: status %d code %q, want 204", resp.StatusCode, e.Code)
+	}
+	if _, ok := owner.srv.results.Peek(key); !ok {
+		t.Fatal("valid complete push must populate the result cache")
+	}
+}
+
+// A frame that validates but whose entry payload does not decode is ONE
+// corrupt fetch: one peer_fetch_total row (not hit + corrupt), and the
+// breaker debited exactly as for a frame-corrupt body.
+func TestClusterEntryCorruptFetchCountsOnce(t *testing.T) {
+	// A stub "peer" serving well-framed garbage: UnwrapWire passes
+	// (checksum and versions are real), DecodeDecompEntry cannot.
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/peer/decomp/") {
+			w.Write(diskstore.WrapWire([]byte("not a decomposition entry")))
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer stub.Close()
+
+	sw := &swapHandler{}
+	sw.h.Store(http.NotFoundHandler())
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{
+		Registry:             reg,
+		Peers:                []string{stub.URL, ts.URL},
+		Self:                 ts.URL,
+		PeerHealthInterval:   time.Hour, // stub has no health endpoint; stay optimistic
+		PeerBreakerThreshold: 1,         // one corrupt body must open the breaker
+		PeerBreakerCooldown:  time.Hour,
+		ResultCacheEntries:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = s.Shutdown(ctx)
+		cancel()
+	})
+	sw.h.Store(s.Handler())
+
+	var req PartitionRequest
+	for seed := int64(1); ; seed++ {
+		if seed > 300 {
+			t.Fatal("no seed lands on the stub peer")
+		}
+		req = testRequest()
+		req.Seed = seed
+		if s.cluster.ownerOf(decompKeyFor(t, req)) == stub.URL {
+			break
+		}
+	}
+	rec := postPartition(t, s.Handler(), req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via local fallback", rec.Code)
+	}
+	if got := labeled(reg, "peer_fetch_total", "outcome", "corrupt"); got != 1 {
+		t.Fatalf("peer_fetch_total{outcome=corrupt} = %d, want 1", got)
+	}
+	if got := labeled(reg, "peer_fetch_total", "outcome", "hit"); got != 0 {
+		t.Fatalf("peer_fetch_total{outcome=hit} = %d, want 0 (an entry-corrupt fetch is not a hit)", got)
+	}
+	if got := s.cluster.clients[stub.URL].brk.snapshot(); got != breakerOpen {
+		t.Fatalf("peer breaker state = %d after an entry-corrupt body, want open (corrupt bodies debit the breaker)", got)
+	}
+}
+
+// A miss storm on one result key costs the owner ONE fetch: concurrent
+// identical requests coalesce on the singleflight group before the
+// network, so a slow or dying owner pays one round trip, not N.
+func TestClusterResultFetchCoalesced(t *testing.T) {
+	const storm = 6
+	var resultGets atomic.Int64
+	release := make(chan struct{})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/peer/result/") {
+			resultGets.Add(1)
+			<-release // hold the fetch open until the whole storm is in flight
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer stub.Close()
+
+	sw := &swapHandler{}
+	sw.h.Store(http.NotFoundHandler())
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	s, err := New(Config{
+		Registry:           telemetry.NewRegistry(),
+		Peers:              []string{stub.URL, ts.URL},
+		Self:               ts.URL,
+		PeerHealthInterval: time.Hour,
+		ResultCacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = s.Shutdown(ctx)
+		cancel()
+	})
+	sw.h.Store(s.Handler())
+
+	var req PartitionRequest
+	for seed := int64(1); ; seed++ {
+		if seed > 300 {
+			t.Fatal("no seed lands on the stub peer")
+		}
+		req = testRequest()
+		req.Seed = seed
+		if s.cluster.ownerOf(resultKeyFor(t, req)) == stub.URL {
+			break
+		}
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, storm)
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postPartition(t, s.Handler(), req).Code
+		}(i)
+	}
+	// Release the held fetch once every storm member has had time to
+	// reach the coalescing point; the leader's fetch is still open, so
+	// any non-coalesced fetch would already have hit the stub.
+	deadline := time.Now().Add(5 * time.Second)
+	for resultGets.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("the leader's fetch never reached the stub")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, code)
+		}
+	}
+	if got := resultGets.Load(); got != 1 {
+		t.Fatalf("owner saw %d result fetches for one key's miss storm, want 1 (coalesced)", got)
 	}
 }
 

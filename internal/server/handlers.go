@@ -228,11 +228,27 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		// rendered through the same path as a local result-cache hit,
 		// so the body is bit-identical to one. Any failure — miss,
 		// dead owner, corrupt frame — falls through to a local solve.
+		// The fetch runs inside the singleflight group (keyed apart from
+		// the solve coalescing below) so a miss storm on one key costs
+		// the owner one network round trip, not N concurrent fetches
+		// each paying timeout × retries against a slow peer.
 		if s.cluster != nil {
-			if res, ok := s.cluster.fetchResult(r.Context(), rkey); ok {
+			v, shared, ferr := s.rflight.Do(r.Context(), rkey+"|peerfetch", func() (any, error) {
+				res, ok := s.cluster.fetchResult(r.Context(), rkey)
+				if !ok {
+					return (*hgp.Result)(nil), nil
+				}
 				s.results.Add(rkey, res)
-				s.writePartitionOK(w, start, res, false, true, true, 0, 0, nil, cn)
-				return
+				return res, nil
+			})
+			if ferr == nil {
+				if res, _ := v.(*hgp.Result); res != nil {
+					// Coalesced waiters share the fetched result, but only
+					// the fetching request reports peer_fetch_hit —
+					// mirroring the decomposition path's attribution.
+					s.writePartitionOK(w, start, res, false, true, !shared, 0, 0, nil, cn)
+					return
+				}
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/subtle"
 	"errors"
 	"io"
 	"net/http"
@@ -20,6 +21,34 @@ import (
 // partition requests: a draining daemon refuses new peer work with 503
 // (its peers' health pollers shed it moments later), and an in-flight
 // transfer finishes before Shutdown closes the snapshot store.
+//
+// Trust boundary: the surface shares the public listener, and a cache
+// key is a hash of the request that produced it — unrecoverable from
+// the entry, so a receiver cannot verify that a pushed payload belongs
+// to its key. Structural validation catches corruption, not deceit: a
+// client that can reach the port could PUT a valid-but-wrong entry
+// under any key and poison answers served cluster-wide. PeerSecret
+// closes this: when configured, every peer request must present it
+// (checked first, before drain or key validation, in constant time)
+// and everything else is 403. Run clusters with a secret unless the
+// listen address is genuinely unreachable by untrusted clients.
+
+// authorizePeer enforces the cluster shared secret, when one is
+// configured. It returns false with the 403 already written (and a
+// peer_auth_failures_total tick) on a missing or wrong secret.
+func (s *Server) authorizePeer(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.PeerSecret == "" {
+		return true
+	}
+	got := r.Header.Get(peerSecretHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.PeerSecret)) == 1 {
+		return true
+	}
+	s.reg.Counter("peer_auth_failures_total").Inc()
+	s.writeError(w, http.StatusForbidden, "peer_auth",
+		"missing or wrong cluster secret ("+peerSecretHeader+")")
+	return false
+}
 
 // validPeerKey bounds what a peer may ask for: cache keys are hex
 // SHA-256 digests, so anything else is a malformed (or hostile)
@@ -37,10 +66,14 @@ func validPeerKey(key string) bool {
 	return true
 }
 
-// admitPeer runs the shared preamble of every peer data endpoint.
+// admitPeer runs the shared preamble of every peer data endpoint:
+// authentication, drain bookkeeping, key validation — in that order.
 // It returns the validated key and whether the request may proceed
 // (the response has been written when not).
 func (s *Server) admitPeer(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if !s.authorizePeer(w, r) {
+		return "", false
+	}
 	if !s.admitInflight() {
 		s.writeShed(w, http.StatusServiceUnavailable, "draining", shedDraining,
 			"daemon is draining; peer traffic re-routes via health gossip", time.Second)
@@ -144,9 +177,12 @@ func (s *Server) handlePeerResultGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePeerResultPut accepts an owner-ward result push, validated
-// like a decomposition push (frame, then structural decode). With the
-// result cache disabled the push is acknowledged and dropped — the
-// pusher's duty ends at delivery.
+// like a decomposition push (frame, then structural decode). Partial
+// results are refused: the result cache holds only complete
+// full-pipeline results — pushers never send anything else, so the
+// receiver enforces the invariant at the trust boundary rather than
+// assuming it. With the result cache disabled the push is acknowledged
+// and dropped — the pusher's duty ends at delivery.
 func (s *Server) handlePeerResultPut(w http.ResponseWriter, r *http.Request) {
 	key, ok := s.admitPeer(w, r)
 	if !ok {
@@ -169,6 +205,11 @@ func (s *Server) handlePeerResultPut(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "corrupt_entry", err.Error())
 		return
 	}
+	if res.Partial {
+		s.writeError(w, http.StatusBadRequest, "partial_result",
+			"partial results never enter the result cache; push refused")
+		return
+	}
 	if s.results != nil {
 		s.results.Add(key, res)
 	}
@@ -186,14 +227,17 @@ func (s *Server) rejectPeerBody(w http.ResponseWriter, err error) {
 	s.writeError(w, http.StatusBadRequest, "corrupt_frame", err.Error())
 }
 
-// handlePeerHealth is the gossip endpoint: always 200, with the body
-// carrying the routing verdict. Draining is reported distinctly from
+// handlePeerHealth is the gossip endpoint: always 200 (once
+// authenticated), with the body carrying the routing verdict. Draining is reported distinctly from
 // ok — a draining daemon still answers peer fetches for what it holds
 // (until drain completes), but peers shed it at routing time so no new
 // ownership traffic lands on a daemon that is leaving. The memory
 // breaker and waiting-room occupancy ride along so an overloaded peer
 // is shed before fetch traffic makes its day worse.
 func (s *Server) handlePeerHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizePeer(w, r) {
+		return
+	}
 	hv := peerHealthView{
 		Status:     "ok",
 		QueueDepth: s.queued.Load(),

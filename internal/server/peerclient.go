@@ -150,6 +150,10 @@ func (h peerHealthView) routable() bool {
 	return true
 }
 
+// peerSecretHeader carries the cluster shared secret on every request
+// a peer client issues against another daemon's /v1/peer surface.
+const peerSecretHeader = "X-Hgpd-Peer-Secret"
+
 // peerClient talks to one peer's internal /v1/peer surface: bounded
 // per-attempt timeouts, bounded retries with jittered exponential
 // backoff, and a circuit breaker so a dead peer costs one cooldown, not
@@ -160,17 +164,26 @@ type peerClient struct {
 	timeout time.Duration // per attempt
 	retries int           // attempts = retries + 1
 	backoff time.Duration // base; attempt i sleeps base·2^i·jitter
+	secret  string        // cluster shared secret; empty = unauthenticated
 	brk     *peerBreaker
 }
 
-func newPeerClient(base string, timeout time.Duration, retries int, backoff time.Duration, brkThreshold int, brkCooldown time.Duration) *peerClient {
+func newPeerClient(base string, timeout time.Duration, retries int, backoff time.Duration, brkThreshold int, brkCooldown time.Duration, secret string) *peerClient {
 	return &peerClient{
 		base:    strings.TrimRight(base, "/"),
 		hc:      &http.Client{},
 		timeout: timeout,
 		retries: retries,
 		backoff: backoff,
+		secret:  secret,
 		brk:     &peerBreaker{threshold: brkThreshold, cooldown: brkCooldown},
+	}
+}
+
+// authorize attaches the cluster shared secret, when one is configured.
+func (pc *peerClient) authorize(req *http.Request) {
+	if pc.secret != "" {
+		req.Header.Set(peerSecretHeader, pc.secret)
 	}
 }
 
@@ -197,32 +210,37 @@ func (pc *peerClient) sleepBackoff(ctx context.Context, attempt int) error {
 // balloon memory. Matches the daemon's default request-body bound.
 const maxPeerBody = 64 << 20
 
-// fetch GETs path from the peer and returns the validated payload
-// (wire framing already stripped). Outcomes:
+// fetch GETs path from the peer, validates the wire frame, and runs
+// decode (the entry-layer parser) on the stripped payload — every
+// fetch operation ends in exactly one outcome, classified here, so
+// peer_fetch_total rows and breaker verdicts match fetch operations
+// one-to-one. Outcomes:
 //
-//   - hit: 200 with a frame that passed checksum + version validation;
+//   - hit: 200 with a frame that passed checksum + version validation
+//     AND whose payload decode accepted; returns the decoded value;
 //   - miss: 404 — the peer answered definitively, no retry, breaker
 //     credit (the peer is alive);
-//   - version_mismatch / corrupt: the body failed validation exactly
-//     like a damaged snapshot file; deterministic, so no retry, but the
-//     breaker debits the peer;
-//   - error: transport errors, timeouts, and 5xx/503 exhausted the
-//     retry budget;
+//   - version_mismatch / corrupt: the body failed frame validation
+//     exactly like a damaged snapshot file, or the frame verified but
+//     the entry-layer decode rejected the payload; deterministic, so
+//     no retry, but the breaker debits the peer either way;
+//   - error: transport errors, timeouts, auth rejections, and 5xx/503
+//     exhausted the retry budget;
 //   - breaker_open: the fetch was never attempted.
 //
 // The faultinject.PeerFetch hook fires after the body is read and
 // before validation, so injected corruption exercises the same
 // rejection path real bit rot would.
-func (pc *peerClient) fetch(ctx context.Context, path string) ([]byte, fetchOutcome) {
+func (pc *peerClient) fetch(ctx context.Context, path string, decode func([]byte) (any, error)) (any, fetchOutcome) {
 	if !pc.brk.allow() {
 		return nil, outcomeBreakerOpen
 	}
 	for attempt := 0; ; attempt++ {
-		payload, outcome, retryable := pc.fetchOnce(ctx, path)
+		val, outcome, retryable := pc.fetchOnce(ctx, path, decode)
 		switch outcome {
 		case outcomeHit, outcomeMiss:
 			pc.brk.success()
-			return payload, outcome
+			return val, outcome
 		}
 		pc.brk.failure()
 		if !retryable || attempt >= pc.retries {
@@ -242,13 +260,14 @@ func (pc *peerClient) fetch(ctx context.Context, path string) ([]byte, fetchOutc
 }
 
 // fetchOnce runs a single fetch attempt under the per-attempt timeout.
-func (pc *peerClient) fetchOnce(ctx context.Context, path string) (payload []byte, outcome fetchOutcome, retryable bool) {
+func (pc *peerClient) fetchOnce(ctx context.Context, path string, decode func([]byte) (any, error)) (val any, outcome fetchOutcome, retryable bool) {
 	actx, cancel := context.WithTimeout(ctx, pc.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, pc.base+path, nil)
 	if err != nil {
 		return nil, outcomeError, false
 	}
+	pc.authorize(req)
 	resp, err := pc.hc.Do(req)
 	if err != nil {
 		return nil, outcomeError, true
@@ -257,6 +276,11 @@ func (pc *peerClient) fetchOnce(ctx context.Context, path string) (payload []byt
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
 		return nil, outcomeMiss, false
+	case resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden:
+		// Secret mismatch: a configuration error, deterministic until an
+		// operator intervenes — retrying the same credential cannot help.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, outcomeError, false
 	case resp.StatusCode != http.StatusOK:
 		// 503 (draining, breaker) and 5xx: the peer may recover within
 		// the retry budget.
@@ -274,15 +298,20 @@ func (pc *peerClient) fetchOnce(ctx context.Context, path string) (payload []byt
 	if err != nil {
 		return nil, outcomeError, true
 	}
-	payload, err = diskstore.UnwrapWire(raw)
+	payload, err := diskstore.UnwrapWire(raw)
 	switch {
-	case err == nil:
-		return payload, outcomeHit, false
 	case isVersionMismatch(err):
 		return nil, outcomeVersionMismatch, false
-	default:
+	case err != nil:
 		return nil, outcomeCorrupt, false
 	}
+	// Entry layer: the frame verified, now the payload must parse into a
+	// structurally valid entry. A failure here is the same verdict as a
+	// damaged snapshot file — corrupt, breaker debited by the caller.
+	if val, err = decode(payload); err != nil {
+		return nil, outcomeCorrupt, false
+	}
+	return val, outcomeHit, false
 }
 
 func isVersionMismatch(err error) bool {
@@ -326,6 +355,7 @@ func (pc *peerClient) pushOnce(ctx context.Context, path string, body []byte) (o
 		return false, false
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	pc.authorize(req)
 	resp, err := pc.hc.Do(req)
 	if err != nil {
 		return false, true
@@ -354,6 +384,7 @@ func (pc *peerClient) health(ctx context.Context) (peerHealthView, error) {
 	if err != nil {
 		return peerHealthView{}, err
 	}
+	pc.authorize(req)
 	resp, err := pc.hc.Do(req)
 	if err != nil {
 		return peerHealthView{}, err

@@ -123,6 +123,18 @@ type Config struct {
 	// Self is this daemon's own entry in Peers — the base URL other
 	// peers reach it at.
 	Self string
+	// PeerSecret, when non-empty, authenticates the internal /v1/peer/*
+	// surface: every request against it must carry the secret in the
+	// X-Hgpd-Peer-Secret header (compared in constant time; wrong or
+	// missing is 403), and this daemon's own peer clients attach it to
+	// every fetch, push, and health poll. All members of a shard group
+	// must share one value. Empty leaves the surface unauthenticated —
+	// acceptable ONLY when the listen address is unreachable by
+	// untrusted clients: the peer PUT endpoints accept cache entries
+	// under any key (keys are hashes of the originating request, so a
+	// receiver cannot tie a payload back to its key), and a hostile
+	// writer could poison answers served cluster-wide.
+	PeerSecret string
 	// PeerTimeout bounds each peer-fetch attempt. Zero means 2s.
 	PeerTimeout time.Duration
 	// PeerRetries is how many times a failed peer fetch is retried
