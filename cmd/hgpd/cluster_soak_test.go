@@ -343,3 +343,254 @@ func saveArtifact(t *testing.T, name string, raw []byte) {
 		t.Logf("artifacts: %v", err)
 	}
 }
+
+// The replication soak: three real hgpd processes at -replication 2,
+// membership sourced from a shared -peers-file, exercising all four
+// healing layers end to end through real binaries:
+//
+//  1. node loss with zero cold rebuilds — every key has a second
+//     replica, so killing the cluster's builder mid-load leaves the
+//     survivors serving entirely from caches and replica fetches;
+//  2. hinted handoff — builds pushed while a replica is dead are
+//     staged and replayed to it after rejoin;
+//  3. anti-entropy — a replica restarted with a blanked state dir
+//     repairs itself from its peers without rebuilding;
+//  4. dynamic membership — a fourth node joins via peers-file rewrite
+//     plus SIGHUP under strict-SLO load.
+//
+// Same knobs as TestClusterFailoverSoak: HGP_SOAK_SECONDS scales the
+// load phases, HGP_SOAK_RACE=1 races the binaries, HGP_SOAK_ARTIFACTS
+// collects the hgpload reports for CI's jq gates.
+func TestClusterReplicationSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test spawns real processes; skipped with -short")
+	}
+	phase := 3 * time.Second
+	if v := os.Getenv("HGP_SOAK_SECONDS"); v != "" {
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs <= 0 {
+			t.Fatalf("HGP_SOAK_SECONDS=%q: want a positive integer", v)
+		}
+		phase = time.Duration(secs) * time.Second
+	}
+
+	bin := t.TempDir()
+	hgpd := buildBinary(t, bin, "hgpd")
+	hgpload := buildBinary(t, bin, "hgpload")
+
+	// Four ports reserved up front: the fourth node joins mid-test, but
+	// its address must be known to write into the peers file.
+	ports := freePorts(t, 4)
+	peers := make([]string, 4)
+	addrs := make([]string, 4)
+	stateDirs := make([]string, 4)
+	for i, p := range ports {
+		addrs[i] = "127.0.0.1:" + strconv.Itoa(p)
+		peers[i] = "http://" + addrs[i]
+		stateDirs[i] = t.TempDir()
+	}
+	peersFile := filepath.Join(t.TempDir(), "peers.txt")
+	writePeers := func(n int) {
+		t.Helper()
+		if err := os.WriteFile(peersFile, []byte(strings.Join(peers[:n], "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePeers(3)
+
+	startNode := func(i int) *daemon {
+		return startDaemonArgs(t, hgpd,
+			"-addr", addrs[i],
+			"-state-dir", stateDirs[i],
+			"-snapshot-interval", "50ms",
+			"-concurrency", "2",
+			"-queue", "16",
+			"-timeout", "5s",
+			"-drain-wait", "20s",
+			"-peers-file", peersFile,
+			"-self", peers[i],
+			"-replication", "2",
+			// Tight healing intervals so handoff and repair converge
+			// within the soak instead of on production timescales.
+			"-hint-replay-interval", "500ms",
+			"-repair-interval", "2s",
+			"-peer-timeout", "250ms",
+			"-peer-retries", "1",
+			"-peer-breaker-cooldown", "1s",
+			"-peer-secret", "replication-soak-secret",
+		)
+	}
+	nodes := make([]*daemon, 4)
+	for i := 0; i < 3; i++ {
+		nodes[i] = startNode(i)
+	}
+	bases := []string{nodes[0].base, nodes[1].base, nodes[2].base}
+	waitClusterHealthy(t, bases)
+
+	// Prime: six seeds, all through node 0. Every key is replicated to
+	// its top-2 HRW owners, so each lives on at least one of nodes 1/2.
+	const seeds = 6
+	for seed := int64(1); seed <= seeds; seed++ {
+		rec := postJSON(t, nodes[0].base+"/v1/partition", loadBody(seed))
+		if rec.status != http.StatusOK {
+			t.Fatalf("prime seed %d: %d (%s)", seed, rec.status, rec.body)
+		}
+		waitPushesSettled(t, nodes[0].base)
+	}
+	survivorBuilds := func() int64 {
+		var b int64
+		for _, base := range bases[1:] {
+			st := waitStat(t, base, 5*time.Second, func(soakStats) bool { return true })
+			b += st.counter("decomp_builds_total")
+		}
+		return b
+	}
+	before := survivorBuilds()
+	if before != 0 {
+		t.Fatalf("survivors built %d decompositions during the prime, want 0 (all builds on node 0)", before)
+	}
+
+	// Phase 1: strict-SLO load across all three endpoints, node 0 (the
+	// holder of every build) SIGKILLed a third of the way in. The
+	// survivors must serve every key from replicas — zero rebuilds.
+	failover := startLoad(t, hgpload, bases[0], phase, []string{
+		"-endpoints", strings.Join(bases, ","),
+		"-seeds", strconv.Itoa(seeds),
+		"-failover-cooldown", "500ms",
+		"-strict", "-slo-success", "0.99",
+	})
+	time.Sleep(phase / 3)
+	if err := nodes[0].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes[0].cmd.Wait() // SIGKILL: nonzero exit expected
+	sumFail := failover.wait(t)
+	saveArtifact(t, "replicated-failover.json", failover.stdout.Bytes())
+	if sumFail.OK == 0 {
+		t.Fatal("failover phase produced no successes; the soak is vacuous")
+	}
+	if sumFail.Failovers == 0 {
+		t.Fatal("failover phase recorded no endpoint failovers; was the node really killed mid-load?")
+	}
+	if after := survivorBuilds(); after != before {
+		t.Fatalf("survivors rebuilt %d decompositions after the kill, want 0 (replication must cover the loss)", after-before)
+	}
+	buildsReport, _ := json.Marshal(map[string]int64{
+		"survivor_builds_before_kill": before,
+		"survivor_builds_after_kill":  survivorBuilds(),
+	})
+	saveArtifact(t, "replicated-builds.json", buildsReport)
+	for _, base := range bases[1:] {
+		waitStat(t, base, 15*time.Second, func(st soakStats) bool {
+			return !peerHealthyOn(st, peers[0])
+		})
+	}
+
+	// Phase 2: hinted handoff. With node 0 still dead, fresh builds on
+	// node 1 whose replica sets include node 0 cannot push — the pushes
+	// must stage as hints instead of being dropped.
+	for seed := int64(101); seed <= 100+seeds; seed++ {
+		rec := postJSON(t, nodes[1].base+"/v1/partition", loadBody(seed))
+		if rec.status != http.StatusOK {
+			t.Fatalf("hint seed %d: %d (%s)", seed, rec.status, rec.body)
+		}
+		waitPushesSettled(t, nodes[1].base)
+	}
+	waitStat(t, nodes[1].base, 10*time.Second, func(st soakStats) bool {
+		return st.counter("hints_staged_total") >= 1
+	})
+
+	// Rejoin node 0: gossip restores it, the drainer replays the staged
+	// hints, and the queue empties.
+	nodes[0] = startNode(0)
+	waitClusterHealthy(t, bases)
+	waitStat(t, nodes[1].base, 20*time.Second, func(st soakStats) bool {
+		return st.counter("hints_replayed_total") >= 1 && st.gauge("hints_queued") == 0
+	})
+	// The handed-off entries (plus the replicas it already held via its
+	// snapshots) mean node 0 serves the hint-phase seeds without a
+	// single build.
+	for seed := int64(101); seed <= 100+seeds; seed++ {
+		rec := postJSON(t, nodes[0].base+"/v1/partition", loadBody(seed))
+		if rec.status != http.StatusOK {
+			t.Fatalf("post-replay seed %d on node 0: %d (%s)", seed, rec.status, rec.body)
+		}
+	}
+	st := waitStat(t, nodes[0].base, 5*time.Second, func(soakStats) bool { return true })
+	if got := st.counter("decomp_builds_total"); got != 0 {
+		t.Fatalf("rejoined node built %d decompositions, want 0 (handoff + replicas must cover it)", got)
+	}
+
+	// Phase 3: anti-entropy. Node 1 leaves gracefully, loses its entire
+	// state dir, and rejoins blank. The repair sweep must converge it
+	// from its peers — pulled entries, zero rebuilds.
+	if err := nodes[1].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].cmd.Wait(); err != nil {
+		t.Fatalf("node 1 graceful shutdown exit: %v", err)
+	}
+	if err := os.RemoveAll(stateDirs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(stateDirs[1], 0o755); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1] = startNode(1)
+	waitClusterHealthy(t, bases)
+	st = waitStat(t, nodes[1].base, 30*time.Second, func(st soakStats) bool {
+		return st.counter("repair_pulled_total") >= 1
+	})
+	if got := st.counter("decomp_builds_total"); got != 0 {
+		t.Fatalf("blanked replica built %d decompositions, want 0 (repair must pull, not rebuild)", got)
+	}
+
+	// Phase 4: dynamic membership under load. A fourth node joins: the
+	// peers file grows, the newcomer boots from it, and the incumbents
+	// SIGHUP-reload mid-load without denting the SLO.
+	sighup := startLoad(t, hgpload, bases[0], phase, []string{
+		"-endpoints", strings.Join(bases, ","),
+		"-seeds", strconv.Itoa(seeds),
+		"-strict", "-slo-success", "0.99",
+	})
+	time.Sleep(phase / 3)
+	writePeers(4)
+	nodes[3] = startNode(3)
+	for i := 0; i < 3; i++ {
+		if err := nodes[i].cmd.Process.Signal(syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sumHup := sighup.wait(t)
+	saveArtifact(t, "replicated-sighup.json", sighup.stdout.Bytes())
+	if sumHup.OK == 0 {
+		t.Fatal("SIGHUP phase produced no successes")
+	}
+	if sumHup.Errors != 0 || sumHup.Unexpected != 0 {
+		t.Fatalf("SIGHUP phase: %d errors, %d unexpected", sumHup.Errors, sumHup.Unexpected)
+	}
+	all := append(append([]string(nil), bases...), nodes[3].base)
+	for i := 0; i < 3; i++ {
+		waitStat(t, bases[i], 15*time.Second, func(st soakStats) bool {
+			return st.counter("membership_reloads_total") >= 1 && st.gauge("cluster_peers") == 4
+		})
+	}
+	waitClusterHealthy(t, all)
+
+	// Graceful exit for all four members.
+	for i, node := range nodes {
+		if err := node.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func(n *daemon) { done <- n.cmd.Wait() }(node)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("node %d graceful shutdown exit: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node %d did not exit after SIGTERM", i)
+		}
+	}
+}

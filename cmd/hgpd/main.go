@@ -50,12 +50,17 @@ func main() {
 		maxHeap      = flag.Int64("max-heap-bytes", 0, "memory-pressure breaker threshold on the live heap (0 = disabled)")
 		canonFlag    = flag.Bool("canon", false, "canonical-form graph fingerprinting: key caches by a label-invariant fingerprint so isomorphic (relabelled) submissions share entries; responses carry canon_hit")
 
-		peersFlag    = flag.String("peers", "", "cluster mode: comma-separated base URLs of EVERY member of the shard group, including this daemon's own (see -self); each cache key gets one owner by rendezvous hashing, non-owners fetch from the owner and push local builds back")
-		selfFlag     = flag.String("self", "", "this daemon's own entry in -peers (the base URL peers reach it at); required with -peers")
+		peersFlag    = flag.String("peers", "", "cluster mode: comma-separated base URLs of EVERY member of the shard group, including this daemon's own (see -self); each cache key is homed on its top-R rendezvous-hash owners (see -replication), non-replicas fetch from them and push local builds back")
+		peersFile    = flag.String("peers-file", "", "cluster mode: read the peer list from this file instead of -peers (whitespace/comma separated, # comments); SIGHUP — or an observed mtime change — re-reads it and reloads membership without a restart")
+		selfFlag     = flag.String("self", "", "this daemon's own entry in the peer list (the base URL peers reach it at); required with -peers/-peers-file")
+		replication  = flag.Int("replication", 1, "replicas per cache key: each key lives on its top-R rendezvous-hash peers (clamped to the cluster size); 1 = single ownership")
 		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-attempt timeout for peer fetches and pushes")
 		peerRetries  = flag.Int("peer-retries", 2, "retries after a failed peer fetch attempt (attempts = retries+1, jittered exponential backoff between them)")
 		peerCooldown = flag.Duration("peer-breaker-cooldown", 2*time.Second, "how long a peer's fetch breaker fast-fails after opening (3 consecutive failures) before a half-open probe")
 		peerSecret   = flag.String("peer-secret", "", "cluster shared secret: every /v1/peer/* request must carry it (X-Hgpd-Peer-Secret; wrong or missing = 403) and outgoing peer traffic attaches it; all peers must share one value; falls back to the HGPD_PEER_SECRET env var (keeps the secret off the process list); empty = unauthenticated, safe ONLY on a network unreachable by untrusted clients")
+		hintQueue    = flag.Int("hint-queue", 512, "hinted-handoff queue entries: pushes to a dead replica are staged (durably under -state-dir) and replayed when it returns (0 = disable handoff)")
+		hintReplay   = flag.Duration("hint-replay-interval", 2*time.Second, "how often the handoff drainer persists and replays staged hints")
+		repairEvery  = flag.Duration("repair-interval", 30*time.Second, "how often the anti-entropy sweep exchanges key digests with peers and pulls entries this daemon's replicas are missing (0 = disable repair)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -74,7 +79,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
 		os.Exit(2)
 	}
-	if err := validateClusterFlags(peers, *selfFlag, *cacheSize, *peerTimeout, *peerRetries, *peerCooldown); err != nil {
+	if *peersFile != "" {
+		if len(peers) != 0 {
+			fmt.Fprintln(os.Stderr, "hgpd: -peers and -peers-file must not both be set; pick one peer-list source")
+			os.Exit(2)
+		}
+		filePeers, err := readPeersFile(*peersFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hgpd: -peers-file: %v\n", err)
+			os.Exit(2)
+		}
+		peers = filePeers
+	}
+	if err := validateClusterFlags(peers, *selfFlag, *cacheSize, *peerTimeout, *peerRetries, *peerCooldown,
+		*replication, *hintQueue, *hintReplay, *repairEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
 		os.Exit(2)
 	}
@@ -100,10 +118,14 @@ func main() {
 
 		Peers:               peers,
 		Self:                *selfFlag,
+		Replication:         *replication,
 		PeerTimeout:         *peerTimeout,
 		PeerRetries:         *peerRetries,
 		PeerBreakerCooldown: *peerCooldown,
 		PeerSecret:          secret,
+		HintQueueEntries:    disableOnZero(*hintQueue),
+		HintReplayInterval:  *hintReplay,
+		RepairInterval:      disableOnZeroDur(*repairEvery),
 	})
 	if err != nil {
 		log.Fatalf("hgpd: %v", err)
@@ -127,6 +149,16 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	log.Printf("hgpd listening on %s", ln.Addr())
+
+	if *peersFile != "" {
+		// Dynamic membership: SIGHUP re-reads the peers file on demand,
+		// and an mtime poll catches edits when nobody signals (config
+		// management that writes files but not signals). Both paths
+		// funnel through one goroutine so reloads are serialized.
+		hupCh := make(chan os.Signal, 1)
+		signal.Notify(hupCh, syscall.SIGHUP)
+		go watchPeersFile(*peersFile, hupCh, srv.ReloadPeers)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -207,30 +239,124 @@ func splitPeers(s string) []string {
 	return peers
 }
 
+// readPeersFile parses a -peers-file: peer base URLs separated by
+// whitespace, newlines, or commas, with #-to-end-of-line comments.
+func readPeersFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var peers []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, p := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("%s: no peers listed", path)
+	}
+	return peers, nil
+}
+
+// peersFilePollInterval is how often the membership watcher checks the
+// peers file's mtime between signals.
+const peersFilePollInterval = 2 * time.Second
+
+// watchPeersFile reloads cluster membership from path whenever SIGHUP
+// arrives or the file's mtime changes. A reload that fails to read or
+// validate is logged and the previous membership stays in force — a
+// half-written file must never take the cluster down.
+func watchPeersFile(path string, hup <-chan os.Signal, reload func([]string) error) {
+	var lastMod time.Time
+	if st, err := os.Stat(path); err == nil {
+		lastMod = st.ModTime()
+	}
+	tick := time.NewTicker(peersFilePollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-hup:
+			log.Printf("hgpd: SIGHUP: reloading peer list from %s", path)
+		case <-tick.C:
+			st, err := os.Stat(path)
+			if err != nil || st.ModTime().Equal(lastMod) {
+				continue
+			}
+			lastMod = st.ModTime()
+			log.Printf("hgpd: %s changed; reloading peer list", path)
+		}
+		if st, err := os.Stat(path); err == nil {
+			lastMod = st.ModTime()
+		}
+		peers, err := readPeersFile(path)
+		if err != nil {
+			log.Printf("hgpd: peers reload rejected: %v (keeping current membership)", err)
+			continue
+		}
+		if err := reload(peers); err != nil {
+			log.Printf("hgpd: peers reload rejected: %v (keeping current membership)", err)
+			continue
+		}
+		log.Printf("hgpd: cluster membership now %d peers", len(peers))
+	}
+}
+
+// disableOnZero maps a flag's "0 = off" convention to the Config's
+// "negative = off, zero = default" convention.
+func disableOnZero(v int) int {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
+func disableOnZeroDur(v time.Duration) time.Duration {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
 // validateClusterFlags checks the cluster flag group's internal
 // consistency. server.New re-validates (tests construct Config
 // directly), but catching operator typos here yields a flag-named
 // message and exit code 2 instead of a runtime error.
-func validateClusterFlags(peers []string, self string, cacheSize int, peerTimeout time.Duration, peerRetries int, peerCooldown time.Duration) error {
+func validateClusterFlags(peers []string, self string, cacheSize int, peerTimeout time.Duration, peerRetries int, peerCooldown time.Duration,
+	replication, hintQueue int, hintReplay, repairEvery time.Duration) error {
 	if len(peers) == 0 {
 		if self != "" {
-			return fmt.Errorf("-self %q: requires -peers", self)
+			return fmt.Errorf("-self %q: requires -peers or -peers-file", self)
 		}
 		return nil
 	}
 	switch {
 	case self == "":
-		return fmt.Errorf("-peers requires -self: name this daemon's own entry in the peer list")
+		return fmt.Errorf("the peer list requires -self: name this daemon's own entry in it")
 	case !slices.Contains(peers, self):
-		return fmt.Errorf("-self %q: must appear in -peers %v", self, peers)
+		return fmt.Errorf("-self %q: must appear in the peer list %v", self, peers)
 	case cacheSize == -1:
-		return fmt.Errorf("-peers requires caching: -cache must not be -1")
+		return fmt.Errorf("cluster mode requires caching: -cache must not be -1")
 	case peerTimeout <= 0:
 		return fmt.Errorf("-peer-timeout %v: must be > 0", peerTimeout)
 	case peerRetries < 0:
 		return fmt.Errorf("-peer-retries %d: must be >= 0", peerRetries)
 	case peerCooldown <= 0:
 		return fmt.Errorf("-peer-breaker-cooldown %v: must be > 0", peerCooldown)
+	case replication < 1:
+		// R greater than the cluster size is fine (the ring clamps it);
+		// R below 1 cannot mean anything.
+		return fmt.Errorf("-replication %d: must be >= 1 (values above the cluster size are clamped)", replication)
+	case hintQueue < 0:
+		return fmt.Errorf("-hint-queue %d: must be >= 0 (0 = disable handoff)", hintQueue)
+	case hintReplay <= 0:
+		return fmt.Errorf("-hint-replay-interval %v: must be > 0", hintReplay)
+	case repairEvery < 0:
+		return fmt.Errorf("-repair-interval %v: must be >= 0 (0 = disable repair)", repairEvery)
 	}
 	return nil
 }

@@ -197,33 +197,35 @@ type sample struct {
 	shed      string
 	latency   time.Duration
 	err       bool
-	resultHit bool   // 200 served from the daemon's full-solve result cache
-	canonHit  bool   // 200 answered through the canonical-fingerprint key
-	peerFetch bool   // 200 built from an entry fetched off a cluster peer
-	endpoint  string // base URL that produced the final outcome
-	failovers int    // endpoints abandoned (transport error) before this outcome
+	resultHit bool     // 200 served from the daemon's full-solve result cache
+	canonHit  bool     // 200 answered through the canonical-fingerprint key
+	peerFetch bool     // 200 built from an entry fetched off a cluster peer
+	endpoint  string   // base URL that produced the final outcome
+	failovers int      // endpoints abandoned (transport error) before this outcome
+	abandoned []string // base URLs of those abandoned attempts, in order
 }
 
 // endpointPool rotates load across the -endpoints list and implements
 // client-side failover: a transport error cools the endpoint for
-// coolDown, and order() pushes cooled endpoints to the back so workers
-// prefer live daemons while still probing dead ones once the cooldown
-// lapses (a restarted daemon rejoins the rotation by itself).
+// coolDown (-failover-cooldown), and order() pushes cooled endpoints
+// to the back so workers prefer live daemons while still probing dead
+// ones once the cooldown lapses (a restarted daemon rejoins the
+// rotation by itself).
 type endpointPool struct {
-	bases []string // as given, for reporting
-	urls  []string // bases + "/v1/partition"
+	bases    []string // as given, for reporting
+	urls     []string // bases + "/v1/partition"
+	coolDown time.Duration
 
 	mu        sync.Mutex
 	coolUntil []time.Time
 	rr        int
 }
 
-const endpointCoolDown = time.Second
-
-func newEndpointPool(bases []string) *endpointPool {
+func newEndpointPool(bases []string, coolDown time.Duration) *endpointPool {
 	p := &endpointPool{
 		bases:     bases,
 		urls:      make([]string, len(bases)),
+		coolDown:  coolDown,
 		coolUntil: make([]time.Time, len(bases)),
 	}
 	for i, b := range bases {
@@ -257,7 +259,7 @@ func (p *endpointPool) order() []int {
 
 func (p *endpointPool) cool(i int) {
 	p.mu.Lock()
-	p.coolUntil[i] = time.Now().Add(endpointCoolDown)
+	p.coolUntil[i] = time.Now().Add(p.coolDown)
 	p.mu.Unlock()
 }
 
@@ -306,6 +308,16 @@ type EndpointSummary struct {
 	Errors      int                `json:"errors"`
 	ShedReasons map[string]int     `json:"shed_reasons,omitempty"`
 	LatencyMS   map[string]float64 `json:"latency_ms"` // over 200s: p50/p90/p99/max
+	// Failovers counts attempts ABANDONED at this endpoint (transport
+	// error, request completed elsewhere or not at all): the endpoint's
+	// contribution to cluster-level failover, attributed to the daemon
+	// that dropped the connection rather than the one that recovered it.
+	Failovers int `json:"failovers"`
+	// Retries counts requests this endpoint ANSWERED after at least one
+	// other endpoint was abandoned first — the recovery side of the
+	// failover ledger. Summed over endpoints, Retries is the number of
+	// requests saved by failover.
+	Retries int `json:"retries"`
 }
 
 // latencyStats computes the p50/p90/p99/max map over 200-latencies,
@@ -330,7 +342,8 @@ func latencyStats(lat []time.Duration) map[string]float64 {
 func main() {
 	var (
 		target    = flag.String("addr", "http://127.0.0.1:8080", "hgpd base URL (single-endpoint mode; see -endpoints)")
-		endpoints = flag.String("endpoints", "", "comma-separated hgpd base URLs to spread load across (cluster mode); overrides -addr. A transport error fails the request over to the next endpoint (cooling the dead one ~1s) and the request is counted ONCE, by its final outcome")
+		endpoints = flag.String("endpoints", "", "comma-separated hgpd base URLs to spread load across (cluster mode); overrides -addr. A transport error fails the request over to the next endpoint (cooling the dead one for -failover-cooldown) and the request is counted ONCE, by its final outcome")
+		failCool  = flag.Duration("failover-cooldown", time.Second, "how long a transport error keeps an endpoint at the back of the rotation before workers probe it again (multi-endpoint mode)")
 		mode      = flag.String("mode", "closed", `"closed" (worker pool) or "open" (fixed arrival rate)`)
 		workers   = flag.Int("workers", 4, "closed-loop worker count")
 		rate      = flag.Float64("rate", 20, "open-loop arrivals per second")
@@ -347,7 +360,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 0 || (*mode != "closed" && *mode != "open") || *workers < 1 || *rate <= 0 ||
-		*duration <= 0 || *seeds < 1 || *timeoutMS < 0 ||
+		*duration <= 0 || *seeds < 1 || *timeoutMS < 0 || *failCool <= 0 ||
 		(*workload != "seeds" && *workload != "zipf") || *tenants < 2 || *zipfS <= 1 {
 		fmt.Fprintln(os.Stderr, "usage: hgpload [flags]")
 		flag.PrintDefaults()
@@ -383,7 +396,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	pool := newEndpointPool(bases)
+	pool := newEndpointPool(bases, *failCool)
 
 	var (
 		mu      sync.Mutex
@@ -403,15 +416,17 @@ func main() {
 		body := bodyFor(seq)
 		order := pool.order()
 		t0 := time.Now()
+		var abandoned []string
 		for attempt, idx := range order {
 			resp, err := client.Post(pool.urls[idx], "application/json", bytes.NewReader(body))
 			if err != nil {
 				pool.cool(idx)
 				if attempt < len(order)-1 {
+					abandoned = append(abandoned, pool.bases[idx])
 					continue // fail over; counted via the final sample's failovers
 				}
 				record(sample{err: true, latency: time.Since(t0),
-					endpoint: pool.bases[idx], failovers: attempt})
+					endpoint: pool.bases[idx], failovers: attempt, abandoned: abandoned})
 				return 50 * time.Millisecond
 			}
 			var envelope struct {
@@ -426,7 +441,7 @@ func main() {
 			record(sample{status: resp.StatusCode, shed: envelope.ShedReason,
 				latency: time.Since(t0), resultHit: envelope.ResultCacheHit,
 				canonHit: envelope.CanonHit, peerFetch: envelope.PeerFetchHit,
-				endpoint: pool.bases[idx], failovers: attempt})
+				endpoint: pool.bases[idx], failovers: attempt, abandoned: abandoned})
 			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 				backoff := 50 * time.Millisecond
 				if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -516,8 +531,17 @@ func main() {
 	var okLat []time.Duration
 	for _, s := range samples {
 		sum.Failovers += s.failovers
+		// Per-endpoint failover ledger: each abandoned attempt debits
+		// the endpoint that dropped the connection; a request that then
+		// completed anywhere credits its final endpoint with the retry.
+		for _, base := range s.abandoned {
+			epFor(base).Failovers++
+		}
 		es := epFor(s.endpoint)
 		es.Requests++
+		if s.failovers > 0 && !s.err {
+			es.Retries++
+		}
 		if s.err {
 			sum.Errors++
 			es.Errors++

@@ -90,6 +90,21 @@ func (c *LRU) Add(key string, val any) {
 	}
 }
 
+// Keys returns a snapshot of the cached keys, most recently used
+// first. Like Peek it leaves recency order and hit/miss accounting
+// untouched — it exists for the cluster's key-digest exchange
+// (GET /v1/peer/keys), where listing must not distort the accounting
+// that describes this daemon's own request stream.
+func (c *LRU) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*lruEntry).key)
+	}
+	return keys
+}
+
 // Len returns the current number of entries.
 func (c *LRU) Len() int {
 	c.mu.Lock()

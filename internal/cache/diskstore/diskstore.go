@@ -130,17 +130,24 @@ func (s *Store) Save(key string, d *treedecomp.Decomposition, perm []int) error 
 
 	buf := WrapWire(payload)
 	final := s.entryPath(key)
-	tmp := final + tempSuffix
-	if err := s.commit(tmp, final, buf); err != nil {
+	if err := commitFile(s.dir, final, buf); err != nil {
 		s.reg.Counter("snapshot_save_errors_total").Inc()
-		os.Remove(tmp)
+		os.Remove(final + tempSuffix)
 		return fmt.Errorf("diskstore: write %s: %w", key, err)
 	}
 	s.reg.Counter("snapshot_saved_total").Inc()
 	return nil
 }
 
-func (s *Store) commit(tmp, final string, buf []byte) error {
+// commitFile is the atomic durable-write sequence shared by snapshot
+// entries and hinted-handoff files: write to a temp file, fsync it,
+// rename over the final name, fsync the directory. A crash at any
+// point leaves either the old file, no file, or a stray temp file
+// (removed on the next load) — never a half-written file under the
+// final name. The faultinject.DiskSync hook fires before the fsync so
+// injected faults exercise the window where only the temp file exists.
+func commitFile(dir, final string, buf []byte) error {
+	tmp := final + tempSuffix
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -166,13 +173,15 @@ func (s *Store) commit(tmp, final string, buf []byte) error {
 	// The rename is only crash-durable once the directory entry itself is
 	// on disk; without this a power loss can forget a "saved" entry even
 	// though its contents were fsynced.
-	return s.syncDir()
+	return syncDirPath(dir)
 }
 
 // syncDir fsyncs the store directory so renames and removals survive
 // power loss, not just process death.
-func (s *Store) syncDir() error {
-	d, err := os.Open(s.dir)
+func (s *Store) syncDir() error { return syncDirPath(s.dir) }
+
+func syncDirPath(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -267,11 +276,18 @@ func UnwrapWire(raw []byte) ([]byte, error) {
 	return payload, nil
 }
 
-func (s *Store) skip(err error) {
+func (s *Store) skip(err error) { skipCount(s.reg, err) }
+
+// skipCount records one skipped-as-invalid file: version skew gets its
+// own counter, everything else is corruption. Snapshot entries and
+// hinted-handoff files share the verdict (and the counters) because
+// they share the frame — a damaged hint is rejected exactly like a
+// damaged snapshot.
+func skipCount(reg *telemetry.Registry, err error) {
 	if errors.Is(err, ErrVersionMismatch) {
-		s.reg.Counter("snapshot_version_mismatch_total").Inc()
+		reg.Counter("snapshot_version_mismatch_total").Inc()
 	} else {
-		s.reg.Counter("snapshot_corrupt_total").Inc()
+		reg.Counter("snapshot_corrupt_total").Inc()
 	}
 }
 
@@ -301,6 +317,32 @@ func (s *Store) LoadAll(limit int, fn func(key string, d *treedecomp.Decompositi
 	}
 	s.refreshAccounting()
 	return nil
+}
+
+// Keys lists the cache keys of every entry currently on disk, newest
+// first, without reading or validating payloads — the cheap digest
+// listing the anti-entropy sweep exchanges over GET /v1/peer/keys.
+// Keys are content addresses, so a listed key whose payload later
+// fails validation is simply not served; the listing itself never
+// lies about identity.
+func (s *Store) Keys() []string {
+	files, err := s.listEntries()
+	if err != nil {
+		return nil
+	}
+	keys := make([]string, 0, len(files))
+	for _, f := range files {
+		keys = append(keys, strings.TrimSuffix(f.name, entrySuffix))
+	}
+	return keys
+}
+
+// Has reports whether an entry for key exists on disk, by stat alone —
+// no payload read or validation. Repair uses it as the cheap "local
+// miss?" test; serving still goes through Load's full gauntlet.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.entryPath(key))
+	return err == nil
 }
 
 type entryFile struct {

@@ -4,66 +4,113 @@ import (
 	"context"
 	"fmt"
 	"net/url"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hierpart/internal/cache"
 	"hierpart/internal/cache/diskstore"
+	"hierpart/internal/faultinject"
 	"hierpart/internal/hgp"
 	"hierpart/internal/telemetry"
 )
 
 // cluster is the daemon's view of its shard group: the HRW ring that
-// gives every cache key one natural owner, a peerClient per remote
-// peer (retry/backoff/breaker), a health poller that sheds
-// dead/draining/overloaded peers at routing time, and the owner-ward
-// push machinery that keeps "exactly one build per key cluster-wide"
-// true even when a non-owner is the first to see a key.
+// ranks every cache key's replica set, a peerClient per remote peer
+// (retry/backoff/breaker), a health poller that sheds dead/draining/
+// overloaded peers at routing time, and the replica-ward push
+// machinery that keeps "exactly one build per key cluster-wide" true
+// even when a non-replica is the first to see a key.
+//
+// Replication (R = cfg.Replication, default 1) generalizes PR-era
+// single ownership: each key's home is its top-R HRW peers in rank
+// order. Fetches walk the replicas rank by rank and succeed if any one
+// is alive; pushes fan out to every remote replica. Three healing
+// mechanisms close the gaps replication alone leaves:
+//
+//   - hinted handoff: a push whose target is unroutable (or fails
+//     after retries) is staged in a bounded, diskstore-backed hint
+//     queue and replayed by the drain loop once health gossip reports
+//     the target routable again;
+//   - anti-entropy repair: a periodic sweep exchanges key digests over
+//     GET /v1/peer/keys and pulls entries this daemon should replicate
+//     but lacks, converging replicas after partitions, rejoins, and
+//     membership changes (entries are content-addressed and immutable,
+//     so repair is conflict-free by construction);
+//   - dynamic membership: reload atomically swaps in a new ring
+//     (SIGHUP / -peers-file in hgpd), reusing surviving peer clients
+//     and their breaker state, and kicks a repair sweep to warm the
+//     new replica sets — HRW's minimal-movement property bounds the
+//     churn.
 //
 // Failure philosophy: the cluster is an accelerator, never a
 // dependency. Every fetch outcome except a hit falls back to the local
 // solve path (singleflight and degradation ladder intact), and every
-// push failure costs only a warm-cache opportunity. A daemon whose
-// whole peer group is dead serves exactly like a single-node daemon.
+// push failure costs only a warm-cache opportunity until handoff or
+// repair delivers it. A daemon whose whole peer group is dead serves
+// exactly like a single-node daemon.
 type cluster struct {
-	self    string
-	ring    *ring
-	clients map[string]*peerClient // keyed by peer base URL; self excluded
-	reg     *telemetry.Registry
+	self string
+	rep  int // replication factor R; owners() clamps it to ring size
+	reg  *telemetry.Registry
 
-	pollInterval time.Duration
+	// cfg retains the knobs needed to construct peer clients for
+	// members that join via reload.
+	cfg Config
+
+	pollInterval   time.Duration
+	hintInterval   time.Duration
+	repairInterval time.Duration
+
+	// hints is the hinted-handoff queue; nil when handoff is disabled.
+	hints *diskstore.HintQueue
+
+	// srv is the owning server, set by startMaintenance before the
+	// drain/repair loops run: the sweep needs the local caches to
+	// answer "do I already hold this key?" and to store pulled entries.
+	srv *Server
 
 	mu sync.Mutex
-	// health holds the last poll's verdict per remote peer. Peers start
-	// routable (optimistic): a freshly started cluster should fetch
-	// immediately, and a dead peer is demoted by its first failed poll
-	// or by the fetch breaker, whichever fires first.
-	health map[string]bool
+	// ring and clients are swapped together under mu by reload; the
+	// ring itself stays immutable. health holds the last poll's verdict
+	// per remote peer — peers start routable (optimistic): a freshly
+	// started or freshly added peer should receive fetches immediately,
+	// and a dead one is demoted by its first failed poll or by the
+	// fetch breaker, whichever fires first.
+	ring    *ring
+	clients map[string]*peerClient // keyed by peer base URL; self excluded
+	health  map[string]bool
+
+	repairKick chan struct{}
 
 	stopOnce sync.Once
 	stop     chan struct{}
-	pollWG   sync.WaitGroup
+	loopWG   sync.WaitGroup
 	pushWG   sync.WaitGroup
 }
 
-func newCluster(cfg Config) (*cluster, error) {
-	r, err := newRing(cfg.Peers)
+// validateMembership checks a peer list the way newCluster always has:
+// a usable ring, self present, every entry an http(s) base URL. It is
+// shared with reload so a bad SIGHUP is rejected atomically — the old
+// membership stays in force.
+func validateMembership(peers []string, self string) (*ring, error) {
+	r, err := newRing(peers)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Self == "" {
+	if self == "" {
 		return nil, fmt.Errorf("cluster: Self is required when Peers is set")
 	}
 	selfInRing := false
 	for _, p := range r.members() {
-		if p == cfg.Self {
+		if p == self {
 			selfInRing = true
 			break
 		}
 	}
 	if !selfInRing {
-		return nil, fmt.Errorf("cluster: Self %q is not in the peer list", cfg.Self)
+		return nil, fmt.Errorf("cluster: Self %q is not in the peer list", self)
 	}
 	// A peer entry without an http(s) scheme would fail every health
 	// poll and fetch with "unsupported protocol scheme" — a cluster
@@ -75,23 +122,53 @@ func newCluster(cfg Config) (*cluster, error) {
 			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL (want e.g. http://host:port)", p)
 		}
 	}
+	return r, nil
+}
+
+func newCluster(cfg Config) (*cluster, error) {
+	r, err := validateMembership(cfg.Peers, cfg.Self)
+	if err != nil {
+		return nil, err
+	}
 	c := &cluster{
-		self:         cfg.Self,
-		ring:         r,
-		clients:      map[string]*peerClient{},
-		reg:          cfg.Registry,
-		pollInterval: cfg.PeerHealthInterval,
-		health:       map[string]bool{},
-		stop:         make(chan struct{}),
+		self:           cfg.Self,
+		rep:            cfg.Replication,
+		reg:            cfg.Registry,
+		cfg:            cfg,
+		pollInterval:   cfg.PeerHealthInterval,
+		hintInterval:   cfg.HintReplayInterval,
+		repairInterval: cfg.RepairInterval,
+		ring:           r,
+		clients:        map[string]*peerClient{},
+		health:         map[string]bool{},
+		repairKick:     make(chan struct{}, 1),
+		stop:           make(chan struct{}),
+	}
+	if c.rep < 1 {
+		c.rep = 1
 	}
 	for _, p := range r.members() {
 		if p == c.self {
 			continue
 		}
-		c.clients[p] = newPeerClient(p, cfg.PeerTimeout, cfg.PeerRetries, cfg.PeerBackoff, cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown, cfg.PeerSecret)
+		c.clients[p] = c.newClient(p)
 		c.health[p] = true
 		c.reg.Gauge(telemetry.Series("peer_healthy", "peer", p)).Set(1)
 		c.reg.Gauge(telemetry.Series("peer_breaker_state", "peer", p)).Set(int64(breakerClosed))
+	}
+	if cfg.HintQueueEntries >= 0 {
+		dir := ""
+		if cfg.StateDir != "" {
+			// A subdirectory of the snapshot store: listEntries skips
+			// directories, so snapshots and hints coexist under one
+			// -state-dir without seeing each other's files.
+			dir = filepath.Join(cfg.StateDir, "hints")
+		}
+		hq, err := diskstore.OpenHintQueue(dir, cfg.HintQueueEntries, cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		c.hints = hq
 	}
 	// Pre-register the full outcome families at zero: scrapers should
 	// never see a series pop into existence mid-flight.
@@ -102,138 +179,470 @@ func newCluster(cfg Config) (*cluster, error) {
 	c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error"))
 	c.reg.Gauge("peer_push_inflight")
 	c.reg.Counter("peer_auth_failures_total")
-	c.pollWG.Add(1)
+	c.reg.Counter("repair_sweeps_total")
+	c.reg.Counter("repair_pulled_total")
+	c.reg.Counter("repair_pull_errors_total")
+	c.reg.Counter("membership_reloads_total")
+	c.reg.Gauge("cluster_peers").Set(int64(len(r.members())))
+	authed := int64(0)
+	if cfg.PeerSecret != "" {
+		authed = 1
+	}
+	c.reg.Gauge("peer_auth_enabled").Set(authed)
+	c.loopWG.Add(1)
 	go c.pollLoop()
 	return c, nil
 }
 
-// close stops the health poller and waits for in-flight pushes — a
-// graceful shutdown must not abandon goroutines mid-PUT.
-func (c *cluster) close() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	c.pollWG.Wait()
-	c.pushWG.Wait()
+// newClient builds the peerClient for one remote peer from the knobs
+// the cluster was configured with — shared by startup and reload.
+func (c *cluster) newClient(peer string) *peerClient {
+	return newPeerClient(peer, c.cfg.PeerTimeout, c.cfg.PeerRetries, c.cfg.PeerBackoff,
+		c.cfg.PeerBreakerThreshold, c.cfg.PeerBreakerCooldown, c.cfg.PeerSecret)
 }
 
-// ownerOf returns the full-ring owner of key — the peer whose caches
-// and snapshot store are the cluster-wide home for it.
-func (c *cluster) ownerOf(key string) string { return c.ring.owner(key) }
+// startMaintenance wires the cluster to its owning server and starts
+// the background healing loops (hint drain, anti-entropy repair). It
+// is separate from newCluster because the loops read the server's
+// caches, which do not exist yet when the cluster is constructed.
+func (c *cluster) startMaintenance(s *Server) {
+	c.srv = s
+	if c.hints != nil {
+		c.loopWG.Add(1)
+		go c.drainLoop()
+	}
+	if c.repairInterval > 0 {
+		c.loopWG.Add(1)
+		go c.repairLoop()
+	}
+}
 
-// owned reports whether this daemon is key's owner.
-func (c *cluster) owned(key string) bool { return c.ownerOf(key) == c.self }
+// close stops the background loops and waits for in-flight pushes — a
+// graceful shutdown must not abandon goroutines mid-PUT — then flushes
+// staged hints so the handoff this daemon owes survives the restart.
+func (c *cluster) close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.loopWG.Wait()
+	c.pushWG.Wait()
+	if c.hints != nil {
+		_ = c.hints.FlushPending()
+	}
+}
+
+// snapshotRing returns the current (immutable) ring.
+func (c *cluster) snapshotRing() *ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// client returns the peerClient for peer, nil for self or a peer that
+// left the ring.
+func (c *cluster) client(peer string) *peerClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clients[peer]
+}
+
+// ownerOf returns the full-ring primary owner of key — replica rank 0.
+func (c *cluster) ownerOf(key string) string { return c.snapshotRing().owner(key) }
+
+// replicasOf returns key's replica set in rank order: the top-R HRW
+// peers (R clamped to the ring size). Rank 0 is the primary.
+func (c *cluster) replicasOf(key string) []string {
+	return c.snapshotRing().owners(key, c.rep)
+}
+
+// owned reports whether this daemon is one of key's replicas — the
+// peers whose caches and snapshot stores are the cluster-wide home for
+// it. With R=1 this reduces to "is the single owner", the pre-
+// replication behavior.
+func (c *cluster) owned(key string) bool {
+	for _, p := range c.replicasOf(key) {
+		if p == c.self {
+			return true
+		}
+	}
+	return false
+}
 
 func (c *cluster) countFetch(o fetchOutcome) {
 	c.reg.Counter(telemetry.Series("peer_fetch_total", "outcome", string(o))).Inc()
 }
 
-// fetchFrom resolves key's owner and, when it is a routable remote
-// peer, fetches path from it, running decode (the entry-layer parser)
-// inside the client's outcome classification — one fetch operation,
-// one peer_fetch_total row, one breaker verdict. A nil return means
-// "solve locally" — the caller never needs to distinguish why.
+// fetchFrom walks key's replicas in rank order and fetches path from
+// the first routable one that answers with a validated entry, running
+// decode (the entry-layer parser) inside the client's outcome
+// classification — one peer_fetch_total row and one breaker verdict
+// per peer attempted. Any non-hit outcome walks on to the next
+// replica: a definitive miss on one replica says nothing about the
+// others (pushes, handoff, or repair may not have converged yet), and
+// an error is exactly the node-loss case replication exists for. A nil
+// return means "solve locally" — the caller never needs to distinguish
+// why. With R=1 the walk visits at most the single owner, the pre-
+// replication behavior.
 func (c *cluster) fetchFrom(ctx context.Context, key, path string, decode func([]byte) (any, error)) any {
-	owner := c.ownerOf(key)
-	if owner == c.self {
-		return nil
+	for _, peer := range c.replicasOf(key) {
+		if peer == c.self {
+			continue
+		}
+		pc := c.client(peer)
+		if pc == nil {
+			continue
+		}
+		if !c.routable(peer) {
+			c.countFetch(outcomePeerUnhealthy)
+			continue
+		}
+		val, outcome := pc.fetch(ctx, path, decode)
+		c.countFetch(outcome)
+		c.publishBreaker(peer, pc)
+		if outcome == outcomeHit {
+			return val
+		}
 	}
-	pc := c.clients[owner]
-	if pc == nil {
-		return nil
-	}
-	if !c.routable(owner) {
-		c.countFetch(outcomePeerUnhealthy)
-		return nil
-	}
-	val, outcome := pc.fetch(ctx, path, decode)
-	c.countFetch(outcome)
-	c.publishBreaker(owner, pc)
-	if outcome != outcomeHit {
-		return nil
-	}
-	return val
+	return nil
 }
 
-// fetchDecomp asks key's owner for its decomposition entry. ok is true
-// only when a validated entry arrived; every other outcome (miss,
+// fetchDecomp asks key's replicas for its decomposition entry. ok is
+// true only when a validated entry arrived; every other outcome (miss,
 // error, corruption — frame or entry layer — version skew, breaker,
-// unhealthy owner) is a silent fallback to the local build.
+// unhealthy replicas) is a silent fallback to the local build.
 func (c *cluster) fetchDecomp(ctx context.Context, key string) (*cache.DecompEntry, bool) {
-	v := c.fetchFrom(ctx, key, "/v1/peer/decomp/"+key, func(payload []byte) (any, error) {
-		dec, perm, err := diskstore.DecodeDecompEntry(payload)
-		if err != nil {
-			return nil, err
-		}
-		return &cache.DecompEntry{Dec: dec, Perm: perm}, nil
-	})
+	v := c.fetchFrom(ctx, key, peerPath(peerKindDecomp, key), decodeDecompPayload)
 	if v == nil {
 		return nil, false
 	}
 	return v.(*cache.DecompEntry), true
 }
 
-// fetchResult asks key's owner for a full solve result. A partial
+// fetchResult asks key's replicas for a full solve result. A partial
 // result is rejected at decode — pushers never send one (the result
 // cache holds only complete full-pipeline results), so its appearance
 // on the wire is corruption or hostility, and accepting it would let
 // the local result cache replay a degraded answer as a full one.
 func (c *cluster) fetchResult(ctx context.Context, key string) (*hgp.Result, bool) {
-	v := c.fetchFrom(ctx, key, "/v1/peer/result/"+key, func(payload []byte) (any, error) {
-		res, err := diskstore.DecodeResult(payload)
-		if err != nil {
-			return nil, err
-		}
-		if res.Partial {
-			return nil, fmt.Errorf("partial result on the peer wire")
-		}
-		return res, nil
-	})
+	v := c.fetchFrom(ctx, key, peerPath(peerKindResult, key), decodeResultPayload)
 	if v == nil {
 		return nil, false
 	}
 	return v.(*hgp.Result), true
 }
 
-// pushTo PUTs a framed body to key's owner in the background. The
-// peer_push_inflight gauge is incremented synchronously — before this
-// function returns — so a caller (or test) that polls the gauge to
-// zero after issuing requests has a race-free "all pushes settled"
-// barrier.
-func (c *cluster) pushTo(key, path string, payload []byte) {
-	owner := c.ownerOf(key)
-	if owner == c.self {
-		return
+// peerKindDecomp and peerKindResult name the two entry kinds the
+// /v1/peer data surface carries; the kind is also what a hint records
+// so replay can reconstruct the path.
+const (
+	peerKindDecomp = "decomp"
+	peerKindResult = "result"
+)
+
+func peerPath(kind, key string) string { return "/v1/peer/" + kind + "/" + key }
+
+// decodeDecompPayload and decodeResultPayload are the entry-layer
+// parsers shared by the request-path fetches and the repair sweep.
+func decodeDecompPayload(payload []byte) (any, error) {
+	dec, perm, err := diskstore.DecodeDecompEntry(payload)
+	if err != nil {
+		return nil, err
 	}
-	pc := c.clients[owner]
-	if pc == nil || !c.routable(owner) {
-		return
+	return &cache.DecompEntry{Dec: dec, Perm: perm}, nil
+}
+
+func decodeResultPayload(payload []byte) (any, error) {
+	res, err := diskstore.DecodeResult(payload)
+	if err != nil {
+		return nil, err
 	}
+	if res.Partial {
+		return nil, fmt.Errorf("partial result on the peer wire")
+	}
+	return res, nil
+}
+
+// pushTo PUTs a framed body to every remote replica of key in the
+// background. The peer_push_inflight gauge is incremented synchronously
+// — before this function returns — so a caller (or test) that polls
+// the gauge to zero after issuing requests has a race-free "all pushes
+// settled" barrier. A replica that is unroutable at routing time, or
+// whose push fails after retries, gets the entry staged as a hint
+// instead — delivery is deferred, not abandoned.
+func (c *cluster) pushTo(kind, key string, payload []byte) {
 	body := diskstore.WrapWire(payload)
-	c.reg.Gauge("peer_push_inflight").Add(1)
-	c.pushWG.Add(1)
-	go func() {
-		defer c.pushWG.Done()
-		defer c.reg.Gauge("peer_push_inflight").Add(-1)
-		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(pc.retries+1)*(pc.timeout+pc.backoff*8))
-		defer cancel()
-		if pc.push(ctx, path, body) {
-			c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok")).Inc()
-		} else {
-			c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error")).Inc()
+	for _, peer := range c.replicasOf(key) {
+		if peer == c.self {
+			continue
 		}
-		c.publishBreaker(owner, pc)
-	}()
+		pc := c.client(peer)
+		if pc == nil {
+			continue
+		}
+		if !c.routable(peer) {
+			c.stageHint(peer, kind, key, payload)
+			continue
+		}
+		c.reg.Gauge("peer_push_inflight").Add(1)
+		c.pushWG.Add(1)
+		go func(peer string, pc *peerClient) {
+			defer c.pushWG.Done()
+			defer c.reg.Gauge("peer_push_inflight").Add(-1)
+			ctx, cancel := context.WithTimeout(context.Background(), pushBudget(pc))
+			defer cancel()
+			if pc.push(ctx, peerPath(kind, key), body) {
+				c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok")).Inc()
+			} else {
+				c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error")).Inc()
+				c.stageHint(peer, kind, key, payload)
+			}
+			c.publishBreaker(peer, pc)
+		}(peer, pc)
+	}
+}
+
+// pushBudget bounds one push operation end to end: every attempt plus
+// every backoff sleep.
+func pushBudget(pc *peerClient) time.Duration {
+	return time.Duration(pc.retries+1) * (pc.timeout + pc.backoff*8)
 }
 
 // pushDecomp replicates a locally built decomposition entry to key's
-// owner, so the build this daemon just paid for becomes the
-// cluster-wide copy instead of being rebuilt when the owner is asked.
+// remote replicas, so the build this daemon just paid for becomes the
+// cluster-wide copy instead of being rebuilt wherever routing looks
+// for it next.
 func (c *cluster) pushDecomp(key string, entry *cache.DecompEntry) {
-	c.pushTo(key, "/v1/peer/decomp/"+key, diskstore.EncodeDecompEntry(entry.Dec, entry.Perm))
+	c.pushTo(peerKindDecomp, key, diskstore.EncodeDecompEntry(entry.Dec, entry.Perm))
 }
 
-// pushResult replicates a full-quality solve result to key's owner.
+// pushResult replicates a full-quality solve result to key's remote
+// replicas.
 func (c *cluster) pushResult(key string, res *hgp.Result) {
-	c.pushTo(key, "/v1/peer/result/"+key, diskstore.EncodeResult(res))
+	c.pushTo(peerKindResult, key, diskstore.EncodeResult(res))
+}
+
+// stageHint queues an undeliverable push for hinted handoff (a no-op
+// when handoff is disabled; anti-entropy remains the backstop).
+func (c *cluster) stageHint(peer, kind, key string, payload []byte) {
+	if c.hints == nil {
+		return
+	}
+	c.hints.Stage(diskstore.Hint{Peer: peer, Kind: kind, Key: key, Payload: payload})
+}
+
+// hintReplayBatch bounds how many hints one drain tick replays per
+// peer: a node returning from a long outage absorbs its backlog across
+// a few ticks instead of one burst.
+const hintReplayBatch = 32
+
+// drainLoop is the hinted-handoff drainer: each tick it persists
+// freshly staged hints (snapshot fsync discipline), then replays
+// staged hints whose target the health poller reports routable.
+func (c *cluster) drainLoop() {
+	defer c.loopWG.Done()
+	t := time.NewTicker(c.hintInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.drainHints()
+	}
+}
+
+func (c *cluster) drainHints() {
+	_ = c.hints.FlushPending()
+	for _, peer := range c.hints.Peers() {
+		pc := c.client(peer)
+		if pc == nil {
+			// The peer left the ring; its hints can never deliver.
+			c.hints.DropPeer(peer)
+			continue
+		}
+		if !c.routable(peer) {
+			continue
+		}
+		for _, h := range c.hints.TakeFor(peer, hintReplayBatch) {
+			if err := faultinject.Fire(nil, faultinject.HintReplay); err != nil {
+				c.hints.Fail(h)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), pushBudget(pc))
+			ok := pc.push(ctx, peerPath(h.Kind, h.Key), diskstore.WrapWire(h.Payload))
+			cancel()
+			c.publishBreaker(peer, pc)
+			if !ok {
+				// The peer looked healthy but the replay failed: stop
+				// hammering it this tick and let gossip re-evaluate.
+				c.hints.Fail(h)
+				break
+			}
+			c.hints.Resolve(h)
+		}
+	}
+	_ = c.hints.FlushPending()
+}
+
+// repairMaxPulls bounds one anti-entropy sweep: the sweep is a low-rate
+// background healer, not a bulk transfer — a freshly blanked replica
+// converges over a few sweeps instead of saturating its peers in one.
+const repairMaxPulls = 64
+
+// repairLoop runs the anti-entropy sweep on its interval, plus
+// immediately when a membership reload kicks it (the sweep doubles as
+// the rebalancer that warms newly acquired replica sets).
+func (c *cluster) repairLoop() {
+	defer c.loopWG.Done()
+	t := time.NewTicker(c.repairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		case <-c.repairKick:
+		}
+		c.repairSweep()
+	}
+}
+
+// repairSweep exchanges key digests with every routable remote peer
+// (GET /v1/peer/keys — cache keys ARE SHA-256 digests, so the key list
+// is the digest list) and pulls entries this daemon should replicate
+// but lacks. Pulled bodies run the same frame + entry validation as
+// request-path fetches; a rejected body counts as a pull error and the
+// key is retried on a later sweep against whichever replica still
+// lists it. The per-sweep pull cap keeps the sweep low-rate; remaining
+// gaps heal on subsequent sweeps.
+func (c *cluster) repairSweep() {
+	c.reg.Counter("repair_sweeps_total").Inc()
+	pulled := 0
+	for _, peer := range c.snapshotRing().members() {
+		if peer == c.self || pulled >= repairMaxPulls {
+			continue
+		}
+		pc := c.client(peer)
+		if pc == nil || !c.routable(peer) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PeerTimeout)
+		view, err := pc.keys(ctx)
+		cancel()
+		if err != nil {
+			c.reg.Counter("repair_pull_errors_total").Inc()
+			continue
+		}
+		pulled += c.repairPull(pc, peerKindDecomp, view.Decomp, repairMaxPulls-pulled)
+		pulled += c.repairPull(pc, peerKindResult, view.Result, repairMaxPulls-pulled)
+	}
+}
+
+// repairPull pulls up to budget missing entries of one kind from one
+// peer, returning how many landed.
+func (c *cluster) repairPull(pc *peerClient, kind string, keys []string, budget int) int {
+	decode, have, store := decodeDecompPayload, c.srv.hasDecompLocal, c.srv.storeDecompLocal
+	if kind == peerKindResult {
+		decode, have, store = decodeResultPayload, c.srv.hasResultLocal, c.srv.storeResultLocal
+	}
+	pulled := 0
+	for _, key := range keys {
+		if pulled >= budget {
+			break
+		}
+		select {
+		case <-c.stop:
+			return pulled
+		default:
+		}
+		// A peer's key list is unvalidated input: bound what a corrupt
+		// or hostile listing can make this daemon do.
+		if !validPeerKey(key) {
+			continue
+		}
+		if !c.owned(key) || have(key) {
+			continue
+		}
+		if err := faultinject.Fire(nil, faultinject.RepairPull); err != nil {
+			c.reg.Counter("repair_pull_errors_total").Inc()
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), pushBudget(pc))
+		val, outcome := pc.fetch(ctx, peerPath(kind, key), decode)
+		cancel()
+		if outcome != outcomeHit {
+			c.reg.Counter("repair_pull_errors_total").Inc()
+			if outcome == outcomeBreakerOpen || outcome == outcomeError {
+				// The peer is struggling; take the rest of its list on
+				// a later sweep instead of grinding through it now.
+				break
+			}
+			continue
+		}
+		store(key, val)
+		c.reg.Counter("repair_pulled_total").Inc()
+		pulled++
+	}
+	return pulled
+}
+
+// reload atomically replaces the cluster membership: validation first
+// (a bad list leaves the old membership untouched), then the ring and
+// client set swap under one lock acquisition. Clients of surviving
+// peers are reused — their breaker state and health verdicts describe
+// the peer, not the membership epoch — new peers start optimistically
+// routable exactly like startup, and removed peers' clients, health
+// verdicts, gauges, and staged hints are dropped. A repair sweep is
+// kicked so newly acquired replica sets warm without waiting for the
+// next interval; HRW's minimal-movement property bounds how much there
+// is to warm.
+func (c *cluster) reload(peers []string) error {
+	r, err := validateMembership(peers, c.self)
+	if err != nil {
+		return err
+	}
+	var added, removed []string
+	c.mu.Lock()
+	old := c.clients
+	clients := make(map[string]*peerClient, len(r.members()))
+	for _, p := range r.members() {
+		if p == c.self {
+			continue
+		}
+		if pc, ok := old[p]; ok {
+			clients[p] = pc
+			continue
+		}
+		clients[p] = c.newClient(p)
+		c.health[p] = true
+		added = append(added, p)
+	}
+	for p := range old {
+		if _, ok := clients[p]; !ok {
+			delete(c.health, p)
+			removed = append(removed, p)
+		}
+	}
+	c.ring, c.clients = r, clients
+	c.mu.Unlock()
+
+	for _, p := range added {
+		c.reg.Gauge(telemetry.Series("peer_healthy", "peer", p)).Set(1)
+		c.reg.Gauge(telemetry.Series("peer_breaker_state", "peer", p)).Set(int64(breakerClosed))
+	}
+	for _, p := range removed {
+		c.reg.DropGauge(telemetry.Series("peer_healthy", "peer", p))
+		c.reg.DropGauge(telemetry.Series("peer_breaker_state", "peer", p))
+		if c.hints != nil {
+			c.hints.DropPeer(p)
+		}
+	}
+	c.reg.Counter("membership_reloads_total").Inc()
+	c.reg.Gauge("cluster_peers").Set(int64(len(r.members())))
+	select {
+	case c.repairKick <- struct{}{}:
+	default:
+	}
+	return nil
 }
 
 // routable reports the last poll's verdict for peer (optimistically
@@ -246,6 +655,12 @@ func (c *cluster) routable(peer string) bool {
 
 func (c *cluster) setRoutable(peer string, ok bool) {
 	c.mu.Lock()
+	if _, member := c.clients[peer]; !member {
+		// A poll completing after the peer was reloaded away must not
+		// resurrect its verdict or its gauges.
+		c.mu.Unlock()
+		return
+	}
 	c.health[peer] = ok
 	c.mu.Unlock()
 	v := int64(0)
@@ -265,7 +680,7 @@ func (c *cluster) publishBreaker(peer string, pc *peerClient) {
 // the fetch breaker provides the hysteresis, the poller provides the
 // freshest signal.
 func (c *cluster) pollLoop() {
-	defer c.pollWG.Done()
+	defer c.loopWG.Done()
 	t := time.NewTicker(c.pollInterval)
 	defer t.Stop()
 	for {
@@ -274,9 +689,15 @@ func (c *cluster) pollLoop() {
 			return
 		case <-t.C:
 		}
+		c.mu.Lock()
+		snapshot := make(map[string]*peerClient, len(c.clients))
+		for peer, pc := range c.clients {
+			snapshot[peer] = pc
+		}
+		c.mu.Unlock()
 		ctx, cancel := context.WithCancel(context.Background())
 		var wg sync.WaitGroup
-		for peer, pc := range c.clients {
+		for peer, pc := range snapshot {
 			wg.Add(1)
 			go func(peer string, pc *peerClient) {
 				defer wg.Done()
@@ -331,9 +752,17 @@ type clusterPeerStats struct {
 // With clustering off only Enabled is rendered, so dashboards can key
 // on one shape everywhere.
 type clusterStats struct {
-	Enabled bool               `json:"enabled"`
-	Self    string             `json:"self,omitempty"`
-	Peers   []clusterPeerStats `json:"peers,omitempty"`
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self,omitempty"`
+	// Replication is the configured R; each key lives on its top-R HRW
+	// peers (clamped to the cluster size).
+	Replication int `json:"replication,omitempty"`
+	// AuthEnabled reports whether the /v1/peer surface requires the
+	// cluster shared secret — surfaced here (and in the health gossip
+	// payload) so operators and soaks can assert it instead of relying
+	// on a startup log line.
+	AuthEnabled bool               `json:"peer_auth_enabled"`
+	Peers       []clusterPeerStats `json:"peers,omitempty"`
 	// Fetch outcomes, mirrored from peer_fetch_total{outcome=...}.
 	FetchHits      int64 `json:"fetch_hits,omitempty"`
 	FetchMisses    int64 `json:"fetch_misses,omitempty"`
@@ -343,6 +772,17 @@ type clusterStats struct {
 	PushOK         int64 `json:"push_ok,omitempty"`
 	PushErrors     int64 `json:"push_errors,omitempty"`
 	PushesInflight int64 `json:"pushes_inflight"`
+	// Hinted handoff: queue depth plus lifetime staged/replayed/dropped.
+	HintsQueued   int64 `json:"hints_queued"`
+	HintsStaged   int64 `json:"hints_staged,omitempty"`
+	HintsReplayed int64 `json:"hints_replayed,omitempty"`
+	HintsDropped  int64 `json:"hints_dropped,omitempty"`
+	// Anti-entropy repair sweep totals.
+	RepairSweeps     int64 `json:"repair_sweeps,omitempty"`
+	RepairPulled     int64 `json:"repair_pulled,omitempty"`
+	RepairPullErrors int64 `json:"repair_pull_errors,omitempty"`
+	// MembershipReloads counts accepted dynamic membership changes.
+	MembershipReloads int64 `json:"membership_reloads,omitempty"`
 }
 
 func (c *cluster) stats() clusterStats {
@@ -350,25 +790,39 @@ func (c *cluster) stats() clusterStats {
 		return c.reg.Counter(telemetry.Series("peer_fetch_total", "outcome", string(o))).Value()
 	}
 	cs := clusterStats{
-		Enabled:        true,
-		Self:           c.self,
-		FetchHits:      get(outcomeHit),
-		FetchMisses:    get(outcomeMiss),
-		FetchErrors:    get(outcomeError),
-		FetchRejected:  get(outcomeCorrupt) + get(outcomeVersionMismatch),
-		FetchShed:      get(outcomeBreakerOpen) + get(outcomePeerUnhealthy),
-		PushOK:         c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok")).Value(),
-		PushErrors:     c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error")).Value(),
-		PushesInflight: c.reg.Gauge("peer_push_inflight").Value(),
+		Enabled:           true,
+		Self:              c.self,
+		Replication:       c.rep,
+		AuthEnabled:       c.cfg.PeerSecret != "",
+		FetchHits:         get(outcomeHit),
+		FetchMisses:       get(outcomeMiss),
+		FetchErrors:       get(outcomeError),
+		FetchRejected:     get(outcomeCorrupt) + get(outcomeVersionMismatch),
+		FetchShed:         get(outcomeBreakerOpen) + get(outcomePeerUnhealthy),
+		PushOK:            c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "ok")).Value(),
+		PushErrors:        c.reg.Counter(telemetry.Series("peer_push_total", "outcome", "error")).Value(),
+		PushesInflight:    c.reg.Gauge("peer_push_inflight").Value(),
+		HintsStaged:       c.reg.Counter("hints_staged_total").Value(),
+		HintsReplayed:     c.reg.Counter("hints_replayed_total").Value(),
+		HintsDropped:      c.reg.Counter("hints_dropped_total").Value(),
+		RepairSweeps:      c.reg.Counter("repair_sweeps_total").Value(),
+		RepairPulled:      c.reg.Counter("repair_pulled_total").Value(),
+		RepairPullErrors:  c.reg.Counter("repair_pull_errors_total").Value(),
+		MembershipReloads: c.reg.Counter("membership_reloads_total").Value(),
 	}
-	for _, p := range c.ring.members() {
+	if c.hints != nil {
+		cs.HintsQueued = int64(c.hints.Len())
+	}
+	for _, p := range c.snapshotRing().members() {
 		row := clusterPeerStats{Peer: p}
 		if p == c.self {
 			row.Self = true
 			row.Healthy = true
 		} else {
 			row.Healthy = c.routable(p)
-			row.Breaker = int64(c.clients[p].brk.snapshot())
+			if pc := c.client(p); pc != nil {
+				row.Breaker = int64(pc.brk.snapshot())
+			}
 		}
 		cs.Peers = append(cs.Peers, row)
 	}

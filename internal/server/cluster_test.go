@@ -32,10 +32,11 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 type testNode struct {
-	srv *Server
-	ts  *httptest.Server
-	reg *telemetry.Registry
-	url string
+	srv  *Server
+	ts   *httptest.Server
+	reg  *telemetry.Registry
+	url  string
+	swap *swapHandler
 }
 
 // startTestCluster brings up n in-process daemons that know each other
@@ -54,7 +55,7 @@ func startTestCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []*t
 		ts := httptest.NewServer(sw)
 		swaps[i] = sw
 		peers[i] = ts.URL
-		nodes[i] = &testNode{ts: ts, url: ts.URL}
+		nodes[i] = &testNode{ts: ts, url: ts.URL, swap: sw}
 	}
 	for i := range nodes {
 		reg := telemetry.NewRegistry()
@@ -773,8 +774,8 @@ func TestClusterRejectsPartialResultPush(t *testing.T) {
 	key := resultKeyFor(t, testRequest())
 
 	partial := &hgp.Result{
-		Assignment:   []int{0, 1},
-		Cost:         1, TreeCost: 1,
+		Assignment: []int{0, 1},
+		Cost:       1, TreeCost: 1,
 		PerTreeCosts: []float64{1},
 		Partial:      true,
 		TreesDone:    1,

@@ -403,10 +403,11 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		if s.results != nil && !oc.degraded && !oc.res.Partial {
 			s.results.Add(rkey, oc.res)
 			s.reg.Counter("result_cache_inserts_total").Inc()
-			if s.cluster != nil && !s.cluster.owned(rkey) {
-				// Replicate the full-quality result to the key's owner
-				// so the next submission of this request anywhere in
-				// the cluster finds it there. Degraded and partial
+			if s.cluster != nil {
+				// Replicate the full-quality result to the key's
+				// remote replicas (the fan-out skips self) so the next
+				// submission of this request anywhere in the cluster
+				// finds it where routing looks. Degraded and partial
 				// results never travel, for the same reason they never
 				// enter the local result cache.
 				s.cluster.pushResult(rkey, oc.res)

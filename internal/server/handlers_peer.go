@@ -216,6 +216,25 @@ func (s *Server) handlePeerResultPut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handlePeerKeys serves this daemon's cache key inventory for the
+// anti-entropy digest exchange. Like the data endpoints it is gated by
+// auth and drain (a draining daemon's inventory is about to leave the
+// cluster's working set; repair should pull from a stable replica
+// instead), and like the peer GETs it consults memory and disk without
+// touching recency order or hit/miss accounting.
+func (s *Server) handlePeerKeys(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizePeer(w, r) {
+		return
+	}
+	if !s.admitInflight() {
+		s.writeShed(w, http.StatusServiceUnavailable, "draining", shedDraining,
+			"daemon is draining; peer traffic re-routes via health gossip", time.Second)
+		return
+	}
+	defer s.inflight.Done()
+	writeJSON(w, http.StatusOK, s.localKeys())
+}
+
 // rejectPeerBody maps a frame validation failure to its rejection:
 // version skew is its own code (the pusher can log "upgrade in
 // progress" instead of "corruption"), everything else is corruption.
@@ -239,9 +258,10 @@ func (s *Server) handlePeerHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hv := peerHealthView{
-		Status:     "ok",
-		QueueDepth: s.queued.Load(),
-		QueueLimit: int64(s.cfg.MaxConcurrent + s.cfg.MaxQueue),
+		Status:      "ok",
+		QueueDepth:  s.queued.Load(),
+		QueueLimit:  int64(s.cfg.MaxConcurrent + s.cfg.MaxQueue),
+		AuthEnabled: s.cfg.PeerSecret != "",
 	}
 	if s.isDraining() {
 		hv.Status = "draining"

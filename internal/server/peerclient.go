@@ -132,6 +132,11 @@ type peerHealthView struct {
 	// full queue marks the peer overloaded.
 	QueueDepth int64 `json:"queue_depth"`
 	QueueLimit int64 `json:"queue_limit"`
+	// AuthEnabled reports whether the peer's /v1/peer surface requires
+	// the cluster shared secret. Informational, not part of the routing
+	// verdict: an operator (or soak assertion) reading gossip can spot a
+	// node that rebooted without its secret before an attacker does.
+	AuthEnabled bool `json:"peer_auth_enabled"`
 }
 
 // routable reports whether a peer in this state should receive fetch
@@ -372,6 +377,48 @@ func (pc *peerClient) pushOnce(ctx context.Context, path string, body []byte) (o
 		// retrying the same bytes cannot succeed.
 		return false, false
 	}
+}
+
+// peerKeysView is the body of GET /v1/peer/keys: the peer's current
+// cache key inventory, split by entry kind. Cache keys ARE SHA-256
+// digests of the content that produced them, so this listing doubles
+// as the digest exchange of the anti-entropy protocol — two replicas
+// comparing key sets is exactly a Merkle-leaf comparison without the
+// tree.
+type peerKeysView struct {
+	Decomp []string `json:"decomp"`
+	Result []string `json:"result"`
+}
+
+// maxPeerKeysBody bounds the key-listing response: 64-char keys plus
+// JSON overhead put even a 100k-entry inventory well under this.
+const maxPeerKeysBody = 16 << 20
+
+// keys GETs the peer's key inventory with a single attempt — the
+// repair sweep runs on an interval, so a failed exchange just waits
+// for the next sweep.
+func (pc *peerClient) keys(ctx context.Context) (peerKeysView, error) {
+	actx, cancel := context.WithTimeout(ctx, pc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, pc.base+"/v1/peer/keys", nil)
+	if err != nil {
+		return peerKeysView{}, err
+	}
+	pc.authorize(req)
+	resp, err := pc.hc.Do(req)
+	if err != nil {
+		return peerKeysView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return peerKeysView{}, fmt.Errorf("peer keys: status %d", resp.StatusCode)
+	}
+	var kv peerKeysView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerKeysBody)).Decode(&kv); err != nil {
+		return peerKeysView{}, err
+	}
+	return kv, nil
 }
 
 // health GETs the peer's /v1/peer/health with a single short attempt —

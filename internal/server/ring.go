@@ -23,7 +23,11 @@ import (
 //     SHA-256-derived keys the load split is already even.
 //
 // A ring is immutable after newRing; routing-time health shedding is
-// layered on top via ownerAmong, not by mutating the peer list.
+// layered on top via ownerAmong, not by mutating the peer list, and
+// dynamic membership swaps in a whole new ring atomically rather than
+// editing this one. Replication generalizes the argmax to the top-R
+// scores per key (owners), with rank order stable under membership
+// change for the same reason single ownership is.
 type ring struct {
 	peers []string // sorted, deduplicated
 }
@@ -77,6 +81,49 @@ func (r *ring) owner(key string) string {
 		}
 	}
 	return best
+}
+
+// owners returns the top-n HRW owners of key in rank order: rank 0 is
+// the primary (always equal to owner(key)), rank i the peer with the
+// i-th highest score. n is clamped to the ring size, so asking for
+// more replicas than the ring holds degrades to full replication
+// instead of failing — the behavior the replication flag documents.
+//
+// Because each peer's score depends only on (peer, key), the ranked
+// order is prefix-stable under membership change: removing a peer
+// deletes it from the order and promotes everything below it one rank;
+// adding a peer inserts it at its score's position and demotes what it
+// outranks — no other relative order changes. The replica-rank tests
+// pin this, and it is what bounds replica churn on reload to the same
+// ~1/N movement the single-owner ring already guarantees.
+func (r *ring) owners(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	type ranked struct {
+		peer  string
+		score uint64
+	}
+	all := make([]ranked, len(r.peers))
+	for i, p := range r.peers {
+		all[i] = ranked{peer: p, score: score(p, key)}
+	}
+	// Ties break toward the lexicographically smaller peer, matching
+	// owner's first-maximum scan over the sorted peer list.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].peer < all[j].peer
+	})
+	out := make([]string, n)
+	for i := range out {
+		out[i] = all[i].peer
+	}
+	return out
 }
 
 // ownerAmong returns the owner of key restricted to the given peers —

@@ -184,3 +184,89 @@ func TestRingRejectsEmptyAndBlank(t *testing.T) {
 		t.Fatal("blank peer name must be rejected")
 	}
 }
+
+// owners(key, 1) must agree with owner(key) — rank 0 IS the single
+// owner — and the replica set must be distinct peers in a stable order.
+func TestRingOwnersRankZeroIsOwner(t *testing.T) {
+	r := mustRing(t, ringPeers(5))
+	for _, k := range ringCorpus(300) {
+		reps := r.owners(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("owners(%s, 3) returned %d peers", k[:8], len(reps))
+		}
+		if reps[0] != r.owner(k) {
+			t.Fatalf("owners(%s)[0] = %s, owner = %s", k[:8], reps[0], r.owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range reps {
+			if seen[p] {
+				t.Fatalf("owners(%s, 3) repeats %s", k[:8], p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// Degenerate and over-asked replica counts must clamp, not fail: a
+// single-peer cluster serves every key itself at any R, and R above
+// the cluster size means "every peer".
+func TestRingOwnersClamps(t *testing.T) {
+	solo := mustRing(t, ringPeers(1))
+	for _, k := range ringCorpus(20) {
+		for _, n := range []int{0, 1, 7} {
+			reps := solo.owners(k, n)
+			if len(reps) != 1 || reps[0] != solo.members()[0] {
+				t.Fatalf("single-peer owners(%s, %d) = %v, want the one peer", k[:8], n, reps)
+			}
+		}
+	}
+	r := mustRing(t, ringPeers(3))
+	for _, k := range ringCorpus(20) {
+		if reps := r.owners(k, 99); len(reps) != 3 {
+			t.Fatalf("owners(%s, 99) over 3 peers = %d replicas, want 3 (clamped)", k[:8], len(reps))
+		}
+	}
+}
+
+// The HRW rank order must be prefix-stable under membership change:
+// removing a peer deletes it from each key's ranked list without
+// reordering the survivors, so a key's replica set after a node loss
+// is exactly its old ranked list with the dead peer struck out. This
+// is the property that lets hinted handoff and repair reason about
+// "the same replicas, minus the failed one".
+func TestRingOwnersPrefixStableUnderMembershipChange(t *testing.T) {
+	peers := ringPeers(5)
+	full := mustRing(t, peers)
+	for _, victim := range peers {
+		var survivors []string
+		for _, p := range peers {
+			if p != victim {
+				survivors = append(survivors, p)
+			}
+		}
+		reduced := mustRing(t, survivors)
+		for _, k := range ringCorpus(300) {
+			var want []string
+			for _, p := range full.owners(k, len(peers)) {
+				if p != victim {
+					want = append(want, p)
+				}
+			}
+			got := reduced.owners(k, len(survivors))
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("removing %s reordered owners(%s): got %v, want %v", victim, k[:8], got, want)
+				}
+			}
+			// In particular the R=2 replica set only changes when the
+			// victim was in it.
+			before := full.owners(k, 2)
+			after := reduced.owners(k, 2)
+			if before[0] != victim && before[1] != victim {
+				if after[0] != before[0] || after[1] != before[1] {
+					t.Fatalf("R=2 replicas of %s changed %v → %v though %s was not a replica", k[:8], before, after, victim)
+				}
+			}
+		}
+	}
+}

@@ -152,6 +152,25 @@ type Config struct {
 	// PeerHealthInterval is how often the health poller gossips
 	// /v1/peer/health. Zero means 1s.
 	PeerHealthInterval time.Duration
+	// Replication is R, the number of peers that home each cache key —
+	// its top-R rendezvous-hash owners, clamped to the cluster size.
+	// Fetches walk the replicas in rank order (any live one serves);
+	// pushes fan out to all of them. Zero means 1: single ownership,
+	// the pre-replication behavior, bit-identical routing included.
+	Replication int
+	// HintQueueEntries bounds the hinted-handoff queue: pushes whose
+	// target replica is down are staged (durably, under StateDir) and
+	// replayed when health gossip reports the peer back. Zero means
+	// 512; negative disables handoff (anti-entropy still heals).
+	HintQueueEntries int
+	// HintReplayInterval is how often the handoff drainer persists and
+	// replays staged hints. Zero means 2s.
+	HintReplayInterval time.Duration
+	// RepairInterval is how often the anti-entropy sweep exchanges key
+	// digests with peers (GET /v1/peer/keys) and pulls entries this
+	// daemon should replicate but lacks. Zero means 30s; negative
+	// disables repair.
+	RepairInterval time.Duration
 	// Registry receives the daemon's metrics. Nil means
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -217,6 +236,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PeerHealthInterval <= 0 {
 		c.PeerHealthInterval = time.Second
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.HintQueueEntries == 0 {
+		c.HintQueueEntries = 512
+	}
+	if c.HintReplayInterval <= 0 {
+		c.HintReplayInterval = 2 * time.Second
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 30 * time.Second
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
@@ -339,6 +370,10 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResultGet)
 		s.mux.HandleFunc("PUT /v1/peer/result/{key}", s.handlePeerResultPut)
 		s.mux.HandleFunc("GET /v1/peer/health", s.handlePeerHealth)
+		s.mux.HandleFunc("GET /v1/peer/keys", s.handlePeerKeys)
+		// The healing loops (hint drain, anti-entropy repair) read the
+		// server's caches, so they start only after both sides exist.
+		cl.startMaintenance(s)
 	}
 	s.solve = s.cachedSolve
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)
@@ -486,13 +521,14 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 			s.reg.Counter("decomp_cache_misses_total").Inc()
 			t0 := time.Now()
 			v, shared, err := s.flight.Do(ctx, key, func() (any, error) {
-				// Cluster mode: before paying for a build, ask the key's
-				// owner (when that is another peer) for its copy. The
-				// fetch sits INSIDE the singleflight closure so a miss
-				// storm coalesces into one network round trip, exactly
-				// as it coalesces into one build. Any fetch outcome
-				// other than a validated hit falls through to the local
-				// build — the cluster accelerates, never gates.
+				// Cluster mode: before paying for a build, walk the
+				// key's replicas (rank order, skipping self) for a
+				// copy. The fetch sits INSIDE the singleflight closure
+				// so a miss storm coalesces into one network round
+				// trip, exactly as it coalesces into one build. Any
+				// fetch outcome other than a validated hit falls
+				// through to the local build — the cluster
+				// accelerates, never gates.
 				if s.cluster != nil {
 					if entry, ok := s.cluster.fetchDecomp(ctx, key); ok {
 						s.dec.Add(key, entry)
@@ -523,14 +559,16 @@ func (s *Server) cachedSolve(ctx context.Context, g *graph.Graph, H *hierarchy.H
 					// build outlives this process.
 					s.store.Enqueue(key, built, perm)
 				}
-				if s.cluster != nil && !s.cluster.owned(key) {
-					// This daemon built an entry it does not own (the
-					// owner was down, unreachable, or simply cold).
-					// Push it owner-ward in the background so the
-					// cluster-wide copy exists where routing expects
-					// it — without the push, the owner would rebuild
-					// the same decomposition on its next request and
-					// "one build per key cluster-wide" would not hold.
+				if s.cluster != nil {
+					// Replicate the freshly built entry to the key's
+					// remote replica set in the background (the fan-out
+					// skips self, so this is a no-op when this daemon is
+					// the sole replica). Without the push, whichever
+					// replica routing consults next would rebuild the
+					// same decomposition and "one build per key
+					// cluster-wide" would not hold; a replica that is
+					// down right now gets its copy via hinted handoff
+					// instead.
 					s.cluster.pushDecomp(key, entry)
 				}
 				return built, nil
@@ -616,6 +654,83 @@ func (s *Server) writeShed(w http.ResponseWriter, status int, code, reason, msg 
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	writeJSON(w, status, apiError{Error: msg, Code: code, ShedReason: reason})
+}
+
+// localKeys reports this daemon's cache key inventory for the
+// anti-entropy digest exchange: decomposition keys are the union of
+// the LRU and the snapshot store (an entry evicted from memory but
+// still on disk is servable, so it belongs in the digest), result keys
+// come from the memory-only result cache. Slices are always non-nil so
+// the JSON body renders arrays, not nulls.
+func (s *Server) localKeys() peerKeysView {
+	view := peerKeysView{Decomp: []string{}, Result: []string{}}
+	seen := map[string]bool{}
+	if s.dec != nil {
+		for _, k := range s.dec.Keys() {
+			seen[k] = true
+			view.Decomp = append(view.Decomp, k)
+		}
+	}
+	if s.store != nil {
+		for _, k := range s.store.Keys() {
+			if !seen[k] {
+				view.Decomp = append(view.Decomp, k)
+			}
+		}
+	}
+	if s.results != nil {
+		view.Result = append(view.Result, s.results.Keys()...)
+	}
+	return view
+}
+
+// hasDecompLocal reports whether this daemon already holds key's
+// decomposition in memory or on disk — the repair sweep's "missing?"
+// predicate.
+func (s *Server) hasDecompLocal(key string) bool {
+	if s.dec != nil {
+		if _, ok := s.dec.Peek(key); ok {
+			return true
+		}
+	}
+	return s.store != nil && s.store.Has(key)
+}
+
+// storeDecompLocal lands a repair-pulled decomposition entry exactly
+// where an accepted peer push lands one: the LRU and the snapshot
+// store.
+func (s *Server) storeDecompLocal(key string, v any) {
+	entry := v.(*cache.DecompEntry)
+	s.dec.Add(key, entry)
+	if s.store != nil {
+		s.store.Enqueue(key, entry.Dec, entry.Perm)
+	}
+}
+
+func (s *Server) hasResultLocal(key string) bool {
+	if s.results == nil {
+		// No result cache: report "have" so repair never pulls what it
+		// could not store.
+		return true
+	}
+	_, ok := s.results.Peek(key)
+	return ok
+}
+
+func (s *Server) storeResultLocal(key string, v any) {
+	if s.results != nil {
+		s.results.Add(key, v.(*hgp.Result))
+	}
+}
+
+// ReloadPeers atomically replaces the cluster membership (hgpd calls
+// this on SIGHUP or a -peers-file change). Validation failures leave
+// the old membership in force; Self must remain a member.
+func (s *Server) ReloadPeers(peers []string) error {
+	if s.cluster == nil {
+		return fmt.Errorf("server: not in cluster mode")
+	}
+	return s.cluster.reload(peers)
 }
 
 // publishBreakerGauges mirrors the breaker into the registry so both

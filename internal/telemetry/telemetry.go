@@ -236,6 +236,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// DropGauge removes the gauge registered under name. It exists for
+// series tied to an entity that can cease to exist — a cluster peer
+// removed by a membership reload — which must disappear from scrapes
+// instead of lingering at a stale value forever. Dropping an
+// unregistered name is a no-op; a *Gauge handed out before the drop
+// keeps working but no longer renders.
+func (r *Registry) DropGauge(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gauges, name)
+}
+
 // Histogram returns the histogram registered under name, creating it
 // with DefaultLatencyBuckets on first use.
 func (r *Registry) Histogram(name string) *Histogram {
