@@ -1,4 +1,4 @@
-// Command hgpbench runs the reproduction's experiment suite (E1–E25,
+// Command hgpbench runs the reproduction's experiment suite (E1–E26,
 // F1–F2; see EXPERIMENTS.md) and prints the result tables.
 //
 // Usage:
@@ -117,6 +117,7 @@ func main() {
 		{"E23", experiments.E23WarmRestart},
 		{"E24", experiments.E24MultiCoreMatrix},
 		{"E25", experiments.E25CanonCache},
+		{"E26", experiments.E26IncrementalRepartition},
 		{"F1", experiments.F1BadSetSplit},
 		{"F2", experiments.F2ActiveSets},
 	}

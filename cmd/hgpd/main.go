@@ -42,6 +42,7 @@ func main() {
 		maxVertices = flag.Int("max-vertices", 100_000, "reject graphs with more vertices than this (413)")
 		maxEdges    = flag.Int("max-edges", 2_000_000, "reject graphs with more edges than this (413)")
 		noDegrade   = flag.Bool("no-degrade", false, "disable the anytime degradation ladder daemon-wide (missed deadlines become 504s)")
+		maxSessions = flag.Int("max-sessions", 64, "graph-session LRU entries (/v1/graphs incremental repartitioning); least recently used sessions are evicted (-1 = disable sessions)")
 		drainWait   = flag.Duration("drain-wait", time.Minute, "how long shutdown waits for in-flight solves")
 
 		stateDir     = flag.String("state-dir", "", "directory for durable cache snapshots (empty = memory-only cache)")
@@ -75,7 +76,7 @@ func main() {
 	}
 	if err := validateFlags(*concurrency, *queue, *cacheSize, *resultCache, *timeout, *maxTimeout,
 		*workers, *maxStates, *maxVertices, *maxEdges, *drainWait,
-		*stateDir, *snapInterval, *maxHeap); err != nil {
+		*stateDir, *snapInterval, *maxHeap, *maxSessions); err != nil {
 		fmt.Fprintf(os.Stderr, "hgpd: %v\n", err)
 		os.Exit(2)
 	}
@@ -110,6 +111,7 @@ func main() {
 		MaxVertices:        *maxVertices,
 		MaxEdges:           *maxEdges,
 		DisableDegradation: *noDegrade,
+		MaxSessions:        *maxSessions,
 		StateDir:           *stateDir,
 		SnapshotInterval:   *snapInterval,
 		Adaptive:           *adaptive,
@@ -190,7 +192,7 @@ func main() {
 // something divides by or sleeps on must be strictly positive.
 func validateFlags(concurrency, queue, cacheSize, resultCache int, timeout, maxTimeout time.Duration,
 	workers, maxStates, maxVertices, maxEdges int, drainWait time.Duration,
-	stateDir string, snapInterval time.Duration, maxHeap int64) error {
+	stateDir string, snapInterval time.Duration, maxHeap int64, maxSessions int) error {
 	switch {
 	case concurrency < 0:
 		return fmt.Errorf("-concurrency %d: must be >= 0 (0 = GOMAXPROCS)", concurrency)
@@ -222,6 +224,8 @@ func validateFlags(concurrency, queue, cacheSize, resultCache int, timeout, maxT
 		return fmt.Errorf("-max-heap-bytes %d: must be >= 0 (0 = breaker disabled)", maxHeap)
 	case stateDir != "" && cacheSize == -1:
 		return fmt.Errorf("-state-dir requires caching: -cache must not be -1")
+	case maxSessions < -1:
+		return fmt.Errorf("-max-sessions %d: must be >= -1 (-1 = disable sessions)", maxSessions)
 	}
 	return nil
 }

@@ -25,6 +25,16 @@ type Options struct {
 	// MaxLoad is the per-leaf load budget during refinement.
 	// Zero means 1.2.
 	MaxLoad float64
+	// MaxMoves, when positive, caps the number of tasks allowed to
+	// change leaves relative to old. After relabeling and refinement,
+	// moves are greedily reverted cheapest-communication-penalty-first
+	// (deterministic: ties break toward the lower vertex index) until
+	// the placement is within the cap, skipping reverts that would push
+	// the old leaf past MaxLoad. Best-effort: when every remaining
+	// revert is load-blocked the result may still exceed the cap —
+	// callers that need a hard guarantee check Result.MovedTasks.
+	// Zero means unlimited.
+	MaxMoves int
 }
 
 // Result reports the re-placement.
@@ -47,14 +57,33 @@ type Result struct {
 // communication-efficient yet close to old. old must be a valid
 // placement for g on H (same vertex count).
 func Replace(g *graph.Graph, H *hierarchy.Hierarchy, old metrics.Assignment, opt Options) (*Result, error) {
-	if err := old.Validate(g, H); err != nil {
-		return nil, fmt.Errorf("dynamic: old placement invalid: %w", err)
-	}
 	fresh, err := opt.Solver.Solve(g, H)
 	if err != nil {
 		return nil, err
 	}
-	assign := Relabel(g, H, fresh.Assignment, old)
+	return Diff(g, H, old, fresh.Assignment, opt)
+}
+
+// Diff is the migration-aware half of Replace with the solve factored
+// out: it takes a placement computed elsewhere (a fresh portfolio solve,
+// or an incremental re-solve over a repaired decomposition — the hgpd
+// session path) and reconciles it with old. Relabeling permutes sibling
+// subtrees to maximize stay-put demand at zero cost change; the optional
+// migration-weighted refinement then trades communication cost against
+// further moves; MaxMoves finally caps churn by greedy revert. opt.Solver
+// is ignored.
+func Diff(g *graph.Graph, H *hierarchy.Hierarchy, old, fresh metrics.Assignment, opt Options) (*Result, error) {
+	if err := old.Validate(g, H); err != nil {
+		return nil, fmt.Errorf("dynamic: old placement invalid: %w", err)
+	}
+	if err := fresh.Validate(g, H); err != nil {
+		return nil, fmt.Errorf("dynamic: fresh placement invalid: %w", err)
+	}
+	maxLoad := opt.MaxLoad
+	if maxLoad == 0 {
+		maxLoad = 1.2
+	}
+	assign := Relabel(g, H, fresh, old)
 	scratch := metrics.CostLCA(g, H, assign)
 
 	if opt.MigrationWeight > 0 {
@@ -62,11 +91,10 @@ func Replace(g *graph.Graph, H *hierarchy.Hierarchy, old metrics.Assignment, opt
 		if passes == 0 {
 			passes = 2
 		}
-		maxLoad := opt.MaxLoad
-		if maxLoad == 0 {
-			maxLoad = 1.2
-		}
 		assign = refineMigration(g, H, assign, old, opt.MigrationWeight, maxLoad, passes)
+	}
+	if opt.MaxMoves > 0 {
+		assign = capMoves(g, H, assign, old, opt.MaxMoves, maxLoad)
 	}
 
 	res := &Result{
@@ -81,6 +109,53 @@ func Replace(g *graph.Graph, H *hierarchy.Hierarchy, old metrics.Assignment, opt
 		}
 	}
 	return res, nil
+}
+
+// capMoves greedily reverts moved tasks to their old leaves, cheapest
+// communication penalty first, until at most maxMoves remain. Each
+// round recomputes penalties against the current placement (reverting a
+// vertex changes its neighbors' marginal costs) and picks the feasible
+// revert with the smallest penalty, breaking ties toward the lower
+// vertex index — deterministic. A revert is feasible when the old leaf
+// stays within maxLoad. Stops early when every remaining move is
+// load-blocked.
+func capMoves(g *graph.Graph, H *hierarchy.Hierarchy, assign, old metrics.Assignment, maxMoves int, maxLoad float64) metrics.Assignment {
+	out := assign.Clone()
+	k := H.Leaves()
+	loads := make([]float64, k)
+	moved := 0
+	for v, l := range out {
+		loads[l] += g.Demand(v)
+		if l != old[v] {
+			moved++
+		}
+	}
+	commAt := func(v, leaf int) float64 {
+		var c float64
+		g.Neighbors(v, func(u int, ew float64) {
+			c += ew * H.CM(H.LCALevel(leaf, out[u]))
+		})
+		return c
+	}
+	for moved > maxMoves {
+		best, bestPenalty := -1, 0.0
+		for v := 0; v < g.N(); v++ {
+			if out[v] == old[v] || loads[old[v]]+g.Demand(v) > maxLoad+1e-9 {
+				continue
+			}
+			if p := commAt(v, old[v]) - commAt(v, out[v]); best == -1 || p < bestPenalty-1e-12 {
+				best, bestPenalty = v, p
+			}
+		}
+		if best == -1 {
+			break
+		}
+		loads[out[best]] -= g.Demand(best)
+		loads[old[best]] += g.Demand(best)
+		out[best] = old[best]
+		moved--
+	}
+	return out
 }
 
 // Relabel permutes sibling subtrees of the hierarchy in the placement

@@ -51,11 +51,21 @@ const (
 	// entry is pulled from a replica — an injected error defers the key
 	// to a later sweep and ticks repair_pull_errors_total.
 	RepairPull Point = "repair.pull"
+	// SessionPatch fires in the hgpd session store while a PATCH's
+	// deltas are being applied to the scratch graph, before the swap —
+	// an injected error must leave the session at its prior version with
+	// no delta half-applied.
+	SessionPatch Point = "session.patch"
+	// DecompRepair fires in treedecomp.Repair before each dirty subtree
+	// is rebuilt — an injected error aborts the repair, and the serving
+	// path must degrade to a cold solve rather than keep a half-repaired
+	// decomposition.
+	DecompRepair Point = "decomp.repair"
 )
 
 // Points lists every hook point compiled into the binary, for batteries
 // that want to inject at all of them.
-var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve, DiskWrite, DiskSync, PeerFetch, HintReplay, RepairPull}
+var Points = []Point{TreedecompSplit, HgptTable, CacheLookup, ServerSolve, DiskWrite, DiskSync, PeerFetch, HintReplay, RepairPull, SessionPatch, DecompRepair}
 
 // Fault describes what happens when a hook point fires. Zero-valued
 // actions are skipped; several may be combined in one Fault (e.g. a

@@ -89,6 +89,55 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	g.adj[v][u] += w
 }
 
+// SetEdgeWeight sets the weight of edge {u, v} to exactly w, creating
+// the edge if absent. Unlike AddEdge it replaces rather than
+// accumulates. It panics on self-loops, out-of-range vertices, or a
+// non-positive or NaN weight (use RemoveEdge to delete an edge).
+func (g *Graph) SetEdgeWeight(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	if w <= 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		g.m++
+		g.nbr[u] = append(g.nbr[u], v)
+		g.nbr[v] = append(g.nbr[v], u)
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+}
+
+// RemoveEdge deletes the edge {u, v} and reports whether it existed.
+// Neighbor lists keep their remaining insertion order, so downstream
+// deterministic float sums stay reproducible for the surviving edges.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.nbr[u] = dropNeighbor(g.nbr[u], v)
+	g.nbr[v] = dropNeighbor(g.nbr[v], u)
+	g.m--
+	return true
+}
+
+// dropNeighbor removes the first occurrence of x, preserving order.
+func dropNeighbor(ns []int, x int) []int {
+	for i, n := range ns {
+		if n == x {
+			return append(ns[:i], ns[i+1:]...)
+		}
+	}
+	return ns
+}
+
 // HasEdge reports whether the edge {u, v} exists.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {

@@ -89,6 +89,37 @@ type Solver struct {
 	// (hgpbench matrix) and as an operational escape hatch (hgpd
 	// -serial-portfolio). Ignored when Prune is off.
 	SequentialPortfolio bool
+	// TreeCaches, when non-nil, must hold one hgpt.TableCache per
+	// decomposition tree (len == len(dec.Trees)); each tree's DP then
+	// reuses the tables its cache recorded on the previous solve with
+	// the same cache — after a treedecomp.Repair, only the dirty
+	// subtrees recompute (see hgpt.TableCache). A warm solve is
+	// bit-identical to a cold solve over the same decomposition.
+	// Ignored when Prune is set: the portfolio's live incumbent bound
+	// filters tables schedule-dependently, and such tables must never
+	// repopulate a cache (hgpt.Solver.Reuse). Static certified bounds
+	// (WarmBounds) DO compose with caches — lookups are served, only
+	// repopulation is skipped. Each cache is owned by one solve
+	// at a time — callers serialize solves per cache set (the hgpd
+	// session store holds the session lock across the whole solve).
+	TreeCaches []*hgpt.TableCache
+	// WarmBounds, when non-empty, must hold one certified cost ceiling
+	// per decomposition tree (len == len(dec.Trees)): tree i's DP runs
+	// under a static hgpt.CostBound primed at WarmBounds[i], so table
+	// entries that provably cannot reach a solution within the ceiling
+	// are dropped at insertion. With a ceiling that is a true upper
+	// bound on the tree's DP optimum — e.g. WarmBoundsAfterRepair's
+	// certificate from the previous solve of the same tree — the solve
+	// completes bit-identical to its unbounded run (hgpt's bounded-run
+	// invariant) but visits a fraction of the states: the warm
+	// incremental fast path. A +Inf or NaN entry means "no certificate,
+	// solve tree i unbounded". Should a ceiling turn out too tight
+	// (the tree aborts with hgpt.ErrBoundExceeded), the solve falls
+	// back to an unbounded run of that tree automatically, so a bad
+	// bound costs time, never correctness. Ignored when Prune is set
+	// (the portfolio manages its own incumbent bound) or when the
+	// length does not match the decomposition.
+	WarmBounds []float64
 }
 
 // Result is the output of Solve.
@@ -148,6 +179,23 @@ type Result struct {
 	// wall times (and, for re-solved trees, the work they include) vary
 	// run to run — excluded from the determinism contract.
 	TreeStats []TreeStat
+	// TablesReused / TablesComputed sum the per-tree DP table reuse
+	// counters (see hgpt.Solution) across completed trees. Both zero
+	// unless Solver.TreeCaches was supplied and used.
+	TablesReused   int
+	TablesComputed int
+	// PerTreeDPCosts records every tree's relaxed DP optimum (scaled
+	// capacity space, hgpt.Solution.DPCost), indexed like PerTreeCosts
+	// with the same sentinels (NaN failed, +Inf pruned). Incremental
+	// callers feed these into WarmBoundsAfterRepair to certify the next
+	// warm solve's cost ceilings.
+	PerTreeDPCosts []float64
+	// BoundFallbacks counts trees whose warm-bound run aborted with
+	// hgpt.ErrBoundExceeded and were re-solved unbounded (always zero
+	// unless Solver.WarmBounds was supplied; a certified bound never
+	// trips it, so a nonzero count indicates a caller-computed bound
+	// below the true optimum).
+	BoundFallbacks int
 }
 
 // TreeStat is one tree's execution record (Result.TreeStats): what
@@ -304,7 +352,17 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 						outs[ti].err = err
 						continue
 					}
-					outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, nil)
+					cache := s.treeCache(ti, len(dec.Trees))
+					bound := s.warmBound(ti, len(dec.Trees))
+					outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, bound, cache)
+					if bound != nil && errors.Is(outs[ti].err, hgpt.ErrBoundExceeded) {
+						// The caller's ceiling was below the tree's true
+						// optimum (a certified bound never is): fall back
+						// to the unbounded warm run — correctness is never
+						// bound-dependent.
+						outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, nil, cache)
+						outs[ti].boundFellBack = true
+					}
 					if outs[ti].err == nil {
 						record(ti)
 					}
@@ -343,24 +401,94 @@ func (s Solver) SolveDecomposition(ctx context.Context, g *graph.Graph, H *hiera
 }
 
 type treeOut struct {
-	assign    metrics.Assignment
-	cost      float64
-	treeCost  float64
-	dpCost    float64 // relaxed DP optimum (≥ treeCost ≥ cost)
-	states    int
-	pruned    bool    // aborted by the portfolio's incumbent bound
-	wallMS    float64 // wall clock spent on this tree (see TreeStat.WallMS)
-	abortFrac float64 // DP progress at decision (see TreeStat.AbortFrac)
-	err       error
+	assign         metrics.Assignment
+	cost           float64
+	treeCost       float64
+	dpCost         float64 // relaxed DP optimum (≥ treeCost ≥ cost)
+	states         int
+	tablesReused   int     // warm-cache hits (Solver.TreeCaches)
+	tablesComputed int     // tables built fresh on a warm solve
+	pruned         bool    // aborted by the portfolio's incumbent bound
+	boundFellBack  bool    // warm bound aborted; re-solved unbounded
+	wallMS         float64 // wall clock spent on this tree (see TreeStat.WallMS)
+	abortFrac      float64 // DP progress at decision (see TreeStat.AbortFrac)
+	err            error
+}
+
+// treeCache returns tree ti's warm table cache, or nil when reuse is
+// off for this run: no TreeCaches supplied, a length that doesn't match
+// the decomposition (a defensive mismatch guard — a cache built for a
+// different tree set would simply miss, but the length contract catches
+// caller bugs early), or Prune on (bounded tables are not reusable).
+func (s Solver) treeCache(ti, nTrees int) *hgpt.TableCache {
+	if s.Prune || len(s.TreeCaches) != nTrees {
+		return nil
+	}
+	return s.TreeCaches[ti]
+}
+
+// warmBound returns tree ti's certified cost ceiling as a static bound
+// source, or nil when warm bounds are off for this run (no WarmBounds,
+// length mismatch, Prune on, or a +Inf/NaN "no certificate" entry).
+func (s Solver) warmBound(ti, nTrees int) *hgpt.CostBound {
+	if s.Prune || len(s.WarmBounds) != nTrees {
+		return nil
+	}
+	u := s.WarmBounds[ti]
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return nil
+	}
+	b := hgpt.NewCostBound()
+	b.Tighten(u)
+	return b
+}
+
+// WarmBoundsAfterRepair derives certified per-tree cost ceilings for a
+// warm re-solve after a reweight-only treedecomp.Repair, from the
+// previous solve's PerTreeDPCosts over the SAME decomposition the
+// repair started from. The certificate: a pure edge reweight keeps
+// every tree's structure and all demands intact, so the previous
+// optimal relaxed family is still feasible on the repaired tree, and
+// its cost moved by at most the boundary-weight increase times
+// CM(0) − CM(h) (each tree edge is charged at most twice per hierarchy
+// level: 2·Σ_k Δ(k) = CM(0) − CM(h)). Trees with no valid certificate
+// — a structural rebuild, changed demands, or a sentinel previous cost
+// — get +Inf ("solve unbounded"); a nil return means no tree has one.
+// The ceiling carries a hair of relative slack so float
+// association-order drift between the DP's accumulation and this
+// closed form cannot push a true optimum over the bound.
+func WarmBoundsAfterRepair(prevDP []float64, H *hierarchy.Hierarchy, st *treedecomp.RepairStats) []float64 {
+	if st == nil || st.DemandsChanged ||
+		len(prevDP) == 0 || len(prevDP) != len(st.TreeReweightUp) || len(prevDP) != len(st.TreeStructural) {
+		return nil
+	}
+	span := H.CM(0) - H.CM(H.Height())
+	out := make([]float64, len(prevDP))
+	any := false
+	for i, p := range prevDP {
+		if st.TreeStructural[i] || math.IsNaN(p) || math.IsInf(p, 0) {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = (p + st.TreeReweightUp[i]*span) * (1 + 1e-9)
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return out
 }
 
 // solveTree runs one tree's DP and maps its solution back onto the
 // graph, converting a panic anywhere below (a solver bug, or an
 // injected fault) into that tree's error so one bad tree cannot take
 // down the caller — the remaining trees still produce a usable result.
-// bound, when non-nil, is the portfolio's incumbent cost bound (see
-// portfolio.go); nil means unbounded.
-func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dt *treedecomp.DecompTree, ti, nodeWorkers int, bound *hgpt.CostBound) (out treeOut) {
+// bound, when non-nil, is either the portfolio's incumbent cost bound
+// (see portfolio.go, never combined with a cache) or a caller-certified
+// warm-solve ceiling (Solver.WarmBounds, combined with this tree's
+// cache); nil means unbounded. cache, when non-nil, is this tree's warm
+// table cache (Solver.TreeCaches).
+func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hierarchy, dt *treedecomp.DecompTree, ti, nodeWorkers int, bound *hgpt.CostBound, cache *hgpt.TableCache) (out treeOut) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -371,7 +499,7 @@ func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hier
 			out.abortFrac = 1
 		}
 	}()
-	sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers, Bound: bound}.SolveContext(ctx, dt.T, H)
+	sol, err := hgpt.Solver{Eps: s.Eps, MaxStates: s.MaxStates, Workers: nodeWorkers, Bound: bound, Reuse: cache}.SolveContext(ctx, dt.T, H)
 	if err != nil {
 		return treeOut{err: fmt.Errorf("hgp: tree %d: %w", ti, err)}
 	}
@@ -383,11 +511,13 @@ func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hier
 		return treeOut{err: fmt.Errorf("hgp: tree %d solution left vertices unassigned", ti)}
 	}
 	return treeOut{
-		assign:   assign,
-		cost:     metrics.CostLCA(g, H, assign),
-		treeCost: sol.Cost,
-		dpCost:   sol.DPCost,
-		states:   sol.States,
+		assign:         assign,
+		cost:           metrics.CostLCA(g, H, assign),
+		treeCost:       sol.Cost,
+		dpCost:         sol.DPCost,
+		states:         sol.States,
+		tablesReused:   sol.TablesReused,
+		tablesComputed: sol.TablesComputed,
 	}
 }
 
@@ -399,15 +529,20 @@ func (s Solver) solveTree(ctx context.Context, g *graph.Graph, H *hierarchy.Hier
 // tree completed.
 func (s Solver) gather(g *graph.Graph, H *hierarchy.Hierarchy, outs []treeOut) (*Result, error) {
 	res := &Result{
-		TreeIndex:    -1,
-		PerTreeCosts: make([]float64, 0, len(outs)),
-		TreeStats:    make([]TreeStat, 0, len(outs)),
+		TreeIndex:      -1,
+		PerTreeCosts:   make([]float64, 0, len(outs)),
+		PerTreeDPCosts: make([]float64, 0, len(outs)),
+		TreeStats:      make([]TreeStat, 0, len(outs)),
 	}
 	var firstErr error
 	for ti := range outs {
 		o := &outs[ti]
+		if o.boundFellBack {
+			res.BoundFallbacks++
+		}
 		if o.pruned {
 			res.PerTreeCosts = append(res.PerTreeCosts, math.Inf(1))
+			res.PerTreeDPCosts = append(res.PerTreeDPCosts, math.Inf(1))
 			res.TreeStats = append(res.TreeStats, TreeStat{Outcome: "pruned", WallMS: o.wallMS, AbortFrac: o.abortFrac})
 			res.TreesPruned++
 			continue
@@ -417,12 +552,16 @@ func (s Solver) gather(g *graph.Graph, H *hierarchy.Hierarchy, outs []treeOut) (
 				firstErr = o.err
 			}
 			res.PerTreeCosts = append(res.PerTreeCosts, math.NaN())
+			res.PerTreeDPCosts = append(res.PerTreeDPCosts, math.NaN())
 			res.TreeStats = append(res.TreeStats, TreeStat{Outcome: "failed", WallMS: o.wallMS})
 			continue
 		}
 		res.States += o.states
+		res.TablesReused += o.tablesReused
+		res.TablesComputed += o.tablesComputed
 		res.TreesDone++
 		res.PerTreeCosts = append(res.PerTreeCosts, o.cost)
+		res.PerTreeDPCosts = append(res.PerTreeDPCosts, o.dpCost)
 		res.TreeStats = append(res.TreeStats, TreeStat{Outcome: "done", WallMS: o.wallMS, AbortFrac: o.abortFrac})
 		if res.TreeIndex == -1 || o.cost < res.Cost {
 			res.Assignment = o.assign

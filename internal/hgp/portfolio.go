@@ -292,7 +292,7 @@ func (s Solver) solvePortfolioSeq(ctx context.Context, g *graph.Graph, H *hierar
 			bound = hgpt.NewCostBound()
 			bound.Tighten(v)
 		}
-		outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, budget, bound)
+		outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, budget, bound, nil)
 		switch {
 		case outs[ti].err == nil:
 			record(ti)
@@ -347,7 +347,7 @@ func (s Solver) solvePortfolioPar(ctx context.Context, g *graph.Graph, H *hierar
 					outs[ti].err = err
 					continue
 				}
-				outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, bound)
+				outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, nodeWorkers, bound, nil)
 				if outs[ti].err == nil {
 					record(ti)
 					publish(&outs[ti])
@@ -417,7 +417,7 @@ func (s Solver) reducePortfolio(ctx context.Context, g *graph.Graph, H *hierarch
 				rb.Tighten(b)
 			}
 			raced := o.wallMS
-			outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, budget, rb)
+			outs[ti] = s.solveTree(ctx, g, H, dec.Trees[ti], ti, budget, rb, nil)
 			outs[ti].wallMS += raced // total spent on this tree
 			switch {
 			case outs[ti].err == nil:

@@ -73,6 +73,18 @@ type Solver struct {
 	// on when the bound tightened. A bound that stays +Inf for the whole
 	// run is bit-identical to no bound.
 	Bound *CostBound
+
+	// Reuse, when non-nil, serves per-node tables cached from a previous
+	// solve by structural subtree hash and repopulates the cache with
+	// this solve's tables on success — the incremental repartitioning
+	// path (see TableCache). Reuse composes with Bound: a cached table
+	// is the full unbounded table for its subtree (a superset of what a
+	// bounded run would build), so serving it under a bound is sound —
+	// superfluous entries are filtered at the parent merges, and the
+	// completed-run bit-identity invariant is unchanged. Repopulation,
+	// however, only happens on unbounded runs: bound-filtered tables are
+	// schedule-dependent subsets and must never enter the cache.
+	Reuse *TableCache
 }
 
 // Solution is the result of solving HGPT on a tree.
@@ -96,8 +108,16 @@ type Solution struct {
 	// ScaledTotal is D, the total scaled demand, which drives DP size.
 	ScaledTotal int
 	// States is the total number of DP table entries created (experiment
-	// E8 measures how it scales with n, D, and h).
+	// E8 measures how it scales with n, D, and h). Tables served from a
+	// Solver.Reuse cache count their entries exactly as a fresh run
+	// would, so States — and MaxStates trips — are identical warm or
+	// cold.
 	States int
+	// TablesReused and TablesComputed partition the binarized tree's
+	// nodes by whether their table came from the Solver.Reuse cache or
+	// was computed this run (both zero when Reuse is nil).
+	TablesReused   int
+	TablesComputed int
 }
 
 type entry struct {
@@ -179,6 +199,14 @@ func (s Solver) SolveContext(ctx context.Context, t *tree.Tree, H *hierarchy.Hie
 	if err != nil {
 		return nil, err
 	}
+	// Reuse lookups are sound under a bound: a cached table is the full
+	// unbounded (dominance-pruned) table for its subtree, a superset of
+	// what a bounded run would build, and superfluous entries are
+	// filtered at the parent merges by the same effBound logic. Only
+	// repopulation stays gated to unbounded runs (below).
+	if s.Reuse != nil {
+		dp.attachReuse(s.Reuse, !s.DisablePruning)
+	}
 	tabs, states, err := dp.runTables(ctx, s.Workers, s.MaxStates, !s.DisablePruning)
 	if err != nil {
 		return nil, err
@@ -228,15 +256,28 @@ func (s Solver) SolveContext(ctx context.Context, t *tree.Tree, H *hierarchy.Hie
 	}
 
 	telemetry.ObserveDuration("phase_dp_seconds", time.Since(start))
+	reused, computed := 0, 0
+	if s.Reuse != nil {
+		if s.Bound == nil {
+			// Bound-filtered tables are schedule-dependent subsets, not
+			// pure subtree optima, so only unbounded runs refresh the
+			// cache generation; bounded runs consume but never write.
+			s.Reuse.repopulate(dp, tabs)
+		}
+		reused = int(dp.reused.Load())
+		computed = bt.N() - reused
+	}
 	return &Solution{
-		Assignment:  assignment,
-		Relaxed:     relaxed,
-		Strict:      strict,
-		DPCost:      bestCost,
-		Cost:        FamilyCost(t, H, strict),
-		Unit:        dp.unit,
-		ScaledTotal: dp.total,
-		States:      states,
+		Assignment:     assignment,
+		Relaxed:        relaxed,
+		Strict:         strict,
+		DPCost:         bestCost,
+		Cost:           FamilyCost(t, H, strict),
+		Unit:           dp.unit,
+		ScaledTotal:    dp.total,
+		States:         states,
+		TablesReused:   reused,
+		TablesComputed: computed,
 	}, nil
 }
 
@@ -258,6 +299,15 @@ type dpRun struct {
 	// the discriminator between "bound exceeded" and "infeasible" at the
 	// root. Atomic because scheduler workers load concurrently.
 	applied atomic.Uint64
+
+	// Table-reuse state (see reuse.go): per-node structural hashes, the
+	// run identity the hashes are valid under, the previous generation's
+	// tables (nil = cold or identity mismatch), and the hit counter.
+	// reused is atomic because scheduler workers hit concurrently.
+	hashes    []string
+	reuseSig  string
+	reuseTabs map[string]map[uint64]entry
+	reused    atomic.Int64
 
 	// scratch pools the per-merge signature buffers so the DP inner loop
 	// allocates nothing per child-signature pair (shared safely by the

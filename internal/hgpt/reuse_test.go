@@ -1,0 +1,334 @@
+package hgpt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hierpart/internal/hierarchy"
+	"hierpart/internal/tree"
+)
+
+// sameSolution asserts bit-identity of everything a caller can observe
+// except the reuse counters themselves.
+func sameSolution(t *testing.T, tag string, got, want *Solution) {
+	t.Helper()
+	if got.DPCost != want.DPCost || got.Cost != want.Cost ||
+		got.States != want.States || got.Unit != want.Unit ||
+		got.ScaledTotal != want.ScaledTotal {
+		t.Fatalf("%s: scalars differ:\n got  %+v\n want %+v", tag, got, want)
+	}
+	if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+		t.Fatalf("%s: assignment differs", tag)
+	}
+	if !reflect.DeepEqual(got.Relaxed, want.Relaxed) {
+		t.Fatalf("%s: relaxed family differs", tag)
+	}
+	if !reflect.DeepEqual(got.Strict, want.Strict) {
+		t.Fatalf("%s: strict family differs", tag)
+	}
+}
+
+// TestReuseWarmSolveBitIdentical: a warm re-solve of the SAME tree must
+// hit the cache at every node and reproduce the cold solution bit for
+// bit, at every worker count, across fuzzed trees and hierarchies.
+func TestReuseWarmSolveBitIdentical(t *testing.T) {
+	old := shardMinPairs
+	shardMinPairs = 1
+	defer func() { shardMinPairs = old }()
+
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		tr := fuzzTree(rng, 8)
+		h := fuzzHierarchies[trial%len(fuzzHierarchies)]
+		cold, err := Solver{Eps: 0.5}.Solve(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: cold: %v", trial, err)
+		}
+		for _, w := range []int{1, 4} {
+			cache := NewTableCache()
+			first, err := Solver{Eps: 0.5, Workers: w, Reuse: cache}.Solve(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: prime: %v", trial, w, err)
+			}
+			sameSolution(t, "prime", first, cold)
+			if first.TablesReused != 0 || first.TablesComputed == 0 {
+				t.Fatalf("trial %d: cold cache reported reuse: %+v", trial, first)
+			}
+			if cache.Len() == 0 {
+				t.Fatalf("trial %d: cache not repopulated", trial)
+			}
+			warm, err := Solver{Eps: 0.5, Workers: w, Reuse: cache}.Solve(tr, h)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: warm: %v", trial, w, err)
+			}
+			sameSolution(t, "warm", warm, cold)
+			if warm.TablesComputed != 0 {
+				t.Fatalf("trial %d workers %d: warm solve recomputed %d tables",
+					trial, w, warm.TablesComputed)
+			}
+		}
+	}
+}
+
+// reuseTestTree builds a balanced-ish tree whose leaves carry demand d.
+func reuseTestTree(leaves int, d float64) *tree.Tree {
+	tr := tree.New()
+	level := []int{tr.Root()}
+	for len(level) < leaves {
+		var next []int
+		for _, v := range level {
+			next = append(next, tr.AddChild(v, 2), tr.AddChild(v, 3))
+		}
+		level = next
+	}
+	for _, v := range level {
+		tr.SetDemand(v, d)
+	}
+	return tr
+}
+
+// TestReuseLocalEditDirtiesOnlyChain: reweighting one subtree edge must
+// recompute only that node's ancestor chain — every disjoint subtree
+// hits the cache — and the result must equal a from-scratch solve of the
+// edited tree.
+func TestReuseLocalEditDirtiesOnlyChain(t *testing.T) {
+	h := hierarchy.NUMASockets(2, 4)
+	build := func(w float64) *tree.Tree {
+		tr := reuseTestTree(16, 0.5)
+		// Rebuild with one edge weight changed: tree is append-only, so
+		// construct an identical tree and vary the last leaf's edge.
+		out := tree.New()
+		var rec func(src, dst int)
+		rec = func(src, dst int) {
+			for _, c := range tr.Children(src) {
+				ew := tr.EdgeWeight(c)
+				if c == tr.N()-1 {
+					ew = w
+				}
+				nc := out.AddChild(dst, ew)
+				if tr.IsLeaf(c) {
+					out.SetDemand(nc, tr.Demand(c))
+				}
+				rec(c, nc)
+			}
+		}
+		rec(tr.Root(), out.Root())
+		return out
+	}
+
+	cache := NewTableCache()
+	base := build(3)
+	if _, err := (Solver{Eps: 0.5, Reuse: cache}).Solve(base, h); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	edited := build(7)
+	warm, err := Solver{Eps: 0.5, Reuse: cache}.Solve(edited, h)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	cold, err := Solver{Eps: 0.5}.Solve(edited, h)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	sameSolution(t, "edited", warm, cold)
+	if warm.TablesReused == 0 {
+		t.Fatal("local edit reused nothing")
+	}
+	if warm.TablesComputed == 0 || warm.TablesComputed >= warm.TablesReused {
+		t.Fatalf("local edit should recompute only the ancestor chain: computed %d, reused %d",
+			warm.TablesComputed, warm.TablesReused)
+	}
+}
+
+// TestReuseMaxStatesParity: a warm solve must trip MaxStates exactly
+// when a cold solve does — reused tables count their states in full.
+func TestReuseMaxStatesParity(t *testing.T) {
+	h := hierarchy.NUMASockets(2, 4)
+	tr := reuseTestTree(16, 0.5)
+	cold, err := Solver{Eps: 0.5}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewTableCache()
+	if _, err := (Solver{Eps: 0.5, Reuse: cache}).Solve(tr, h); err != nil {
+		t.Fatal(err)
+	}
+	budget := cold.States - 1
+	_, errWarm := Solver{Eps: 0.5, MaxStates: budget, Reuse: cache}.Solve(tr, h)
+	_, errCold := Solver{Eps: 0.5, MaxStates: budget}.Solve(tr, h)
+	if (errWarm == nil) != (errCold == nil) {
+		t.Fatalf("MaxStates parity broken: warm err %v, cold err %v", errWarm, errCold)
+	}
+	if errCold == nil {
+		t.Fatal("expected budget trip")
+	}
+}
+
+// TestReuseIdentityMismatch: a cache primed under different run
+// parameters must be ignored wholesale, not served stale.
+func TestReuseIdentityMismatch(t *testing.T) {
+	tr := reuseTestTree(8, 0.5)
+	h1 := hierarchy.NUMASockets(2, 4)
+	h2 := hierarchy.NUMASockets(4, 2)
+
+	cache := NewTableCache()
+	if _, err := (Solver{Eps: 0.5, Reuse: cache}).Solve(tr, h1); err != nil {
+		t.Fatal(err)
+	}
+	// Different hierarchy: identity differs, zero reuse, correct result.
+	got, err := Solver{Eps: 0.5, Reuse: cache}.Solve(tr, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TablesReused != 0 {
+		t.Fatalf("stale cache served %d tables across hierarchies", got.TablesReused)
+	}
+	cold, err := Solver{Eps: 0.5}.Solve(tr, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "h2", got, cold)
+
+	// Different Eps on the same hierarchy: also an identity change.
+	cache2 := NewTableCache()
+	if _, err := (Solver{Eps: 0.5, Reuse: cache2}).Solve(tr, h1); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Solver{Eps: 0.25, Reuse: cache2}.Solve(tr, h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.TablesReused != 0 {
+		t.Fatalf("stale cache served %d tables across Eps", got2.TablesReused)
+	}
+}
+
+// TestReuseUnderBound: Reuse composes with Bound — cached tables are
+// full unbounded subtree tables, so lookups are served and the bounded
+// warm result matches the bounded cold result bit-for-bit. But
+// bound-filtered tables are schedule-dependent subsets, so a bounded
+// run must never repopulate the cache.
+func TestReuseUnderBound(t *testing.T) {
+	tr := reuseTestTree(8, 0.5)
+	h := hierarchy.NUMASockets(2, 4)
+	cache := NewTableCache()
+
+	// Bounded cold run with an empty cache: nothing to reuse, and the
+	// filtered tables must not be written back.
+	b := NewCostBound()
+	got, err := Solver{Eps: 0.5, Reuse: cache, Bound: b}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TablesReused != 0 {
+		t.Fatalf("empty cache produced reuse hits: %+v", got)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("bounded solve repopulated the cache")
+	}
+
+	// Populate via an unbounded run, then solve again under a bound set
+	// exactly at the optimum: every table is served warm and the result
+	// is bit-identical to the unbounded solve.
+	cold, err := Solver{Eps: 0.5, Reuse: cache}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("unbounded solve did not populate the cache")
+	}
+	gen := cache.Len()
+	b2 := NewCostBound()
+	b2.Tighten(cold.DPCost)
+	warm, err := Solver{Eps: 0.5, Reuse: cache, Bound: b2}.Solve(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "bounded warm", warm, cold)
+	if warm.TablesReused == 0 {
+		t.Fatalf("bounded warm solve served no cached tables: %+v", warm)
+	}
+	if cache.Len() != gen {
+		t.Fatalf("bounded warm solve mutated the cache: %d -> %d entries", gen, cache.Len())
+	}
+
+	// A fully-warm run never filters (every table is served verbatim), so
+	// even a bound below the optimum completes — with the exact unbounded
+	// solution. The bound is an accelerator for recomputed tables, not a
+	// gate on reused ones.
+	b3 := NewCostBound()
+	b3.Tighten(cold.DPCost - 1)
+	warm3, err := Solver{Eps: 0.5, Reuse: cache, Bound: b3}.Solve(tr, h)
+	if err != nil {
+		t.Fatalf("sub-optimal bound on fully-warm solve: %v", err)
+	}
+	sameSolution(t, "fully-warm sub-optimal bound", warm3, cold)
+}
+
+// TestReuseDemandChangeInvalidatesChain: changing one leaf demand must
+// miss exactly that leaf's chain and match the cold solve. The new
+// demand is chosen so the total scaled demand stays in the same
+// power-of-two bracket (codec.bits unchanged); a change that widens or
+// narrows the signature encoding invalidates the whole cache instead —
+// see TestReuseDemandChangeCodecWidth.
+func TestReuseDemandChangeInvalidatesChain(t *testing.T) {
+	h := hierarchy.NUMASockets(2, 4)
+	build := func(d float64) *tree.Tree {
+		tr := reuseTestTree(16, 0.5)
+		tr.SetDemand(tr.N()-1, d)
+		return tr
+	}
+	cache := NewTableCache()
+	if _, err := (Solver{Eps: 0.5, Reuse: cache}).Solve(build(0.5), h); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solver{Eps: 0.5, Reuse: cache}.Solve(build(0.75), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solver{Eps: 0.5}.Solve(build(0.75), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "demand", warm, cold)
+	if warm.TablesReused == 0 || warm.TablesComputed == 0 {
+		t.Fatalf("demand change should dirty only one chain: %+v", warm)
+	}
+}
+
+// TestReuseDemandChangeCodecWidth: a demand delta that shrinks the total
+// scaled demand across a power-of-two boundary changes the signature
+// encoding width, so the cache must be ignored wholesale — and the warm
+// solve must still be bit-identical to cold.
+func TestReuseDemandChangeCodecWidth(t *testing.T) {
+	h := hierarchy.NUMASockets(2, 4)
+	build := func(d float64) *tree.Tree {
+		tr := reuseTestTree(16, 0.5)
+		tr.SetDemand(tr.N()-1, d)
+		return tr
+	}
+	cache := NewTableCache()
+	if _, err := (Solver{Eps: 0.5, Reuse: cache}).Solve(build(0.5), h); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solver{Eps: 0.5, Reuse: cache}.Solve(build(0.25), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solver{Eps: 0.5}.Solve(build(0.25), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "codec-width", warm, cold)
+	if warm.TablesReused != 0 {
+		t.Fatalf("codec-width change served %d stale tables", warm.TablesReused)
+	}
+}
+
+func TestTableCacheNilLen(t *testing.T) {
+	var c *TableCache
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+}

@@ -57,6 +57,29 @@ func (d *dpRun) runTables(ctx context.Context, workers, maxStates int, pruneOn b
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
+			// Warm-cache hit: the previous generation's table is served
+			// verbatim (already pruned; never mutated). Under a bound the
+			// futureMin bookkeeping still runs: a reused table is the full
+			// unbounded table for its subtree, so its minimum is the same
+			// admissible lower bound a fresh computation would yield.
+			if tab, ok := d.reuseLookup(v); ok {
+				tabs[v] = tab
+				if mins != nil {
+					m := tabMinCost(tab)
+					childSum := 0.0
+					for _, c := range d.bt.Children(v) {
+						childSum += mins[c]
+					}
+					mins[v] = m
+					pendSum += m - childSum
+				}
+				done++
+				states += len(tab)
+				if maxStates > 0 && states > maxStates {
+					return nil, 0, budgetErr(states, maxStates)
+				}
+				continue
+			}
 			// Live bound: re-read the incumbent once per table, so a bound
 			// shared with concurrent trees bites from the next table on.
 			effBound := d.loadBound()
@@ -345,6 +368,12 @@ func (s *tableSched) nodeTask(v int) func() {
 			return
 		}
 		d := s.d
+		// Warm-cache hit: serve the previous generation's table verbatim
+		// (already pruned, immutable — complete must not re-prune it).
+		if tab, ok := d.reuseLookup(v); ok {
+			s.complete(v, tab, math.Inf(1), true)
+			return
+		}
 		kids := d.bt.Children(v)
 		if len(kids) == 2 {
 			pairs := len(s.tabs[kids[0]]) * len(s.tabs[kids[1]])
@@ -359,7 +388,7 @@ func (s *tableSched) nodeTask(v int) func() {
 			s.fail(err)
 			return
 		}
-		s.complete(v, tab, eff)
+		s.complete(v, tab, eff, false)
 	}
 }
 
@@ -405,7 +434,7 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 				for _, p := range partials[1:] {
 					mergeTables(final, p)
 				}
-				s.complete(v, final, effBound)
+				s.complete(v, final, effBound, false)
 			}
 		})
 	}
@@ -416,8 +445,10 @@ func (s *tableSched) shardNode(v, c1, c2 int) {
 // dependency count to the parent, and stops the pool on completion or
 // on a tripped state budget. eff is the ceiling v's table was filtered
 // under (the effBoundFor snapshot), needed to classify an empty table.
-func (s *tableSched) complete(v int, tab map[uint64]entry, eff float64) {
-	if s.pruneOn {
+// reused tables arrive already pruned and are shared with the cache —
+// they must not be pruned (mutated) again.
+func (s *tableSched) complete(v int, tab map[uint64]entry, eff float64, reused bool) {
+	if s.pruneOn && !reused {
 		s.d.prune(tab)
 	}
 	// An empty table under a finite ceiling means every partial for this

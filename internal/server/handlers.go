@@ -602,8 +602,13 @@ type StatsResponse struct {
 	// breakers, and fetch/push outcome totals. Always present; with
 	// clustering off only {"enabled": false} is rendered, so dashboards
 	// key on one shape everywhere.
-	Cluster clusterStats       `json:"cluster"`
-	Metrics telemetry.Snapshot `json:"metrics"`
+	Cluster clusterStats `json:"cluster"`
+	// Sessions is the graph-session (incremental repartitioning)
+	// accounting: active sessions, patch/conflict totals, and the
+	// incremental-vs-cold solve split. Always present; Enabled is false
+	// when -max-sessions is negative.
+	Sessions sessionsBlock      `json:"sessions"`
+	Metrics  telemetry.Snapshot `json:"metrics"`
 }
 
 // canonBlock is the `canon` block of /v1/stats. Attempts split into ok
@@ -743,5 +748,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cluster != nil {
 		resp.Cluster = s.cluster.stats()
 	}
+	resp.Sessions = s.sessionsStats()
 	writeJSON(w, http.StatusOK, resp)
 }

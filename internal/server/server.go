@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -171,6 +172,14 @@ type Config struct {
 	// daemon should replicate but lacks. Zero means 30s; negative
 	// disables repair.
 	RepairInterval time.Duration
+	// MaxSessions bounds the graph-session LRU (the /v1/graphs
+	// incremental repartitioning surface): registrations beyond it evict
+	// the least recently used session (and its snapshot). Zero means 64;
+	// negative disables sessions (the /v1/graphs routes are not
+	// registered). Sessions are snapshotted under StateDir/sessions when
+	// StateDir is set, and reloaded on startup — reloaded sessions solve
+	// cold once (decompositions and warm DP tables are not persisted).
+	MaxSessions int
 	// Registry receives the daemon's metrics. Nil means
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -249,6 +258,12 @@ func (c Config) withDefaults() Config {
 	if c.RepairInterval == 0 {
 		c.RepairInterval = 30 * time.Second
 	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -280,6 +295,11 @@ type Server struct {
 	// store snapshots cache entries to cfg.StateDir; nil when the cache
 	// is memory-only.
 	store *diskstore.Store
+	// sessions is the graph-session LRU (/v1/graphs); nil when sessions
+	// are disabled. sessStore persists session snapshots under
+	// StateDir/sessions; nil when memory-only.
+	sessions  *sessionStore
+	sessStore *diskstore.SessionStore
 	// cluster is the shard-group state (ring, peer clients, health
 	// poller); nil outside cluster mode.
 	cluster *cluster
@@ -374,6 +394,34 @@ func New(cfg Config) (*Server, error) {
 		// The healing loops (hint drain, anti-entropy repair) read the
 		// server's caches, so they start only after both sides exist.
 		cl.startMaintenance(s)
+	}
+	s.registerSessionMetrics()
+	if cfg.MaxSessions > 0 {
+		s.sessions = newSessionStore(cfg.MaxSessions)
+		if cfg.StateDir != "" {
+			ss, err := diskstore.OpenSessions(filepath.Join(cfg.StateDir, "sessions"))
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			s.sessStore = ss
+			// Reload persisted sessions (lexicographic ID order). A
+			// payload the store validated but the server cannot
+			// materialize is dropped and counted alongside the store's
+			// own skips.
+			skipped, _ := ss.LoadAll(func(id string, payload []byte) {
+				if !s.restoreSession(id, payload) {
+					_ = ss.Delete(id)
+					s.reg.Counter("session_snapshot_errors_total").Inc()
+				}
+			})
+			s.reg.Gauge("session_snapshots_skipped").Set(int64(skipped))
+			s.reg.Gauge("sessions_active").Set(int64(s.sessions.len()))
+		}
+		s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
+		s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
+		s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleGraphDelete)
+		s.mux.HandleFunc("PATCH /v1/graphs/{id}", s.handleGraphPatch)
+		s.mux.HandleFunc("POST /v1/graphs/{id}/partition", s.handleGraphPartition)
 	}
 	s.solve = s.cachedSolve
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)

@@ -1,0 +1,320 @@
+package treedecomp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierpart/internal/faultinject"
+	"hierpart/internal/gen"
+	"hierpart/internal/graph"
+)
+
+// applyToClone clones g, applies the deltas, and fails the test on error.
+func applyToClone(t *testing.T, g *graph.Graph, deltas []Delta) *graph.Graph {
+	t.Helper()
+	c := g.Clone()
+	if err := Apply(c, deltas); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("post-delta graph invalid: %v", err)
+	}
+	return c
+}
+
+// checkDecompValid asserts the structural contract a solve relies on:
+// valid trees, a correct LeafOf bijection, demands matching the graph,
+// and every tree edge weight equal to the exact graph boundary of its
+// child cluster (Proposition 1's precondition).
+func checkDecompValid(t *testing.T, g *graph.Graph, d *Decomposition) {
+	t.Helper()
+	for i, dt := range d.Trees {
+		if err := dt.T.Validate(); err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if len(dt.LeafOf) != g.N() {
+			t.Fatalf("tree %d: LeafOf has %d entries, want %d", i, len(dt.LeafOf), g.N())
+		}
+		seen := map[int]bool{}
+		for v := 0; v < g.N(); v++ {
+			leaf := dt.LeafOf[v]
+			if !dt.T.IsLeaf(leaf) || dt.T.Label(leaf) != v {
+				t.Fatalf("tree %d: LeafOf[%d]=%d is not v's leaf", i, v, leaf)
+			}
+			if seen[leaf] {
+				t.Fatalf("tree %d: leaf %d mapped twice", i, leaf)
+			}
+			seen[leaf] = true
+			if got, want := dt.T.Demand(leaf), g.Demand(v); got != want {
+				t.Fatalf("tree %d vertex %d: leaf demand %v, graph demand %v", i, v, got, want)
+			}
+		}
+		for v := 1; v < dt.T.N(); v++ {
+			in := clusterOf(dt, v)
+			want := g.CutWeightSet(in)
+			if got := dt.T.EdgeWeight(v); got != want {
+				t.Fatalf("tree %d node %d: edge weight %v, boundary %v", i, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRepairValidAcrossDeltaKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.Community(rng, 4, 12, 0.5, 0.05, 6, 1)
+	gen.UniformDemands(rng, g, 0.5, 1.5)
+	opt := Options{Trees: 4, Seed: 42, Workers: 1}
+	dec := Build(g, opt)
+
+	es := g.Edges()
+	cases := []struct {
+		name   string
+		deltas []Delta
+	}{
+		{"reweight_one_edge", []Delta{{Op: DeltaReweightEdge, U: es[3].U, V: es[3].V, Weight: es[3].Weight * 3}}},
+		{"remove_one_edge", []Delta{{Op: DeltaRemoveEdge, U: es[5].U, V: es[5].V}}},
+		{"add_one_edge", []Delta{{Op: DeltaAddEdge, U: 0, V: g.N() - 1, Weight: 2.5}}},
+		{"demand_only", []Delta{{Op: DeltaReweightVertex, U: 7, Weight: 9}}},
+		{"mixed_batch", []Delta{
+			{Op: DeltaReweightEdge, U: es[0].U, V: es[0].V, Weight: 0.25},
+			{Op: DeltaRemoveEdge, U: es[9].U, V: es[9].V},
+			{Op: DeltaAddEdge, U: 1, V: g.N() - 2, Weight: 1.25},
+			{Op: DeltaReweightVertex, U: 3, Weight: 0.1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gNew := applyToClone(t, g, tc.deltas)
+			rep, stats, err := Repair(context.Background(), gNew, dec, tc.deltas, opt, 1)
+			if err != nil {
+				t.Fatalf("Repair: %v", err)
+			}
+			checkDecompValid(t, gNew, rep)
+			if stats.Trees != opt.Trees {
+				t.Fatalf("stats.Trees = %d, want %d", stats.Trees, opt.Trees)
+			}
+			structural := false
+			for _, d := range tc.deltas {
+				structural = structural || d.structural()
+			}
+			if structural && stats.DirtySubtrees == 0 {
+				t.Fatalf("structural deltas repaired no subtree: %+v", stats)
+			}
+			if !structural && (stats.DirtySubtrees != 0 || stats.NodesRebuilt != 0) {
+				t.Fatalf("demand-only delta rebuilt nodes: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestRepairReusesCleanSubtrees pins the minimality claim: a single
+// edge reweight rebuilds nothing — every tree keeps its structure
+// verbatim, and only the boundary weights on the two leaf-to-LCA paths
+// are refreshed from the new graph.
+func TestRepairReusesCleanSubtrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.Community(rng, 8, 8, 0.6, 0.02, 8, 1)
+	gen.EqualDemands(g, 1)
+	opt := Options{Trees: 4, Seed: 5, Workers: 1}
+	dec := Build(g, opt)
+
+	// Reweight an intra-block edge: endpoints are communication-heavy
+	// neighbors, so their per-tree LCA should sit deep in the tree.
+	var d Delta
+	for _, e := range g.Edges() {
+		if e.U/8 == e.V/8 {
+			d = Delta{Op: DeltaReweightEdge, U: e.U, V: e.V, Weight: e.Weight * 2}
+			break
+		}
+	}
+	gNew := applyToClone(t, g, []Delta{d})
+	rep, stats, err := Repair(context.Background(), gNew, dec, []Delta{d}, opt, 1)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	checkDecompValid(t, gNew, rep)
+	if stats.NodesRebuilt != 0 || stats.DirtySubtrees != 0 {
+		t.Fatalf("single-edge reweight rebuilt nodes: %+v", stats)
+	}
+	if frac := stats.ReusedFrac(); frac != 1 {
+		t.Fatalf("single-edge reweight reused only %.2f of nodes (%+v)", frac, stats)
+	}
+	if stats.NodesReweighted == 0 {
+		t.Fatalf("reweight crossed no cut: %+v", stats)
+	}
+	// Structure must be copied bit-identically: same node count, same
+	// parents, same labels — only path boundary weights may move.
+	for i := range rep.Trees {
+		ta, tb := dec.Trees[i].T, rep.Trees[i].T
+		if ta.N() != tb.N() {
+			t.Fatalf("tree %d: node count changed %d -> %d", i, ta.N(), tb.N())
+		}
+		for v := 0; v < ta.N(); v++ {
+			if ta.Label(v) != tb.Label(v) {
+				t.Fatalf("tree %d node %d: label changed", i, v)
+			}
+			if v > 0 && ta.Parent(v) != tb.Parent(v) {
+				t.Fatalf("tree %d node %d: parent changed", i, v)
+			}
+		}
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.ErdosRenyi(rng, 48, 0.12, 4)
+	gen.UniformDemands(rng, g, 0.5, 1)
+	opt := Options{Trees: 3, Seed: 9, Workers: 1}
+	dec := Build(g, opt)
+	es := g.Edges()
+	deltas := []Delta{{Op: DeltaReweightEdge, U: es[1].U, V: es[1].V, Weight: 7}}
+	gNew := applyToClone(t, g, deltas)
+
+	a, _, err := Repair(context.Background(), gNew, dec, deltas, opt, 4)
+	if err != nil {
+		t.Fatalf("Repair a: %v", err)
+	}
+	b, _, err := Repair(context.Background(), gNew, dec, deltas, opt, 4)
+	if err != nil {
+		t.Fatalf("Repair b: %v", err)
+	}
+	sameDecomp(t, a, b)
+
+	// A different epoch redraws the dirty subtrees from a fresh stream —
+	// the clean parts still match the original decomposition verbatim.
+	c, _, err := Repair(context.Background(), gNew, dec, deltas, opt, 5)
+	if err != nil {
+		t.Fatalf("Repair c: %v", err)
+	}
+	checkDecompValid(t, gNew, c)
+}
+
+// TestRepairDemandOnlyKeepsStructure: demand deltas must copy structure
+// bit-identically with only leaf demands refreshed.
+func TestRepairDemandOnlyKeepsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.Grid(6, 6, 2)
+	gen.UniformDemands(rng, g, 1, 2)
+	opt := Options{Trees: 2, Seed: 13, Workers: 1}
+	dec := Build(g, opt)
+	deltas := []Delta{{Op: DeltaReweightVertex, U: 17, Weight: 5}}
+	gNew := applyToClone(t, g, deltas)
+
+	rep, _, err := Repair(context.Background(), gNew, dec, deltas, opt, 1)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	for i := range rep.Trees {
+		ta, tb := dec.Trees[i].T, rep.Trees[i].T
+		if ta.N() != tb.N() {
+			t.Fatalf("tree %d: node count changed %d -> %d", i, ta.N(), tb.N())
+		}
+		for v := 0; v < ta.N(); v++ {
+			if ta.Label(v) != tb.Label(v) {
+				t.Fatalf("tree %d node %d: label changed", i, v)
+			}
+			if v > 0 && (ta.Parent(v) != tb.Parent(v) || ta.EdgeWeight(v) != tb.EdgeWeight(v)) {
+				t.Fatalf("tree %d node %d: structure changed", i, v)
+			}
+		}
+	}
+	if got := rep.Trees[0].T.Demand(rep.Trees[0].LeafOf[17]); got != 5 {
+		t.Fatalf("demand not refreshed: %v", got)
+	}
+	checkDecompValid(t, gNew, rep)
+}
+
+func TestRepairFRTRebuildsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.ErdosRenyi(rng, 24, 0.2, 3)
+	gen.EqualDemands(g, 1)
+	opt := Options{Trees: 2, Seed: 31, Strategy: FRT, Workers: 1}
+	dec := Build(g, opt)
+	es := g.Edges()
+	deltas := []Delta{{Op: DeltaReweightEdge, U: es[0].U, V: es[0].V, Weight: 9}}
+	gNew := applyToClone(t, g, deltas)
+	rep, stats, err := Repair(context.Background(), gNew, dec, deltas, opt, 1)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	checkDecompValid(t, gNew, rep)
+	if stats.NodesReused != 0 {
+		t.Fatalf("FRT repair reused %d nodes; distances are global, must rebuild whole", stats.NodesReused)
+	}
+}
+
+func TestRepairRejectsVertexCountMismatch(t *testing.T) {
+	g := gen.Grid(4, 4, 1)
+	gen.EqualDemands(g, 1)
+	opt := Options{Trees: 1, Seed: 1, Workers: 1}
+	dec := Build(g, opt)
+	g2 := g.Clone()
+	g2.AddVertex(1)
+	if _, _, err := Repair(context.Background(), g2, dec, nil, opt, 1); err == nil {
+		t.Fatal("Repair accepted a decomposition for a different vertex count")
+	}
+}
+
+func TestRepairFaultInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.ErdosRenyi(rng, 32, 0.15, 3)
+	gen.EqualDemands(g, 1)
+	opt := Options{Trees: 2, Seed: 17, Workers: 1}
+	dec := Build(g, opt)
+	es := g.Edges()
+	deltas := []Delta{{Op: DeltaReweightEdge, U: es[2].U, V: es[2].V, Weight: 8}}
+	gNew := applyToClone(t, g, deltas)
+
+	boom := errors.New("boom")
+	in := faultinject.New(1).On(faultinject.DecompRepair, faultinject.Fault{Prob: 1, Err: boom})
+	restore := faultinject.Activate(in)
+	defer restore()
+	if _, _, err := Repair(context.Background(), gNew, dec, deltas, opt, 1); !errors.Is(err, boom) {
+		t.Fatalf("Repair error = %v, want injected fault", err)
+	}
+	if in.Visits(faultinject.DecompRepair) == 0 {
+		t.Fatal("DecompRepair point never consulted")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	g := gen.Grid(3, 3, 1)
+	bad := [][]Delta{
+		{{Op: DeltaAddEdge, U: 0, V: 1, Weight: 1}},                            // exists
+		{{Op: DeltaAddEdge, U: 0, V: 4, Weight: 0}},                            // zero weight
+		{{Op: DeltaAddEdge, U: 0, V: 4, Weight: math.NaN()}},                   // NaN
+		{{Op: DeltaRemoveEdge, U: 0, V: 8}},                                    // absent
+		{{Op: DeltaReweightEdge, U: 0, V: 8, Weight: 1}},                       // absent
+		{{Op: DeltaReweightEdge, U: 0, V: 1, Weight: -1}},                      // negative
+		{{Op: DeltaReweightVertex, U: 99, Weight: 1}},                          // out of range
+		{{Op: DeltaReweightVertex, U: 0, Weight: -2}},                          // negative demand
+		{{Op: DeltaAddEdge, U: 2, V: 2, Weight: 1}},                            // self-loop
+		{{Op: DeltaOp(99), U: 0, V: 1, Weight: 1}},                             // unknown op
+		{{Op: DeltaRemoveEdge, U: 0, V: 1}, {Op: DeltaRemoveEdge, U: 0, V: 1}}, // double remove
+	}
+	for i, deltas := range bad {
+		if err := Apply(g.Clone(), deltas); err == nil {
+			t.Fatalf("case %d: Apply accepted invalid deltas %+v", i, deltas)
+		}
+	}
+	// A valid batch that exercises every op in sequence.
+	ok := []Delta{
+		{Op: DeltaRemoveEdge, U: 0, V: 1},
+		{Op: DeltaAddEdge, U: 0, V: 1, Weight: 3},
+		{Op: DeltaReweightEdge, U: 0, V: 1, Weight: 4},
+		{Op: DeltaReweightVertex, U: 5, Weight: 2},
+	}
+	c := g.Clone()
+	if err := Apply(c, ok); err != nil {
+		t.Fatalf("Apply valid batch: %v", err)
+	}
+	if c.Weight(0, 1) != 4 || c.Demand(5) != 2 {
+		t.Fatal("deltas not applied")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
